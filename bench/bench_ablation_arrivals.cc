@@ -1,0 +1,77 @@
+// Ablation: an open(ish) system — jobs arriving over time rather than all at
+// t = 0 (the paper's experiments start all jobs together; its policies,
+// however, are explicitly designed around arrivals and departures).
+//
+// A staggered stream of MVA / GRAVITY / MATRIX jobs arrives over the first
+// minute; we compare mean response time and fairness across policies.
+// Expected: the dynamic policies' advantage persists (or grows) under churn,
+// because every arrival/departure forces Equipartition to repartition wholesale
+// while Dynamic adapts incrementally; fairness (Jain index over response
+// times of identical jobs) stays high for priority-respecting policies.
+
+#include <cstdio>
+
+#include "src/apps/apps.h"
+#include "src/common/table.h"
+#include "src/engine/engine.h"
+#include "src/measure/arrivals.h"
+#include "src/sched/factory.h"
+#include "src/stats/fairness.h"
+
+using namespace affsched;
+
+int main() {
+  MachineConfig machine;
+  machine.num_processors = 16;
+  const std::vector<AppProfile> apps = DefaultProfiles();
+
+  // Poisson arrivals: mostly MVA (short) with occasional GRAVITY and MATRIX,
+  // plus a couple of fixed early arrivals so the system is never trivially
+  // empty at the start.
+  std::vector<ArrivalPlanEntry> plan = {{0, Seconds(0)}, {2, Seconds(2)}};
+  for (const ArrivalPlanEntry& e : PoissonArrivals(5, Seconds(9), {3.0, 1.0, 1.0}, 2026)) {
+    plan.push_back(ArrivalPlanEntry{e.app_index, e.when + Seconds(5)});
+  }
+
+  std::printf("=== Ablation: staggered arrivals (open-system behaviour) ===\n\n");
+  TextTable table;
+  table.SetHeader({"policy", "mean RT (s)", "mean MVA RT (s)", "Jain index (MVA jobs)",
+                   "total #realloc"});
+
+  for (PolicyKind kind : {PolicyKind::kEquipartition, PolicyKind::kDynamic, PolicyKind::kDynAff,
+                          PolicyKind::kDynAffDelay}) {
+    Engine engine(machine, MakePolicy(kind), 4242);
+    for (const ArrivalPlanEntry& a : plan) {
+      engine.SubmitJob(apps[a.app_index], a.when);
+    }
+    engine.Run();
+
+    double total_rt = 0.0;
+    std::vector<double> mva_rts;
+    uint64_t reallocs = 0;
+    for (JobId id = 0; id < engine.job_count(); ++id) {
+      const double rt = engine.job_stats(id).ResponseSeconds();
+      total_rt += rt;
+      if (engine.job_name(id) == "MVA") {
+        mva_rts.push_back(rt);
+      }
+      reallocs += engine.job_stats(id).reallocations;
+    }
+    double mva_mean = 0.0;
+    for (double rt : mva_rts) {
+      mva_mean += rt;
+    }
+    mva_mean /= static_cast<double>(mva_rts.size());
+
+    table.AddRow({PolicyKindName(kind),
+                  FormatDouble(total_rt / static_cast<double>(engine.job_count()), 2),
+                  FormatDouble(mva_mean, 2), FormatDouble(JainFairnessIndex(mva_rts), 3),
+                  std::to_string(reallocs)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Shape checks: dynamic policies at or below Equipartition's mean\n"
+      "response time under churn; identical (MVA) jobs receive comparable\n"
+      "treatment (Jain index near 1) under the priority-respecting policies.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Google-benchmark microbenchmarks of the simulator substrate itself:
+// event-queue throughput, cache-model chunk cost, and end-to-end simulated
+// seconds per wall second. These guard the regeneration benches' runtimes.
+
+#include <benchmark/benchmark.h>
+
+#include "src/apps/apps.h"
+#include "src/cache/exact_cache.h"
+#include "src/cache/footprint.h"
+#include "src/engine/engine.h"
+#include "src/sched/factory.h"
+#include "src/sim/event_queue.h"
+
+namespace affsched {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      q.ScheduleAt(i, [&sink] { ++sink; });
+    }
+    q.RunAll();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_FootprintChunk(benchmark::State& state) {
+  FootprintCache cache(4096.0);
+  const WorkingSetParams ws{.blocks = 3000.0, .buildup_tau_s = 0.05,
+                            .steady_miss_per_s = 10000.0};
+  CacheOwner owner = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.RunChunk(owner, ws, 0.002));
+    owner = (owner % 4) + 1;  // rotate owners to keep eviction paths busy
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FootprintChunk);
+
+void BM_ExactCacheAccess(benchmark::State& state) {
+  ExactCache cache(CacheGeometry{});
+  uint64_t block = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Access(1, block));
+    block = (block * 2862933555777941757ULL + 3037000493ULL) % (1 << 14);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactCacheAccess);
+
+void BM_EndToEndSmallMix(benchmark::State& state) {
+  MachineConfig machine;
+  machine.num_processors = 8;
+  double simulated_seconds = 0.0;
+  for (auto _ : state) {
+    Engine engine(machine, MakePolicy(PolicyKind::kDynAff), 42);
+    engine.SubmitJob(MakeSmallMvaProfile());
+    engine.SubmitJob(MakeSmallGravityProfile());
+    const SimTime end = engine.Run();
+    simulated_seconds += ToSeconds(end);
+    benchmark::DoNotOptimize(end);
+  }
+  state.counters["sim_s_per_iter"] = simulated_seconds / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_EndToEndSmallMix);
+
+}  // namespace
+}  // namespace affsched
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Regenerates Table 3: the influence of affinity on scheduling for workload
+// #5 (1 MATRIX + 1 GRAVITY) — %affinity, #reallocations, mean reallocation
+// interval, and response time per job under Dynamic, Dyn-Aff and
+// Dyn-Aff-Delay.
+//
+// Paper values:
+//                     Dynamic        Dyn-Aff        Dyn-Aff-Delay
+//                     MAT    GRAV    MAT    GRAV    MAT    GRAV
+//   %affinity         21%    31%     83%    54%     86%    59%
+//   #reallocations    2469   1745    2409   1780    1611   1139
+//   Realloc interval  293ms  222ms   300ms  218ms   445ms  340ms
+//   Response (s)      87.5   51.4    87.0   51.5    86.3   51.4
+//
+// Shape to reproduce: the affinity variants raise %affinity dramatically;
+// Dyn-Aff-Delay cuts #reallocations; response times stay basically equal —
+// on this-era hardware the cache penalty per switch is tiny compared to the
+// time between switches.
+
+#include <cstdio>
+
+#include "src/apps/apps.h"
+#include "src/common/table.h"
+#include "src/measure/experiment.h"
+
+using namespace affsched;
+
+int main() {
+  const MachineConfig machine = PaperMachineConfig();
+  const std::vector<AppProfile> apps = DefaultProfiles();
+  const WorkloadMix mix{.number = 5, .mva = 0, .matrix = 1, .gravity = 1};
+  const std::vector<AppProfile> jobs = mix.Expand(apps);
+
+  ReplicationOptions rep;
+  rep.min_replications = 3;
+  rep.max_replications = 5;
+
+  std::printf("=== Table 3: influence of affinity on scheduling (workload #5) ===\n\n");
+
+  std::vector<ReplicatedResult> results;
+  std::vector<std::string> names;
+  for (PolicyKind kind : DynamicFamily()) {
+    results.push_back(RunReplicated(machine, kind, jobs, 555, rep));
+    names.push_back(PolicyKindName(kind));
+  }
+
+  TextTable table;
+  std::vector<std::string> header = {"metric"};
+  for (const std::string& name : names) {
+    header.push_back(name + " MAT");
+    header.push_back(name + " GRAV");
+  }
+  table.SetHeader(header);
+
+  auto add_metric = [&](const char* label, auto get) {
+    std::vector<std::string> row = {label};
+    for (const ReplicatedResult& r : results) {
+      for (size_t j = 0; j < 2; ++j) {
+        row.push_back(get(r, j));
+      }
+    }
+    table.AddRow(row);
+  };
+
+  add_metric("%affinity", [](const ReplicatedResult& r, size_t j) {
+    return FormatPercent(r.mean_stats[j].AffinityFraction());
+  });
+  add_metric("#reallocations", [](const ReplicatedResult& r, size_t j) {
+    return std::to_string(r.mean_stats[j].reallocations);
+  });
+  add_metric("realloc interval (ms)", [](const ReplicatedResult& r, size_t j) {
+    return FormatDouble(r.mean_stats[j].ReallocationIntervalSeconds() * 1e3, 0);
+  });
+  add_metric("response time (s)", [](const ReplicatedResult& r, size_t j) {
+    return FormatDouble(r.MeanResponse(j), 1);
+  });
+
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Shape checks vs the paper: %%affinity rises sharply under the affinity\n"
+      "variants; Dyn-Aff-Delay reduces #reallocations and lengthens the\n"
+      "reallocation interval; response times are essentially unchanged.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Example: measuring the cache-affinity penalties of a *custom* application
+// with the Section 4 harness.
+//
+// Scenario: you have a new parallel application and want to know how much a
+// processor reallocation costs it — exactly the question the paper's Table 1
+// answers for MVA / MATRIX / GRAVITY. This example defines a synthetic
+// "database scan" application (large working set, fast buildup, moderate
+// steady misses), measures its P^A and P^NA across rescheduling intervals,
+// and relates them to the 750 us switch path length.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/measure_your_app
+
+#include <cstdio>
+#include <memory>
+
+#include "src/apps/apps.h"
+#include "src/common/table.h"
+#include "src/measure/section4.h"
+
+using namespace affsched;
+
+namespace {
+
+// A custom application profile: a scan-heavy job with 24 threads.
+AppProfile MakeScanProfile() {
+  AppProfile profile;
+  profile.name = "DBSCAN";
+  profile.working_set = WorkingSetParams{
+      .blocks = 3800.0,          // nearly fills the 4096-block cache
+      .buildup_tau_s = 0.020,    // touches its data quickly
+      .steady_miss_per_s = 40'000.0,  // streaming component misses steadily
+  };
+  profile.thread_overlap = 0.25;  // successive scan ranges share little
+  profile.max_parallelism = 24;
+  profile.build_graph = [](Rng& rng) {
+    auto graph = std::make_unique<ThreadGraph>();
+    for (int i = 0; i < 24; ++i) {
+      graph->AddNode(Milliseconds(rng.NextUniform(80.0, 160.0)));
+    }
+    return graph;
+  };
+  return profile;
+}
+
+}  // namespace
+
+int main() {
+  const MachineConfig machine;  // Sequent Symmetry defaults
+  const AppProfile scan = MakeScanProfile();
+  const AppProfile intervening = MakeMatrixProfile();  // a typical co-runner
+
+  std::printf("Measuring reallocation penalties for %s (working set %.0f blocks)\n\n",
+              scan.name.c_str(), scan.working_set.blocks);
+
+  TextTable table;
+  table.SetHeader({"Q (ms)", "P^NA (us)", "P^A vs MATRIX (us)", "vs switch path (750 us)"});
+  for (const double q_ms : {25.0, 100.0, 400.0}) {
+    Section4Options options;
+    options.q = Milliseconds(q_ms);
+    const CachePenalties p = MeasureCachePenalties(machine, scan, intervening, options, 99);
+    table.AddRow({FormatDouble(q_ms, 0), FormatDouble(p.pna_us, 0), FormatDouble(p.pa_us, 0),
+                  FormatDouble(p.pna_us / 750.0, 2) + "x"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf(
+      "Reading the table: if P^NA is a small multiple of the switch path\n"
+      "length and your scheduler reallocates every few hundred milliseconds,\n"
+      "cache affinity will not dominate response time (the paper's central\n"
+      "observation). If your application's working set or your machine's\n"
+      "speed/cache product is much larger, rerun with MachineConfig\n"
+      "processor_speed / cache_size_factor scaled up.\n");
+  return 0;
+}

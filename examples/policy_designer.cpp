@@ -1,0 +1,128 @@
+// Example: designing and evaluating a *custom* allocation policy against the
+// paper's line-up.
+//
+// Scenario: you suspect a middle ground between Equipartition and Dynamic —
+// a policy that repartitions equally like Equipartition, but also hands out
+// willing-to-yield processors to jobs that request them (without ever
+// preempting running work). This example implements that policy against the
+// public Policy interface and races it on workload #5.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/policy_designer
+
+#include <cstdio>
+#include <memory>
+
+#include "src/apps/apps.h"
+#include "src/common/table.h"
+#include "src/engine/engine.h"
+#include "src/sched/equipartition.h"
+#include "src/sched/factory.h"
+
+using namespace affsched;
+
+namespace {
+
+// "EquiYield": Equipartition's repartition-on-arrival/departure, plus rule
+// D.2 only — willing-to-yield processors may move to requesters, but no
+// preemption of running tasks ever happens.
+class EquiYieldPolicy : public Policy {
+ public:
+  std::string name() const override { return "Equi-Yield"; }
+
+  PolicyDecision OnJobArrival(const SchedView& view, JobId job) override {
+    return equi_.OnJobArrival(view, job);
+  }
+
+  PolicyDecision OnJobDeparture(const SchedView& view, JobId job) override {
+    return equi_.OnJobDeparture(view, job);
+  }
+
+  PolicyDecision OnProcessorAvailable(const SchedView& view, size_t proc) override {
+    PolicyDecision decision;
+    // Hand the processor to the requester with the highest priority.
+    JobId best = kInvalidJobId;
+    double best_priority = 0.0;
+    for (JobId j : view.ActiveJobs()) {
+      if (j == view.ProcessorJob(proc) || view.PendingDemand(j) == 0) {
+        continue;
+      }
+      if (best == kInvalidJobId || view.Priority(j) > best_priority) {
+        best = j;
+        best_priority = view.Priority(j);
+      }
+    }
+    if (best != kInvalidJobId) {
+      decision.assignments.push_back(Assignment{proc, best, kNoOwner});
+    }
+    return decision;
+  }
+
+  PolicyDecision OnRequest(const SchedView& view, JobId job) override {
+    PolicyDecision decision;
+    if (view.PendingDemand(job) == 0) {
+      return decision;
+    }
+    for (size_t p = 0; p < view.NumProcessors(); ++p) {
+      const JobId holder = view.ProcessorJob(p);
+      const bool free_proc = holder == kInvalidJobId;
+      const bool yielded = holder != kInvalidJobId && holder != job && view.WillingToYield(p);
+      if ((free_proc || yielded) && !view.ReassignmentPending(p)) {
+        decision.assignments.push_back(Assignment{p, job, kNoOwner});
+        return decision;
+      }
+    }
+    return decision;
+  }
+
+  bool UsesAffinity() const override { return true; }
+
+ private:
+  Equipartition equi_;
+};
+
+void Report(TextTable& table, const std::string& policy, Engine& engine) {
+  for (JobId id = 0; id < engine.job_count(); ++id) {
+    const JobStats& s = engine.job_stats(id);
+    table.AddRow({policy, engine.job_name(id), FormatDouble(s.ResponseSeconds(), 1),
+                  FormatDouble(s.waste_s, 1), std::to_string(s.reallocations),
+                  FormatPercent(s.AffinityFraction())});
+  }
+}
+
+}  // namespace
+
+int main() {
+  MachineConfig machine;
+  machine.num_processors = 16;
+
+  std::printf("Racing a custom policy on workload #5 (1 MATRIX + 1 GRAVITY)...\n\n");
+
+  TextTable table;
+  table.SetHeader({"policy", "job", "RT (s)", "waste (s)", "#realloc", "%affinity"});
+
+  for (PolicyKind kind : {PolicyKind::kEquipartition, PolicyKind::kDynAff}) {
+    Engine engine(machine, MakePolicy(kind), 42);
+    engine.SubmitJob(MakeMatrixProfile());
+    engine.SubmitJob(MakeGravityProfile());
+    engine.Run();
+    Report(table, PolicyKindName(kind), engine);
+  }
+  {
+    Engine engine(machine, std::make_unique<EquiYieldPolicy>(), 42);
+    engine.SubmitJob(MakeMatrixProfile());
+    engine.SubmitJob(MakeGravityProfile());
+    engine.Run();
+    Report(table, "Equi-Yield", engine);
+  }
+
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Equi-Yield recovers much of Dynamic's utilisation win (waste shrinks\n"
+      "versus Equipartition) without any preemption machinery — but jobs\n"
+      "cannot claim processors back on demand, so bursty jobs still wait.\n"
+      "This is the #reallocations/waste degree of freedom of Section 2 made\n"
+      "concrete with ~60 lines of policy code.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Quickstart: simulate two parallel jobs multiprogrammed on a Sequent
+// Symmetry-like machine under two allocation policies and compare the terms
+// of the paper's response-time model.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/apps/apps.h"
+#include "src/engine/engine.h"
+#include "src/measure/report.h"
+#include "src/sched/factory.h"
+
+using namespace affsched;
+
+int main() {
+  // The machine: 16 processors, 64 KB 2-way caches, 0.75 us per block fill,
+  // 750 us reallocation path length (the paper's Symmetry Model B).
+  MachineConfig machine;
+  machine.num_processors = 16;
+
+  std::printf("Simulating 1 MATRIX + 1 GRAVITY on %zu processors...\n\n",
+              machine.num_processors);
+
+  const std::string table =
+      ComparePolicies(machine,
+                      {PolicyKind::kEquipartition, PolicyKind::kDynamic, PolicyKind::kDynAff,
+                       PolicyKind::kDynAffDelay},
+                      {MakeMatrixProfile(), MakeGravityProfile()}, /*seed=*/42);
+  std::printf("%s\n", table.c_str());
+  std::printf(
+      "Expected shape (paper, Sections 5-6): the dynamic policies beat\n"
+      "Equipartition on response time; the affinity variants raise %%affinity\n"
+      "dramatically but change response time only marginally on this-era\n"
+      "hardware.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// simctl: a command-line driver for the simulator — pick a workload mix, a
+// policy, a machine, and get the full per-job report (optionally a Gantt
+// chart and a CSV event trace).
+//
+//   ./build/examples/simctl --mix=5 --policy=dyn-aff --procs=16 --gantt
+//   ./build/examples/simctl --mix=2 --policy=equi --speed=16 --cache=16
+//   ./build/examples/simctl --help
+
+#include <cstdio>
+#include <string>
+
+#include "src/apps/apps.h"
+#include "src/common/flags.h"
+#include "src/engine/engine.h"
+#include "src/measure/mixes.h"
+#include "src/measure/report.h"
+#include "src/trace/trace.h"
+
+using namespace affsched;
+
+namespace {
+
+bool PolicyFromName(const std::string& name, PolicyKind* kind) {
+  if (name == "equi") {
+    *kind = PolicyKind::kEquipartition;
+  } else if (name == "dynamic") {
+    *kind = PolicyKind::kDynamic;
+  } else if (name == "dyn-aff") {
+    *kind = PolicyKind::kDynAff;
+  } else if (name == "dyn-aff-nopri") {
+    *kind = PolicyKind::kDynAffNoPri;
+  } else if (name == "dyn-aff-delay") {
+    *kind = PolicyKind::kDynAffDelay;
+  } else if (name == "timeshare") {
+    *kind = PolicyKind::kTimeShare;
+  } else if (name == "timeshare-aff") {
+    *kind = PolicyKind::kTimeShareAff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags(
+      "simctl: run one workload mix under one policy on a configurable machine.\n"
+      "Policies: equi, dynamic, dyn-aff, dyn-aff-nopri, dyn-aff-delay,\n"
+      "timeshare, timeshare-aff. Mixes: 1-6 (Table 2 of the paper).");
+  flags.AddInt("mix", 5, "workload mix number (1-6)");
+  flags.AddString("policy", "dyn-aff", "allocation policy");
+  flags.AddInt("procs", 16, "number of processors");
+  flags.AddInt("seed", 42, "random seed");
+  flags.AddDouble("speed", 1.0, "processor speed relative to the Symmetry");
+  flags.AddDouble("cache", 1.0, "cache size relative to the Symmetry");
+  flags.AddBool("gantt", false, "render an ASCII Gantt chart");
+  flags.AddBool("csv", false, "dump the event trace as CSV to stdout");
+  if (!flags.Parse(argc, argv)) {
+    std::printf("%s\n", flags.help_requested() ? flags.Help().c_str() : flags.error().c_str());
+    return flags.help_requested() ? 0 : 1;
+  }
+
+  const int mix_number = static_cast<int>(flags.GetInt("mix"));
+  if (mix_number < 1 || mix_number > 6) {
+    std::printf("--mix must be 1-6\n");
+    return 1;
+  }
+  PolicyKind kind;
+  if (!PolicyFromName(flags.GetString("policy"), &kind)) {
+    std::printf("unknown --policy '%s'\n", flags.GetString("policy").c_str());
+    return 1;
+  }
+
+  MachineConfig machine;
+  machine.num_processors = static_cast<size_t>(flags.GetInt("procs"));
+  machine.processor_speed = flags.GetDouble("speed");
+  machine.cache_size_factor = flags.GetDouble("cache");
+
+  const WorkloadMix mix = PaperMixes()[static_cast<size_t>(mix_number - 1)];
+  std::printf("mix %s under %s on %zu processors (speed %.1fx, cache %.1fx)\n\n",
+              mix.Label().c_str(), PolicyKindName(kind).c_str(), machine.num_processors,
+              machine.processor_speed, machine.cache_size_factor);
+
+  RingTrace trace;
+  Engine engine(machine, MakePolicy(kind), static_cast<uint64_t>(flags.GetInt("seed")));
+  if (flags.GetBool("gantt") || flags.GetBool("csv")) {
+    engine.SetTraceSink(&trace);
+  }
+  for (const AppProfile& job : mix.Expand(DefaultProfiles())) {
+    engine.SubmitJob(job);
+  }
+  const SimTime end = engine.Run();
+
+  TextTable table;
+  table.SetHeader(JobReportHeader());
+  AppendJobReport(table, PolicyKindName(kind), engine);
+  std::printf("%s\nmakespan: %s\n", table.Render().c_str(), FormatDuration(end).c_str());
+
+  if (flags.GetBool("gantt")) {
+    std::printf("\n%s", trace.RenderGantt(machine.num_processors, 0, end).c_str());
+  }
+  if (flags.GetBool("csv")) {
+    std::printf("\n%s", trace.ToCsv().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Example: *seeing* the difference between the allocation policies.
+//
+// Attaches a trace to the engine, runs a short two-job workload under
+// Equipartition and Dyn-Aff, and renders ASCII Gantt charts of processor
+// occupancy plus a summary of the recorded scheduling events. Equipartition's
+// chart shows a static split with idle (held) processors at barriers;
+// Dyn-Aff's shows processors flowing between the jobs.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/trace_gantt
+
+#include <cstdio>
+#include <map>
+
+#include "src/apps/apps.h"
+#include "src/engine/engine.h"
+#include "src/sched/factory.h"
+#include "src/trace/trace.h"
+
+using namespace affsched;
+
+int main() {
+  MachineConfig machine;
+  machine.num_processors = 8;
+
+  // A short, phase-heavy pairing so the chart fits a screen: one GRAVITY-like
+  // job (barriers -> parallelism collapses) and one MATRIX-like job (steady).
+  GravityParams gravity;
+  gravity.timesteps = 4;
+  gravity.sequential_work = Milliseconds(60);
+  gravity.phase_threads = {8, 4, 4, 2};
+  gravity.phase_work = {Milliseconds(800), Milliseconds(240), Milliseconds(200),
+                        Milliseconds(100)};
+  gravity.phase_cv = {0.2, 0.1, 0.1, 0.45};
+
+  MatrixParams matrix;
+  matrix.threads = 48;
+  matrix.thread_work = Milliseconds(150);
+
+  for (PolicyKind kind : {PolicyKind::kEquipartition, PolicyKind::kDynAff}) {
+    RingTrace trace;
+    Engine engine(machine, MakePolicy(kind), 11);
+    engine.SetTraceSink(&trace);
+    const JobId grav = engine.SubmitJob(MakeGravityProfile(gravity));
+    const JobId mat = engine.SubmitJob(MakeMatrixProfile(matrix));
+    const SimTime end = engine.Run();
+
+    std::printf("=== %s ===\n", PolicyKindName(kind).c_str());
+    std::printf("job %u = GRAVITY (RT %.2f s), job %u = MATRIX (RT %.2f s)\n\n", grav,
+                engine.job_stats(grav).ResponseSeconds(), mat,
+                engine.job_stats(mat).ResponseSeconds());
+    std::printf("%s\n", trace.RenderGantt(machine.num_processors, 0, end).c_str());
+
+    // Event census.
+    std::map<TraceEventKind, size_t> census;
+    for (const TraceEvent& e : trace.Events()) {
+      ++census[e.kind];
+    }
+    std::printf("events:");
+    for (const auto& [kind_key, count] : census) {
+      std::printf(" %s=%zu", TraceEventKindName(kind_key), count);
+    }
+    std::printf("  (recorded %llu, dropped %zu)\n\n",
+                static_cast<unsigned long long>(trace.total_recorded()), trace.dropped());
+  }
+
+  std::printf(
+      "Reading the charts: under Equipartition each job keeps its half of\n"
+      "the machine (lowercase letters = processors held idle across\n"
+      "GRAVITY's barriers); under Dyn-Aff those processors flow to MATRIX\n"
+      "('*' marks the 750 us reallocation path) and return when GRAVITY's\n"
+      "next phase opens.\n");
+  return 0;
+}

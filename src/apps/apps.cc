@@ -1,0 +1,179 @@
+#include "src/apps/apps.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+namespace {
+
+// Draws a thread's work: normal around `mean` with the given coefficient of
+// variation, truncated to stay positive.
+SimDuration JitteredWork(Rng& rng, SimDuration mean, double cv) {
+  if (cv <= 0.0) {
+    return mean;
+  }
+  const double m = static_cast<double>(mean);
+  const double draw = rng.NextNormal(m, cv * m);
+  return static_cast<SimDuration>(std::max(0.05 * m, draw));
+}
+
+}  // namespace
+
+AppProfile MakeMvaProfile(const MvaParams& params) {
+  AFF_CHECK(params.grid >= 1);
+  AppProfile profile;
+  profile.name = "MVA";
+  // Calibrated to Table 1: P^NA of 914/1267/2330 us at Q = 25/100/400 ms
+  // implies ~1219/1689/3107 unique blocks touched per interval.
+  // Raw working set 4500 blocks; the 2-way occupancy cap keeps ~3150
+  // resident, matching the Table 1 fit.
+  profile.working_set = WorkingSetParams{
+      .blocks = 4500.0,
+      .buildup_tau_s = 0.052,
+      .steady_miss_per_s = 12'000.0,
+      // Wavefront cells are written once and read by two successors.
+      .shared_write_per_s = 1'000.0,
+  };
+  // Wavefront threads consume their predecessors' outputs: high reuse.
+  profile.thread_overlap = 0.70;
+  profile.max_parallelism = params.grid;
+  profile.build_graph = [params](Rng& rng) {
+    auto graph = std::make_unique<ThreadGraph>();
+    const size_t n = params.grid;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        const size_t node = graph->AddNode(JitteredWork(rng, params.node_work, params.work_cv));
+        AFF_CHECK(node == i * n + j);
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i + 1 < n) {
+          graph->AddEdge(i * n + j, (i + 1) * n + j);
+        }
+        if (j + 1 < n) {
+          graph->AddEdge(i * n + j, i * n + j + 1);
+        }
+      }
+    }
+    return graph;
+  };
+  return profile;
+}
+
+AppProfile MakeMatrixProfile(const MatrixParams& params) {
+  AFF_CHECK(params.threads >= 1);
+  AppProfile profile;
+  profile.name = "MATRIX";
+  // Blocked multiply: block size chosen so the working blocks fit the cache;
+  // hit rates are very high, so the steady miss rate is small. Table 1 P^NA:
+  // 882/1076/1679 us -> ~1176/1435/2239 blocks per interval.
+  // Raw working set 2650 blocks -> ~2250 resident under the occupancy cap.
+  profile.working_set = WorkingSetParams{
+      .blocks = 2650.0,
+      .buildup_tau_s = 0.035,
+      .steady_miss_per_s = 2'000.0,
+      // Output blocks are private to their thread; negligible sharing.
+      .shared_write_per_s = 100.0,
+  };
+  // Each thread works on a different output block: little reuse across
+  // threads.
+  profile.thread_overlap = 0.15;
+  profile.max_parallelism = params.threads;
+  profile.build_graph = [params](Rng& rng) {
+    auto graph = std::make_unique<ThreadGraph>();
+    for (size_t t = 0; t < params.threads; ++t) {
+      graph->AddNode(JitteredWork(rng, params.thread_work, params.work_cv));
+    }
+    return graph;
+  };
+  return profile;
+}
+
+AppProfile MakeGravityProfile(const GravityParams& params) {
+  AFF_CHECK(params.timesteps >= 1);
+  AFF_CHECK(params.phase_threads.size() == params.phase_work.size());
+  AFF_CHECK(params.phase_threads.size() == params.phase_cv.size());
+  AppProfile profile;
+  profile.name = "GRAVITY";
+  // Table 1 P^NA: 364/1576/2349 us -> ~485/2101/3132 blocks per interval:
+  // slow buildup (tree walks) to a large working set.
+  // Raw working set 5600 blocks -> ~3450 resident under the occupancy cap.
+  profile.working_set = WorkingSetParams{
+      .blocks = 5600.0,
+      .buildup_tau_s = 0.125,
+      .steady_miss_per_s = 20'000.0,
+      // Body updates and tree mutation invalidate sibling caches.
+      .shared_write_per_s = 2'000.0,
+  };
+  profile.thread_overlap = 0.40;
+  size_t widest = 1;
+  for (size_t c : params.phase_threads) {
+    widest = std::max(widest, c);
+  }
+  profile.max_parallelism = widest;
+  profile.build_graph = [params](Rng& rng) {
+    auto graph = std::make_unique<ThreadGraph>();
+    std::vector<size_t> previous_phase;  // nodes the next phase must wait on
+    for (size_t step = 0; step < params.timesteps; ++step) {
+      // Sequential phase (tree construction).
+      const size_t seq = graph->AddNode(JitteredWork(rng, params.sequential_work, 0.05));
+      for (size_t p : previous_phase) {
+        graph->AddEdge(p, seq);
+      }
+      previous_phase.assign(1, seq);
+      // Four parallel phases, each a barrier apart.
+      for (size_t phase = 0; phase < params.phase_threads.size(); ++phase) {
+        const size_t count = params.phase_threads[phase];
+        const SimDuration per_thread =
+            static_cast<SimDuration>(params.phase_work[phase] / static_cast<SimDuration>(count));
+        std::vector<size_t> nodes;
+        nodes.reserve(count);
+        for (size_t t = 0; t < count; ++t) {
+          const size_t node =
+              graph->AddNode(JitteredWork(rng, per_thread, params.phase_cv[phase]));
+          for (size_t p : previous_phase) {
+            graph->AddEdge(p, node);
+          }
+          nodes.push_back(node);
+        }
+        previous_phase = std::move(nodes);
+      }
+    }
+    return graph;
+  };
+  return profile;
+}
+
+std::vector<AppProfile> DefaultProfiles() {
+  return {MakeMvaProfile(), MakeMatrixProfile(), MakeGravityProfile()};
+}
+
+AppProfile MakeSmallMvaProfile() {
+  MvaParams params;
+  params.grid = 6;
+  params.node_work = Milliseconds(20);
+  return MakeMvaProfile(params);
+}
+
+AppProfile MakeSmallMatrixProfile() {
+  MatrixParams params;
+  params.threads = 12;
+  params.thread_work = Milliseconds(120);
+  return MakeMatrixProfile(params);
+}
+
+AppProfile MakeSmallGravityProfile() {
+  GravityParams params;
+  params.timesteps = 2;
+  params.sequential_work = Milliseconds(10);
+  params.phase_threads = {8, 4, 4, 2};
+  params.phase_work = {Milliseconds(400), Milliseconds(120), Milliseconds(100), Milliseconds(50)};
+  params.phase_cv = {0.2, 0.1, 0.1, 0.45};
+  return MakeGravityProfile(params);
+}
+
+}  // namespace affsched

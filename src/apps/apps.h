@@ -1,0 +1,73 @@
+// The paper's three applications, reproduced as synthetic workload generators.
+//
+// Structure (Figures 2-4):
+//   MVA     — dynamic programming; a wavefront over an N x N grid whose
+//             parallelism slowly grows to N and then slowly shrinks.
+//   MATRIX  — cache-blocked parallel matrix multiply; a large set of
+//             independent threads (massive, constant parallelism) with a very
+//             high cache hit rate thanks to blocking.
+//   GRAVITY — Barnes-Hut N-body; repeated time steps of five phases (one
+//             sequential, four parallel) separated by barrier
+//             synchronisations, with per-thread times that vary (within some
+//             phases, due to critical-section delays).
+//
+// Cache behaviour is calibrated against Table 1 of the paper: the number of
+// unique blocks an application touches in a rescheduling interval Q is
+// P^NA(Q) / 0.75 us, giving working-set size W and buildup constant theta per
+// application (see DESIGN.md section 6).
+
+#ifndef SRC_APPS_APPS_H_
+#define SRC_APPS_APPS_H_
+
+#include <vector>
+
+#include "src/workload/app_profile.h"
+
+namespace affsched {
+
+struct MvaParams {
+  // Wavefront grid side; parallelism ramps 1..grid..1.
+  size_t grid = 16;
+  // Useful work per thread (base-machine processor time).
+  SimDuration node_work = Milliseconds(400);
+  // Coefficient of variation of thread work.
+  double work_cv = 0.15;
+};
+
+struct MatrixParams {
+  // Number of independent block-product threads.
+  size_t threads = 320;
+  SimDuration thread_work = Milliseconds(2370);
+  double work_cv = 0.02;
+};
+
+struct GravityParams {
+  size_t timesteps = 30;
+  // Sequential phase (tree build) per time step.
+  SimDuration sequential_work = Milliseconds(150);
+  // Thread counts of the four parallel phases of each time step.
+  std::vector<size_t> phase_threads = {32, 16, 16, 8};
+  // Total useful work of each parallel phase (split across its threads).
+  std::vector<SimDuration> phase_work = {Seconds(8.0), Seconds(2.0), Seconds(1.6), Seconds(0.667)};
+  // Per-phase coefficient of variation of thread time ("thread times depend on
+  // synchronization delays for critical sections" in some phases).
+  std::vector<double> phase_cv = {0.20, 0.10, 0.10, 0.45};
+};
+
+AppProfile MakeMvaProfile(const MvaParams& params = {});
+AppProfile MakeMatrixProfile(const MatrixParams& params = {});
+AppProfile MakeGravityProfile(const GravityParams& params = {});
+
+// The three applications with paper-calibrated defaults, in the order
+// {MVA, MATRIX, GRAVITY} used by the workload-mix tables.
+std::vector<AppProfile> DefaultProfiles();
+
+// Small variants (seconds of total work instead of hundreds) for unit and
+// integration tests.
+AppProfile MakeSmallMvaProfile();
+AppProfile MakeSmallMatrixProfile();
+AppProfile MakeSmallGravityProfile();
+
+}  // namespace affsched
+
+#endif  // SRC_APPS_APPS_H_

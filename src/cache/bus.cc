@@ -1,0 +1,43 @@
+#include "src/cache/bus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+SharedBus::SharedBus(const Config& config) : config_(config) {
+  AFF_CHECK(config_.transfer_seconds >= 0.0);
+  AFF_CHECK(config_.window_seconds > 0.0);
+  AFF_CHECK(config_.max_inflation >= 1.0);
+}
+
+void SharedBus::DecayTo(SimTime now) {
+  if (now <= last_update_) {
+    return;
+  }
+  const double elapsed = ToSeconds(now - last_update_);
+  window_busy_seconds_ *= std::exp(-elapsed / config_.window_seconds);
+  last_update_ = now;
+}
+
+void SharedBus::RecordTraffic(SimTime now, double misses) {
+  AFF_CHECK(misses >= 0.0);
+  DecayTo(now);
+  window_busy_seconds_ += misses * config_.transfer_seconds;
+}
+
+double SharedBus::Utilization(SimTime now) {
+  DecayTo(now);
+  // Busy time accumulated over an exponential window of mean `window_seconds`
+  // approximates (busy time)/(elapsed time) when divided by the window length.
+  return std::min(0.99, window_busy_seconds_ / config_.window_seconds);
+}
+
+double SharedBus::InflationFactor(SimTime now) {
+  const double u = Utilization(now);
+  return std::min(config_.max_inflation, 1.0 / (1.0 - u));
+}
+
+}  // namespace affsched

@@ -1,0 +1,53 @@
+// Shared-bus contention model.
+//
+// The Symmetry's processors share a single bus to memory; heavy miss traffic
+// from any processor lengthens everyone's miss service time. We track bus
+// busy time in an exponentially-decaying window and inflate miss service by a
+// capped M/M/1-style factor 1/(1-U). Section 2 of the paper notes that
+// contention folds into the `work` term of the response-time model — in our
+// simulator it folds in the same way, by lengthening chunk wall time.
+
+#ifndef SRC_CACHE_BUS_H_
+#define SRC_CACHE_BUS_H_
+
+#include "src/common/time.h"
+
+namespace affsched {
+
+class SharedBus {
+ public:
+  struct Config {
+    // Bus occupancy per block transfer (part of the 0.75 us miss service).
+    double transfer_seconds = 0.45e-6;
+    // Averaging window for utilisation.
+    double window_seconds = 10e-3;
+    // Cap on the service-time inflation factor.
+    double max_inflation = 4.0;
+  };
+
+  explicit SharedBus(const Config& config);
+  SharedBus() : SharedBus(Config{}) {}
+
+  // Records `misses` block transfers occurring around time `now`.
+  void RecordTraffic(SimTime now, double misses);
+
+  // Estimated bus utilisation in [0, 1).
+  double Utilization(SimTime now);
+
+  // Multiplier applied to the uncontended miss service time.
+  double InflationFactor(SimTime now);
+
+  const Config& config() const { return config_; }
+
+ private:
+  void DecayTo(SimTime now);
+
+  Config config_;
+  SimTime last_update_ = 0;
+  // Accumulated busy seconds, exponentially decayed with the window constant.
+  double window_busy_seconds_ = 0.0;
+};
+
+}  // namespace affsched
+
+#endif  // SRC_CACHE_BUS_H_

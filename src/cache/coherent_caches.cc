@@ -1,0 +1,129 @@
+#include "src/cache/coherent_caches.h"
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+CoherentCaches::CoherentCaches(size_t num_caches, const CacheGeometry& geometry)
+    : geometry_(geometry) {
+  AFF_CHECK(num_caches >= 1);
+  AFF_CHECK(num_caches <= 64);  // sharer bitmask width
+  caches_.reserve(num_caches);
+  for (size_t i = 0; i < num_caches; ++i) {
+    caches_.push_back(std::make_unique<ExactCache>(geometry));
+  }
+}
+
+void CoherentCaches::NoteEviction(size_t cache_index, CacheOwner owner, uint64_t block) {
+  auto it = directory_.find(Key{owner, block});
+  if (it == directory_.end()) {
+    return;
+  }
+  LineState& state = it->second;
+  state.sharers &= ~(1ull << cache_index);
+  if (state.dirty_cache == static_cast<int>(cache_index)) {
+    // Copy-back of the dirty line to memory.
+    state.dirty_cache = -1;
+    ++total_bus_transfers_;
+  }
+  if (state.sharers == 0) {
+    directory_.erase(it);
+  }
+}
+
+CoherentCaches::AccessResult CoherentCaches::Access(size_t cache_index, CacheOwner owner,
+                                                    uint64_t block, AccessType type) {
+  AFF_CHECK(cache_index < caches_.size());
+  AccessResult result;
+  LineState& state = directory_[Key{owner, block}];
+  const uint64_t self_bit = 1ull << cache_index;
+
+  const bool locally_resident = (state.sharers & self_bit) != 0;
+  result.hit = locally_resident && (type == AccessType::kRead ||
+                                    state.dirty_cache == static_cast<int>(cache_index) ||
+                                    state.sharers == self_bit);
+
+  if (type == AccessType::kWrite) {
+    // Invalidate every other sharer.
+    for (size_t c = 0; c < caches_.size(); ++c) {
+      if (c == cache_index || (state.sharers & (1ull << c)) == 0) {
+        continue;
+      }
+      const bool was_resident = caches_[c]->InvalidateBlock(owner, block);
+      AFF_CHECK(was_resident);
+      state.sharers &= ~(1ull << c);
+      ++result.remote_invalidations;
+      ++total_invalidations_;
+    }
+    state.dirty_cache = static_cast<int>(cache_index);
+  } else if (state.dirty_cache >= 0 && state.dirty_cache != static_cast<int>(cache_index)) {
+    // Another cache holds the only valid copy: it supplies the data and the
+    // line becomes clean-shared.
+    result.dirty_supply = true;
+    ++total_dirty_supplies_;
+    ++total_bus_transfers_;
+    state.dirty_cache = -1;
+  }
+
+  if (!locally_resident) {
+    // Fill the local cache; the fill may evict another line, which must be
+    // reflected in the directory.
+    const ExactCache::AccessResult fill = caches_[cache_index]->Access(owner, block);
+    AFF_CHECK(!fill.hit);
+    ++total_bus_transfers_;
+    if (fill.evicted_owner != kNoOwner) {
+      NoteEviction(cache_index, fill.evicted_owner, fill.evicted_block);
+    }
+    state.sharers = directory_[Key{owner, block}].sharers | self_bit;
+    directory_[Key{owner, block}].sharers = state.sharers;
+    if (type == AccessType::kWrite) {
+      directory_[Key{owner, block}].dirty_cache = static_cast<int>(cache_index);
+    }
+  } else {
+    // Refresh LRU recency in the local cache.
+    const ExactCache::AccessResult touch = caches_[cache_index]->Access(owner, block);
+    AFF_CHECK(touch.hit);
+  }
+  return result;
+}
+
+bool CoherentCaches::ResidentIn(size_t cache_index, CacheOwner owner, uint64_t block) const {
+  AFF_CHECK(cache_index < caches_.size());
+  return caches_[cache_index]->Contains(owner, block);
+}
+
+size_t CoherentCaches::SharerCount(CacheOwner owner, uint64_t block) const {
+  auto it = directory_.find(Key{owner, block});
+  if (it == directory_.end()) {
+    return 0;
+  }
+  size_t count = 0;
+  for (uint64_t mask = it->second.sharers; mask != 0; mask &= mask - 1) {
+    ++count;
+  }
+  return count;
+}
+
+bool CoherentCaches::DirtyIn(size_t cache_index, CacheOwner owner, uint64_t block) const {
+  auto it = directory_.find(Key{owner, block});
+  return it != directory_.end() && it->second.dirty_cache == static_cast<int>(cache_index);
+}
+
+bool CoherentCaches::CheckConsistency() const {
+  for (const auto& [key, state] : directory_) {
+    for (size_t c = 0; c < caches_.size(); ++c) {
+      const bool directory_says = (state.sharers & (1ull << c)) != 0;
+      const bool cache_says = caches_[c]->Contains(key.first, key.second);
+      if (directory_says != cache_says) {
+        return false;
+      }
+    }
+    if (state.dirty_cache >= 0 &&
+        (state.sharers & (1ull << static_cast<size_t>(state.dirty_cache))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace affsched

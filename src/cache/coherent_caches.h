@@ -1,0 +1,88 @@
+// Invalidation-based cache coherence over a set of exact caches.
+//
+// The Sequent Symmetry Model B "uses a copy-back, invalidation-based
+// coherency protocol" (Section 3). This class coordinates one ExactCache per
+// processor under a simplified MSI discipline:
+//   * reads fill the local cache; if another cache holds the line dirty, the
+//     data is supplied over the bus (counted as a bus transfer) and the line
+//     becomes shared/clean;
+//   * writes invalidate every other cache's copy (counted per invalidation)
+//     and mark the local line dirty;
+//   * evictions and explicit invalidations keep the sharing directory in
+//     sync.
+//
+// Within this layer, `owner` identifies a *sharing domain* (a job's address
+// space), so the same (owner, block) line may be resident in several caches —
+// unlike the raw ExactCache, whose owners never share.
+//
+// This is the mechanistic ground truth behind the footprint model's
+// `shared_write_per_s` erosion term (validated in tests/cache/
+// coherent_caches_test.cc).
+
+#ifndef SRC_CACHE_COHERENT_CACHES_H_
+#define SRC_CACHE_COHERENT_CACHES_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/cache/exact_cache.h"
+
+namespace affsched {
+
+class CoherentCaches {
+ public:
+  CoherentCaches(size_t num_caches, const CacheGeometry& geometry);
+
+  enum class AccessType { kRead, kWrite };
+
+  struct AccessResult {
+    bool hit = false;
+    // Copies invalidated in other caches (writes only).
+    size_t remote_invalidations = 0;
+    // Data supplied by another cache that held the line dirty.
+    bool dirty_supply = false;
+  };
+
+  AccessResult Access(size_t cache_index, CacheOwner owner, uint64_t block, AccessType type);
+
+  // State inspection.
+  bool ResidentIn(size_t cache_index, CacheOwner owner, uint64_t block) const;
+  size_t SharerCount(CacheOwner owner, uint64_t block) const;
+  bool DirtyIn(size_t cache_index, CacheOwner owner, uint64_t block) const;
+
+  const ExactCache& cache(size_t index) const { return *caches_[index]; }
+  size_t num_caches() const { return caches_.size(); }
+
+  // Protocol counters.
+  uint64_t total_invalidations() const { return total_invalidations_; }
+  uint64_t total_dirty_supplies() const { return total_dirty_supplies_; }
+  uint64_t total_bus_transfers() const { return total_bus_transfers_; }
+
+  // Directory/cache consistency check for tests: every directory entry's
+  // sharers actually hold the line, and vice versa.
+  bool CheckConsistency() const;
+
+ private:
+  struct LineState {
+    uint64_t sharers = 0;  // bitmask over caches
+    int dirty_cache = -1;  // index holding the line dirty; -1 if clean
+  };
+
+  using Key = std::pair<CacheOwner, uint64_t>;
+
+  // Reconciles the directory after `cache_index` evicted a line.
+  void NoteEviction(size_t cache_index, CacheOwner owner, uint64_t block);
+
+  CacheGeometry geometry_;
+  std::vector<std::unique_ptr<ExactCache>> caches_;
+  std::map<Key, LineState> directory_;
+  uint64_t total_invalidations_ = 0;
+  uint64_t total_dirty_supplies_ = 0;
+  uint64_t total_bus_transfers_ = 0;
+};
+
+}  // namespace affsched
+
+#endif  // SRC_CACHE_COHERENT_CACHES_H_

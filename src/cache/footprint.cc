@@ -1,0 +1,152 @@
+#include "src/cache/footprint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+FootprintCache::FootprintCache(double capacity_blocks, size_t ways)
+    : capacity_(capacity_blocks), ways_(ways) {
+  AFF_CHECK(capacity_ > 0.0);
+  AFF_CHECK(ways_ >= 1);
+}
+
+double FootprintCache::MaxResident(double blocks) const {
+  if (blocks <= 0.0) {
+    return 0.0;
+  }
+  const double sets = capacity_ / static_cast<double>(ways_);
+  const double lambda = blocks / sets;
+  // E[min(K, ways)] for K ~ Poisson(lambda):
+  //   sum_{k < ways} k p_k + ways * (1 - sum_{k < ways} p_k).
+  double p = std::exp(-lambda);  // P(K = 0)
+  double cdf = p;
+  double partial_mean = 0.0;
+  for (size_t k = 1; k < ways_; ++k) {
+    p *= lambda / static_cast<double>(k);
+    cdf += p;
+    partial_mean += static_cast<double>(k) * p;
+  }
+  const double expected = partial_mean + static_cast<double>(ways_) * (1.0 - cdf);
+  return std::min(blocks, sets * expected);
+}
+
+double FootprintCache::Resident(CacheOwner owner) const {
+  auto it = resident_.find(owner);
+  return it == resident_.end() ? 0.0 : it->second;
+}
+
+void FootprintCache::SetResidentInternal(CacheOwner owner, double blocks) {
+  auto it = resident_.find(owner);
+  const double old = it == resident_.end() ? 0.0 : it->second;
+  occupied_ += blocks - old;
+  if (blocks <= 0.0) {
+    if (it != resident_.end()) {
+      resident_.erase(it);
+    }
+  } else if (it == resident_.end()) {
+    resident_.emplace(owner, blocks);
+  } else {
+    it->second = blocks;
+  }
+}
+
+void FootprintCache::SetResident(CacheOwner owner, double blocks) {
+  AFF_CHECK(blocks >= 0.0 && blocks <= capacity_);
+  SetResidentInternal(owner, blocks);
+}
+
+FootprintCache::ChunkResult FootprintCache::RunChunk(CacheOwner owner,
+                                                     const WorkingSetParams& ws,
+                                                     double seconds) {
+  AFF_CHECK(owner != kNoOwner);
+  AFF_CHECK(seconds >= 0.0);
+  ChunkResult result;
+  if (seconds == 0.0) {
+    return result;
+  }
+
+  const double w_eff = MaxResident(ws.blocks);
+  const double f = Resident(owner);
+  const double touch_fraction =
+      ws.buildup_tau_s > 0.0 ? 1.0 - std::exp(-seconds / ws.buildup_tau_s) : 1.0;
+  result.reload_misses = std::max(0.0, (w_eff - f) * touch_fraction);
+  result.steady_misses = ws.steady_miss_per_s * seconds;
+
+  // Every insertion lands in a (set-associatively constrained) location that
+  // may hold another task's line, so other owners' footprints decay by
+  // (1 - 1/C) per insertion even when the cache is not globally full. This
+  // random-replacement approximation tracks the exact 2-way LRU cache far
+  // better than a "fill free lines first" model, which both under-ejects in
+  // mid regimes (set conflicts evict despite global free space) and
+  // over-ejects in saturated ones (a streaming task also evicts its own
+  // lines). Validated in tests/cache/footprint_vs_exact_test.cc. The running
+  // task's own recent blocks are MRU and modelled as protected.
+  const double new_self = std::min(w_eff, f + result.reload_misses);
+  const double evicting = result.reload_misses + result.steady_misses;
+  if (evicting > 0.0 && !resident_.empty()) {
+    const double survival = std::pow(1.0 - 1.0 / capacity_, evicting);
+    double others = 0.0;
+    for (auto it = resident_.begin(); it != resident_.end();) {
+      if (it->first == owner) {
+        ++it;
+        continue;
+      }
+      it->second *= survival;
+      if (it->second < 1e-9) {
+        occupied_ -= it->second;
+        it = resident_.erase(it);
+      } else {
+        others += it->second;
+        ++it;
+      }
+    }
+    occupied_ = others + Resident(owner);
+  }
+  SetResidentInternal(owner, new_self);
+
+  // Numerical safety: keep total occupancy within capacity by squeezing the
+  // owners other than the one that just ran.
+  if (occupied_ > capacity_) {
+    const double excess = occupied_ - capacity_;
+    double others = occupied_ - new_self;
+    if (others > 0.0) {
+      const double scale = std::max(0.0, (others - excess) / others);
+      for (auto& [o, blocks] : resident_) {
+        if (o != owner) {
+          blocks *= scale;
+        }
+      }
+      occupied_ = new_self + others * scale;
+    } else {
+      SetResidentInternal(owner, capacity_);
+    }
+  }
+  return result;
+}
+
+void FootprintCache::Flush() {
+  resident_.clear();
+  occupied_ = 0.0;
+}
+
+void FootprintCache::EjectFraction(CacheOwner owner, double fraction) {
+  AFF_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  SetResidentInternal(owner, Resident(owner) * (1.0 - fraction));
+}
+
+void FootprintCache::EjectBlocks(CacheOwner owner, double blocks) {
+  AFF_CHECK(blocks >= 0.0);
+  SetResidentInternal(owner, std::max(0.0, Resident(owner) - blocks));
+}
+
+void FootprintCache::ReplaceOwnerData(CacheOwner owner, double keep_fraction) {
+  AFF_CHECK(keep_fraction >= 0.0 && keep_fraction <= 1.0);
+  SetResidentInternal(owner, Resident(owner) * keep_fraction);
+}
+
+void FootprintCache::RemoveOwner(CacheOwner owner) { SetResidentInternal(owner, 0.0); }
+
+}  // namespace affsched

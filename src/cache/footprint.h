@@ -1,0 +1,116 @@
+// Working-set "footprint" cache model.
+//
+// This is the cache substrate the scheduling experiments run on. Instead of
+// simulating each memory reference, it tracks — per processor cache — how many
+// blocks of each task's working set are resident, and evolves those footprints
+// when a task executes:
+//
+//   * A task's references follow a working-set curve: in `d` seconds of useful
+//     execution it touches u(d) = W * (1 - exp(-d / theta)) distinct blocks
+//     of its working set of W blocks. If a fraction of the working set is not
+//     resident (the task migrated, or an intervening task ejected its data),
+//     the touched-but-absent blocks are *reload misses*:
+//         reload(d) = (W_eff - f) * (1 - exp(-d / theta)),
+//     where f is the current resident footprint and W_eff = min(W, capacity).
+//   * W_eff = MaxResident(W): set-associative self-conflict caps how much of
+//     a working set can be resident at once (Poisson occupancy per set).
+//   * Independent of reloads, the task incurs *steady-state misses* at rate m
+//     per second (capacity/conflict/coherence misses of its own algorithm;
+//     near zero for cache-blocked MATRIX).
+//   * Every insertion lands in a set that may hold another task's line, so
+//     other owners' footprints decay by (1 - 1/C) per insertion — even when
+//     the cache is not globally full. The running task's own recent blocks
+//     are most-recently-used and modelled as protected.
+//
+// These dynamics reproduce the paper's Table 1 phenomenology: the penalty for
+// resuming without affinity grows with rescheduling interval Q (more blocks
+// touched per interval => more to reload), and the penalty *with* affinity
+// also grows with Q (the intervening task runs longer and ejects more).
+// The exponential-ejection approximation is validated against ExactCache in
+// tests/cache/footprint_vs_exact_test.cc and bench/bench_calibration_cache.cc.
+
+#ifndef SRC_CACHE_FOOTPRINT_H_
+#define SRC_CACHE_FOOTPRINT_H_
+
+#include <unordered_map>
+
+#include "src/cache/exact_cache.h"
+
+namespace affsched {
+
+// Cache-behaviour parameters of one task (one worker of an application).
+struct WorkingSetParams {
+  // Maximum working set, in cache blocks.
+  double blocks = 0.0;
+  // Time constant (seconds) of working-set buildup: u(d) = W(1-exp(-d/theta)).
+  double buildup_tau_s = 0.05;
+  // Steady-state miss rate, misses per second of useful execution.
+  double steady_miss_per_s = 0.0;
+  // Writes per second to data shared with sibling workers of the same job.
+  // Under the Symmetry's invalidation-based coherency protocol each such
+  // write invalidates the line in every other cache holding it, eroding
+  // sibling workers' footprints (and later costing them reload misses).
+  double shared_write_per_s = 0.0;
+};
+
+class FootprintCache {
+ public:
+  explicit FootprintCache(double capacity_blocks, size_t ways = 2);
+
+  // Maximum resident footprint a working set of `blocks` distinct blocks can
+  // achieve in this cache: with random set placement the number of a task's
+  // blocks mapping to one set is ~Poisson(blocks/sets), and at most `ways` of
+  // them can be resident, so the cap is sets x E[min(K, ways)]. Matches the
+  // exact 2-way cache's self-conflict behaviour (validated in tests).
+  double MaxResident(double blocks) const;
+
+  struct ChunkResult {
+    double reload_misses = 0.0;
+    double steady_misses = 0.0;
+    double TotalMisses() const { return reload_misses + steady_misses; }
+  };
+
+  // Evolves the cache as `owner` executes for `seconds` of useful time.
+  ChunkResult RunChunk(CacheOwner owner, const WorkingSetParams& ws, double seconds);
+
+  // Current resident footprint of `owner`, in blocks.
+  double Resident(CacheOwner owner) const;
+
+  // Total resident blocks across owners.
+  double Occupied() const { return occupied_; }
+
+  double capacity() const { return capacity_; }
+
+  // Invalidates the entire cache (the Section 4 "migrating" treatment).
+  void Flush();
+
+  // Removes `fraction` (in [0,1]) of `owner`'s footprint.
+  void EjectFraction(CacheOwner owner, double fraction);
+
+  // Removes up to `blocks` of `owner`'s footprint (coherence invalidations
+  // arriving from another processor's cache).
+  void EjectBlocks(CacheOwner owner, double blocks);
+
+  // Models thread turnover within a worker: the next thread reuses only
+  // `keep_fraction` of the worker's current data; the rest is dead and its
+  // lines are released.
+  void ReplaceOwnerData(CacheOwner owner, double keep_fraction);
+
+  // Removes all state for `owner` (task exit).
+  void RemoveOwner(CacheOwner owner);
+
+  // Test hook: force a resident footprint.
+  void SetResident(CacheOwner owner, double blocks);
+
+ private:
+  void SetResidentInternal(CacheOwner owner, double blocks);
+
+  double capacity_;
+  size_t ways_;
+  double occupied_ = 0.0;
+  std::unordered_map<CacheOwner, double> resident_;
+};
+
+}  // namespace affsched
+
+#endif  // SRC_CACHE_FOOTPRINT_H_

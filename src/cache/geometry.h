@@ -1,0 +1,42 @@
+// Cache geometry description.
+//
+// Defaults model the Sequent Symmetry Model B: each processor has a 64-Kbyte
+// 2-way set-associative cache with 16-byte lines (4096 lines, 2048 sets), and
+// fetching one block from main memory takes 0.75 us in the absence of bus
+// contention, so a full cache fill costs 4096 x 0.75 us = 3.072 ms.
+
+#ifndef SRC_CACHE_GEOMETRY_H_
+#define SRC_CACHE_GEOMETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/check.h"
+#include "src/common/time.h"
+
+namespace affsched {
+
+struct CacheGeometry {
+  size_t line_bytes = 16;
+  size_t total_bytes = 64 * 1024;
+  size_t ways = 2;
+
+  size_t TotalLines() const { return total_bytes / line_bytes; }
+  size_t NumSets() const {
+    AFF_CHECK(TotalLines() % ways == 0);
+    return TotalLines() / ways;
+  }
+};
+
+// Per-block miss service time on the Symmetry (uncontended).
+inline constexpr SimDuration kSymmetryMissService = Microseconds(0.75);
+
+// Kernel path-length cost of a processor reallocation (context switch).
+inline constexpr SimDuration kSymmetrySwitchCost = Microseconds(750);
+
+// Time to entirely fill a Symmetry cache: 4096 blocks x 0.75 us.
+inline constexpr SimDuration kSymmetryFullFill = 4096 * kSymmetryMissService;
+
+}  // namespace affsched
+
+#endif  // SRC_CACHE_GEOMETRY_H_

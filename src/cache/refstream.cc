@@ -1,0 +1,48 @@
+#include "src/cache/refstream.h"
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+ReferenceStream::ReferenceStream(const ReferenceStreamParams& params, uint64_t seed)
+    : params_(params), rng_(seed) {
+  AFF_CHECK(params_.working_set_blocks > 0);
+  AFF_CHECK(params_.streaming_fraction >= 0.0 && params_.streaming_fraction <= 1.0);
+  AFF_CHECK(params_.address_space_blocks > params_.working_set_blocks);
+  working_set_.reserve(params_.working_set_blocks);
+  for (size_t i = 0; i < params_.working_set_blocks; ++i) {
+    working_set_.push_back(RandomWorkingBlock());
+  }
+}
+
+uint64_t ReferenceStream::RandomWorkingBlock() {
+  // Working-set blocks are random draws from the lower half of the address
+  // space: random set placement, like a virtually-addressed working set.
+  // (Collisions are vanishingly rare in a 2^39-block region and harmless.)
+  return rng_.NextBounded(params_.address_space_blocks / 2);
+}
+
+uint64_t ReferenceStream::FreshBlock() {
+  // Streaming references walk a private sequential region in the upper half
+  // of the address space, so they never re-hit anything.
+  const uint64_t base = params_.address_space_blocks / 2;
+  return base + next_fresh_++;
+}
+
+uint64_t ReferenceStream::Next() {
+  if (params_.streaming_fraction > 0.0 && rng_.NextBernoulli(params_.streaming_fraction)) {
+    return FreshBlock() % params_.address_space_blocks;
+  }
+  return working_set_[rng_.NextBounded(working_set_.size())];
+}
+
+void ReferenceStream::TurnOver(double keep_fraction) {
+  AFF_CHECK(keep_fraction >= 0.0 && keep_fraction <= 1.0);
+  const size_t keep = static_cast<size_t>(keep_fraction *
+                                          static_cast<double>(working_set_.size()));
+  for (size_t i = keep; i < working_set_.size(); ++i) {
+    working_set_[i] = RandomWorkingBlock();
+  }
+}
+
+}  // namespace affsched

@@ -1,0 +1,64 @@
+// Synthetic memory-reference streams.
+//
+// Drives the exact set-associative cache with per-reference address streams
+// that realise the same statistical model the footprint cache uses
+// analytically:
+//   * a working set of W distinct blocks, each reference drawn uniformly
+//     from it — so the number of distinct blocks touched in n references is
+//     W(1 - (1 - 1/W)^n) ~ W(1 - e^(-n/W)): the exponential working-set
+//     buildup curve, with time constant tau = W / rate;
+//   * a streaming component: with probability `streaming_fraction` a
+//     reference goes to a fresh block outside the working set (compulsory
+//     miss), realising the steady-state miss rate;
+//   * thread turnover: TurnOver(keep) replaces (1-keep) of the working set,
+//     modelling a worker picking up its next user-level thread.
+//
+// Used by the Section 4 "exact" harness (src/measure/section4_exact.h) to
+// cross-validate the footprint-based Table 1 measurements reference by
+// reference.
+
+#ifndef SRC_CACHE_REFSTREAM_H_
+#define SRC_CACHE_REFSTREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace affsched {
+
+struct ReferenceStreamParams {
+  // Working-set size, in cache blocks.
+  size_t working_set_blocks = 2000;
+  // Probability that a reference streams to a fresh, never-reused block.
+  double streaming_fraction = 0.0;
+  // Size of the block address space fresh blocks are drawn from.
+  uint64_t address_space_blocks = 1ull << 40;
+};
+
+class ReferenceStream {
+ public:
+  ReferenceStream(const ReferenceStreamParams& params, uint64_t seed);
+
+  // Next block address to reference.
+  uint64_t Next();
+
+  // Replaces (1 - keep_fraction) of the working set with fresh blocks.
+  void TurnOver(double keep_fraction);
+
+  const std::vector<uint64_t>& working_set() const { return working_set_; }
+
+ private:
+  uint64_t RandomWorkingBlock();
+  uint64_t FreshBlock();
+
+  ReferenceStreamParams params_;
+  Rng rng_;
+  std::vector<uint64_t> working_set_;
+  uint64_t next_fresh_ = 0;  // sequential region for streaming references
+};
+
+}  // namespace affsched
+
+#endif  // SRC_CACHE_REFSTREAM_H_

@@ -1,0 +1,37 @@
+// Always-on assertion macros for invariant checking.
+//
+// Simulation correctness depends on internal invariants (allocation tables
+// consistent, footprints within cache capacity, event times monotone). These
+// are cheap relative to the simulation work, so they stay enabled in release
+// builds.
+
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace affsched {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace affsched
+
+#define AFF_CHECK(expr)                                   \
+  do {                                                    \
+    if (!(expr)) {                                        \
+      ::affsched::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                     \
+  } while (0)
+
+#define AFF_CHECK_MSG(expr, msg)                         \
+  do {                                                   \
+    if (!(expr)) {                                       \
+      ::affsched::CheckFailed(__FILE__, __LINE__, msg);  \
+    }                                                    \
+  } while (0)
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// We avoid <random> engines in the hot path both for speed and so that results
+// are identical across standard library implementations. The generator is
+// xoshiro256** seeded via SplitMix64; distributions are implemented directly.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace affsched {
+
+// SplitMix64 step, used for seeding and for cheap stateless hashing.
+uint64_t SplitMix64(uint64_t& state);
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm),
+// reimplemented here. Passes BigCrush; period 2^256 - 1.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform on [0, 2^64).
+  uint64_t NextU64();
+
+  // Uniform on [0, bound) without modulo bias (Lemire's method).
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform on [0, 1).
+  double NextDouble();
+
+  // Uniform on [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  // Exponential with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Standard normal via Marsaglia polar method.
+  double NextNormal(double mean, double stddev);
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  // Creates an independent stream: useful for giving each job its own RNG so
+  // that policy choice does not perturb the workload's random draws.
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+  // Cached second value from the polar method.
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace affsched
+
+#endif  // SRC_COMMON_RNG_H_

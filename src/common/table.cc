@@ -1,0 +1,74 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+void TextTable::SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  AFF_CHECK(header_.empty() || row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddRow(std::initializer_list<std::string> row) {
+  AddRow(std::vector<std::string>(row));
+}
+
+std::string TextTable::Render() const {
+  const size_t cols = header_.empty() ? (rows_.empty() ? 0 : rows_[0].size()) : header_.size();
+  std::vector<size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size() && c < cols; ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  if (!header_.empty()) {
+    widen(header_);
+  }
+  for (const auto& row : rows_) {
+    widen(row);
+  }
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << cell;
+      if (c + 1 < cols) {
+        out << std::string(width[c] - cell.size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    size_t total = 0;
+    for (size_t c = 0; c < cols; ++c) {
+      total += width[c] + (c + 1 < cols ? 2 : 0);
+    }
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return out.str();
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace affsched

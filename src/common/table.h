@@ -1,0 +1,43 @@
+// ASCII table rendering for benchmark output.
+//
+// The benchmark binaries print the same rows the paper's tables report; this
+// helper keeps their formatting consistent and readable.
+
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace affsched {
+
+class TextTable {
+ public:
+  // Sets the header row. Column count is fixed by the header.
+  void SetHeader(std::vector<std::string> header);
+
+  // Appends a data row; must match the header's column count.
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats each cell with %g / %s as appropriate.
+  void AddRow(std::initializer_list<std::string> row);
+
+  // Renders the table with column alignment and a separator under the header.
+  std::string Render() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given precision (fixed notation).
+std::string FormatDouble(double value, int precision = 2);
+
+// Formats a percentage, e.g. 0.83 -> "83%".
+std::string FormatPercent(double fraction, int precision = 0);
+
+}  // namespace affsched
+
+#endif  // SRC_COMMON_TABLE_H_

@@ -1,0 +1,23 @@
+#include "src/common/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace affsched {
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  const double abs_d = std::abs(static_cast<double>(d));
+  if (abs_d >= static_cast<double>(kSecond)) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", ToSeconds(d));
+  } else if (abs_d >= static_cast<double>(kMillisecond)) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", ToMilliseconds(d));
+  } else if (abs_d >= static_cast<double>(kMicrosecond)) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", ToMicroseconds(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace affsched

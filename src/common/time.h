@@ -1,0 +1,58 @@
+// Simulated-time types and conversions.
+//
+// All simulation time is kept in integer nanoseconds so that event ordering is
+// exact and runs are bit-for-bit reproducible. Helpers convert to and from the
+// units the paper uses (microseconds for cache penalties, milliseconds for
+// quanta, seconds for response times).
+
+#ifndef SRC_COMMON_TIME_H_
+#define SRC_COMMON_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace affsched {
+
+// A point in simulated time, in nanoseconds since simulation start.
+using SimTime = int64_t;
+
+// A length of simulated time, in nanoseconds.
+using SimDuration = int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+inline constexpr SimTime kTimeInfinite = INT64_MAX;
+
+constexpr SimDuration Microseconds(double us) {
+  return static_cast<SimDuration>(us * static_cast<double>(kMicrosecond));
+}
+
+constexpr SimDuration Milliseconds(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+
+constexpr SimDuration Seconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+constexpr double ToMicroseconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+constexpr double ToMilliseconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+// Renders a duration with an adaptive unit, e.g. "750 us", "3.07 ms", "51.4 s".
+std::string FormatDuration(SimDuration d);
+
+}  // namespace affsched
+
+#endif  // SRC_COMMON_TIME_H_

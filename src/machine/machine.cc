@@ -1,0 +1,62 @@
+#include "src/machine/machine.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+Machine::Machine(const MachineConfig& config) : config_(config), bus_(config.bus) {
+  AFF_CHECK(config_.num_processors >= 1);
+  AFF_CHECK(config_.processor_speed > 0.0);
+  AFF_CHECK(config_.cache_size_factor > 0.0);
+  processors_.reserve(config_.num_processors);
+  for (size_t i = 0; i < config_.num_processors; ++i) {
+    processors_.emplace_back(i, config_.CapacityBlocks(), config_.geometry.ways,
+                             config_.task_history_depth);
+  }
+}
+
+Processor& Machine::processor(size_t i) {
+  AFF_CHECK(i < processors_.size());
+  return processors_[i];
+}
+
+Machine::ChunkExecution Machine::ExecuteChunk(SimTime now, size_t proc, CacheOwner owner,
+                                              const WorkingSetParams& ws, SimDuration work,
+                                              const std::vector<SiblingPlacement>* siblings) {
+  AFF_CHECK(work >= 0);
+  Processor& p = processor(proc);
+  // Footprint evolution is driven by the *work* performed (same blocks get
+  // touched for the same amount of computation regardless of clock rate).
+  const FootprintCache::ChunkResult misses = p.cache().RunChunk(owner, ws, ToSeconds(work));
+
+  // Coherence: writes to shared data invalidate sibling workers' copies in
+  // their caches. The invalidations travel over the shared bus.
+  double invalidations = 0.0;
+  if (ws.shared_write_per_s > 0.0 && siblings != nullptr && !siblings->empty()) {
+    const double per_sibling = ws.shared_write_per_s * ToSeconds(work);
+    for (const SiblingPlacement& sibling : *siblings) {
+      if (sibling.proc == proc) {
+        continue;
+      }
+      FootprintCache& cache = processor(sibling.proc).cache();
+      const double eject = std::min(per_sibling, cache.Resident(sibling.owner));
+      cache.EjectBlocks(sibling.owner, eject);
+      invalidations += eject;
+    }
+  }
+
+  const double inflation = bus_.InflationFactor(now);
+  const double stall_seconds = misses.TotalMisses() * config_.MissServiceSeconds() * inflation;
+  bus_.RecordTraffic(now, misses.TotalMisses() + invalidations);
+
+  ChunkExecution exec;
+  exec.reload_misses = misses.reload_misses;
+  exec.steady_misses = misses.steady_misses;
+  exec.stall = Seconds(stall_seconds);
+  exec.wall = config_.ComputeTime(work) + exec.stall;
+  return exec;
+}
+
+}  // namespace affsched

@@ -1,0 +1,144 @@
+// The simulated multiprocessor: processors with private footprint caches, a
+// shared bus, and machine-wide configuration.
+//
+// Defaults model the paper's Sequent Symmetry Model B (20 processors, 64 KB
+// 2-way caches, 0.75 us per block fill, 750 us reallocation path length).
+// `processor_speed` and `cache_size_factor` scale the machine into the future
+// exactly as Section 7 of the paper does: computation scales linearly with
+// processor speed, miss service improves only as sqrt(speed), and cache
+// capacity scales with the cache-size factor — so the simulator can *run*
+// the future-machine experiments that the paper could only model analytically.
+
+#ifndef SRC_MACHINE_MACHINE_H_
+#define SRC_MACHINE_MACHINE_H_
+
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/cache/bus.h"
+#include "src/cache/footprint.h"
+#include "src/cache/geometry.h"
+
+namespace affsched {
+
+struct MachineConfig {
+  size_t num_processors = 20;
+  // Depth of the per-processor task history (T of Section 5.3).
+  size_t task_history_depth = 1;
+  CacheGeometry geometry;
+  // Uncontended per-block miss service time on the base machine.
+  SimDuration miss_service = kSymmetryMissService;
+  // Kernel path-length cost of a reallocation on the base machine.
+  SimDuration switch_cost = kSymmetrySwitchCost;
+  // Speed of this machine's processors relative to the base Symmetry.
+  double processor_speed = 1.0;
+  // Cache size relative to the base Symmetry.
+  double cache_size_factor = 1.0;
+  SharedBus::Config bus;
+
+  double CapacityBlocks() const {
+    return static_cast<double>(geometry.TotalLines()) * cache_size_factor;
+  }
+
+  // Miss service shrinks as sqrt(processor_speed): memory keeps up with the
+  // processor only partially (Section 7.1.3).
+  double MissServiceSeconds() const {
+    return ToSeconds(miss_service) / std::sqrt(processor_speed);
+  }
+
+  // Wall time to execute `work` (expressed in base-machine processor-seconds).
+  SimDuration ComputeTime(SimDuration work) const {
+    return static_cast<SimDuration>(static_cast<double>(work) / processor_speed);
+  }
+
+  SimDuration SwitchCost() const { return ComputeTime(switch_cost); }
+};
+
+// One processor: a private cache plus affinity history — an ordered list of
+// the last T tasks to have run here (Section 5.3; the paper evaluates T = 1
+// and notes deeper histories as a variation).
+class Processor {
+ public:
+  Processor(size_t id, double capacity_blocks, size_t ways, size_t history_depth = 1)
+      : id_(id), history_depth_(history_depth), cache_(capacity_blocks, ways) {}
+
+  size_t id() const { return id_; }
+  FootprintCache& cache() { return cache_; }
+  const FootprintCache& cache() const { return cache_; }
+
+  // Task currently dispatched here (kNoOwner when idle).
+  CacheOwner current_task() const { return current_task_; }
+  void SetCurrentTask(CacheOwner task) { current_task_ = task; }
+
+  // History: the last task to have run on this processor.
+  CacheOwner last_task() const { return history_.empty() ? kNoOwner : history_.front(); }
+
+  // Most-recent-first list of the last T distinct tasks to have run here.
+  const std::deque<CacheOwner>& recent_tasks() const { return history_; }
+
+  void RecordDispatch(CacheOwner task) {
+    current_task_ = task;
+    // Move-to-front semantics: re-dispatching a remembered task refreshes it.
+    for (auto it = history_.begin(); it != history_.end(); ++it) {
+      if (*it == task) {
+        history_.erase(it);
+        break;
+      }
+    }
+    history_.push_front(task);
+    while (history_.size() > history_depth_) {
+      history_.pop_back();
+    }
+  }
+
+ private:
+  size_t id_;
+  size_t history_depth_;
+  FootprintCache cache_;
+  CacheOwner current_task_ = kNoOwner;
+  std::deque<CacheOwner> history_;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  const MachineConfig& config() const { return config_; }
+  size_t num_processors() const { return processors_.size(); }
+  Processor& processor(size_t i);
+  SharedBus& bus() { return bus_; }
+
+  struct ChunkExecution {
+    SimDuration wall = 0;        // total wall time including miss stalls
+    SimDuration stall = 0;       // portion spent waiting on misses
+    double reload_misses = 0.0;  // affinity-related misses
+    double steady_misses = 0.0;
+  };
+
+  // A sibling worker's placement, for coherence modelling.
+  struct SiblingPlacement {
+    size_t proc = 0;
+    CacheOwner owner = kNoOwner;
+  };
+
+  // Executes `work` (base-machine processor-seconds) of `owner` on processor
+  // `proc` starting at time `now`, evolving the cache and bus state. If the
+  // task writes shared data (ws.shared_write_per_s > 0) and `siblings` lists
+  // the same job's workers active on other processors, invalidations erode
+  // their footprints and add bus traffic (the Symmetry's invalidation-based
+  // protocol).
+  ChunkExecution ExecuteChunk(SimTime now, size_t proc, CacheOwner owner,
+                              const WorkingSetParams& ws, SimDuration work,
+                              const std::vector<SiblingPlacement>* siblings = nullptr);
+
+ private:
+  MachineConfig config_;
+  std::vector<Processor> processors_;
+  SharedBus bus_;
+};
+
+}  // namespace affsched
+
+#endif  // SRC_MACHINE_MACHINE_H_

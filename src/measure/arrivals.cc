@@ -1,0 +1,38 @@
+#include "src/measure/arrivals.h"
+
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+std::vector<ArrivalPlanEntry> PoissonArrivals(size_t count, SimDuration mean_interarrival,
+                                              const std::vector<double>& app_weights,
+                                              uint64_t seed) {
+  AFF_CHECK(mean_interarrival > 0);
+  AFF_CHECK(!app_weights.empty());
+  const double total_weight = std::accumulate(app_weights.begin(), app_weights.end(), 0.0);
+  AFF_CHECK(total_weight > 0.0);
+
+  Rng rng(seed);
+  std::vector<ArrivalPlanEntry> plan;
+  plan.reserve(count);
+  SimTime now = 0;
+  for (size_t i = 0; i < count; ++i) {
+    now += Seconds(rng.NextExponential(ToSeconds(mean_interarrival)));
+    double pick = rng.NextDouble() * total_weight;
+    size_t app = 0;
+    for (size_t a = 0; a < app_weights.size(); ++a) {
+      pick -= app_weights[a];
+      if (pick <= 0.0) {
+        app = a;
+        break;
+      }
+      app = a;  // fall through to the last app on rounding
+    }
+    plan.push_back(ArrivalPlanEntry{app, now});
+  }
+  return plan;
+}
+
+}  // namespace affsched

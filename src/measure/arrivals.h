@@ -1,0 +1,33 @@
+// Arrival-process generation for open-system experiments.
+//
+// The paper's experiments start all jobs at t = 0; its policies, however, are
+// designed around arrivals and departures (Equipartition repartitions on
+// them; Dynamic's fair shares shift). These helpers generate randomized
+// arrival plans for the open-system ablation.
+
+#ifndef SRC_MEASURE_ARRIVALS_H_
+#define SRC_MEASURE_ARRIVALS_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/workload/app_profile.h"
+
+namespace affsched {
+
+struct ArrivalPlanEntry {
+  size_t app_index = 0;  // index into the application set
+  SimTime when = 0;
+};
+
+// Poisson arrivals: exponential inter-arrival times with the given mean,
+// each job drawn uniformly (by weight) from the application set.
+// Returns `count` entries sorted by time.
+std::vector<ArrivalPlanEntry> PoissonArrivals(size_t count, SimDuration mean_interarrival,
+                                              const std::vector<double>& app_weights,
+                                              uint64_t seed);
+
+}  // namespace affsched
+
+#endif  // SRC_MEASURE_ARRIVALS_H_

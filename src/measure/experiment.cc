@@ -1,0 +1,100 @@
+#include "src/measure/experiment.h"
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+MachineConfig PaperMachineConfig() {
+  MachineConfig config;
+  config.num_processors = 16;
+  return config;
+}
+
+RunResult RunOnce(const MachineConfig& machine, PolicyKind policy_kind,
+                  const std::vector<AppProfile>& jobs, uint64_t seed,
+                  const Engine::Options& options) {
+  AFF_CHECK(!jobs.empty());
+  Engine engine(machine, MakePolicy(policy_kind), seed, options);
+  for (const AppProfile& profile : jobs) {
+    engine.SubmitJob(profile, 0);
+  }
+  RunResult result;
+  result.makespan = engine.Run();
+  for (JobId id = 0; id < engine.job_count(); ++id) {
+    result.jobs.push_back(JobResult{engine.job_name(id), engine.job_stats(id)});
+  }
+  return result;
+}
+
+ReplicatedResult RunReplicated(const MachineConfig& machine, PolicyKind policy_kind,
+                               const std::vector<AppProfile>& jobs, uint64_t base_seed,
+                               const ReplicationOptions& rep_options,
+                               const Engine::Options& engine_options) {
+  ReplicatedResult result;
+  const size_t n = jobs.size();
+  result.response.resize(n);
+  result.mean_stats.resize(n);
+  std::vector<JobStats> accum(n);
+
+  size_t reps = 0;
+  while (true) {
+    const RunResult run = RunOnce(machine, policy_kind, jobs, base_seed + reps, engine_options);
+    AFF_CHECK(run.jobs.size() == n);
+    if (reps == 0) {
+      for (size_t j = 0; j < n; ++j) {
+        result.app.push_back(run.jobs[j].app);
+      }
+    }
+    for (size_t j = 0; j < n; ++j) {
+      result.response[j].Add(run.jobs[j].stats.ResponseSeconds());
+      const JobStats& x = run.jobs[j].stats;
+      JobStats& acc = accum[j];
+      acc.useful_work_s += x.useful_work_s;
+      acc.reload_stall_s += x.reload_stall_s;
+      acc.steady_stall_s += x.steady_stall_s;
+      acc.switch_s += x.switch_s;
+      acc.waste_s += x.waste_s;
+      acc.alloc_integral_s += x.alloc_integral_s;
+      acc.reallocations += x.reallocations;
+      acc.affinity_dispatches += x.affinity_dispatches;
+      acc.completion += x.completion - x.arrival;
+    }
+    ++reps;
+
+    if (reps >= rep_options.min_replications) {
+      bool all_precise = true;
+      for (size_t j = 0; j < n; ++j) {
+        const Summary& s = result.response[j];
+        if (s.ConfidenceHalfWidth(rep_options.confidence) >
+            rep_options.relative_precision * s.mean()) {
+          all_precise = false;
+          break;
+        }
+      }
+      if (all_precise || reps >= rep_options.max_replications) {
+        break;
+      }
+    }
+  }
+
+  result.replications = reps;
+  const double r = static_cast<double>(reps);
+  for (size_t j = 0; j < n; ++j) {
+    JobStats mean = accum[j];
+    mean.useful_work_s /= r;
+    mean.reload_stall_s /= r;
+    mean.steady_stall_s /= r;
+    mean.switch_s /= r;
+    mean.waste_s /= r;
+    mean.alloc_integral_s /= r;
+    mean.reallocations = static_cast<uint64_t>(static_cast<double>(mean.reallocations) / r);
+    mean.affinity_dispatches =
+        static_cast<uint64_t>(static_cast<double>(mean.affinity_dispatches) / r);
+    mean.arrival = 0;
+    mean.completion = static_cast<SimTime>(static_cast<double>(accum[j].completion) / r);
+    result.mean_stats[j] = mean;
+  }
+  return result;
+}
+
+}  // namespace affsched

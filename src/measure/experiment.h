@@ -1,0 +1,64 @@
+// Experiment drivers: run workload mixes under policies with replication
+// control, as Section 6 of the paper does ("enough replications of each
+// experiment so that the 95% confidence interval is within 1% of the point
+// estimate of the mean" — we default to a slightly looser 2% bound with a
+// replication cap to keep regeneration times reasonable; both knobs are
+// configurable).
+
+#ifndef SRC_MEASURE_EXPERIMENT_H_
+#define SRC_MEASURE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/measure/mixes.h"
+#include "src/sched/factory.h"
+#include "src/stats/summary.h"
+
+namespace affsched {
+
+// The machine the paper's experiments used: 16 of the Symmetry's processors.
+MachineConfig PaperMachineConfig();
+
+struct JobResult {
+  std::string app;
+  JobStats stats;
+};
+
+struct RunResult {
+  std::vector<JobResult> jobs;  // in submission order
+  SimTime makespan = 0;
+};
+
+// Runs one replication of `jobs` (all arriving at t = 0) under `policy_kind`.
+RunResult RunOnce(const MachineConfig& machine, PolicyKind policy_kind,
+                  const std::vector<AppProfile>& jobs, uint64_t seed,
+                  const Engine::Options& options = Engine::Options());
+
+struct ReplicationOptions {
+  double relative_precision = 0.02;
+  double confidence = 0.95;
+  size_t min_replications = 3;
+  size_t max_replications = 15;
+};
+
+struct ReplicatedResult {
+  std::vector<std::string> app;        // per job index
+  std::vector<Summary> response;       // per job index, seconds
+  std::vector<JobStats> mean_stats;    // per job index, fields averaged
+  size_t replications = 0;
+
+  double MeanResponse(size_t job) const { return response[job].mean(); }
+};
+
+// Replicates RunOnce with seeds base_seed, base_seed+1, ... until every job's
+// response-time CI satisfies the precision bound (or the cap is reached).
+ReplicatedResult RunReplicated(const MachineConfig& machine, PolicyKind policy_kind,
+                               const std::vector<AppProfile>& jobs, uint64_t base_seed,
+                               const ReplicationOptions& rep_options = {},
+                               const Engine::Options& engine_options = Engine::Options());
+
+}  // namespace affsched
+
+#endif  // SRC_MEASURE_EXPERIMENT_H_

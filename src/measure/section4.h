@@ -1,0 +1,67 @@
+// The Section 4 measurement harness: quantifies the per-switch cache
+// penalties P^A and P^NA for an application (Table 1 of the paper).
+//
+// A program runs on a single processor under a special allocator that
+// reschedules it every Q milliseconds of its own execution, taking one of
+// three actions at each rescheduling point:
+//   * stationary — the program is immediately replaced (baseline),
+//   * migrating  — the cache is flushed first (captures P^NA: the program
+//                  resumes with no affinity),
+//   * multiprog  — another program runs for Q first (captures P^A: the
+//                  program has affinity, but an intervening task has ejected
+//                  part of its context).
+// Response time counts only the measured program's own scheduled time (its
+// computation, its stalls, and the switch path length), so the treatments
+// differ exactly by the cache penalty:
+//   P^NA = (RT_migrating - RT_stationary) / #switches
+//   P^A  = (RT_multiprog - RT_stationary) / #switches
+
+#ifndef SRC_MEASURE_SECTION4_H_
+#define SRC_MEASURE_SECTION4_H_
+
+#include <optional>
+
+#include "src/machine/machine.h"
+#include "src/workload/app_profile.h"
+
+namespace affsched {
+
+enum class Section4Treatment {
+  kStationary,
+  kMigrating,
+  kMultiprog,
+};
+
+struct Section4Result {
+  // The measured program's accumulated scheduled time, seconds.
+  double response_s = 0.0;
+  uint64_t switches = 0;
+};
+
+struct Section4Options {
+  // Rescheduling interval (the paper uses 25, 100 and 400 ms).
+  SimDuration q = Milliseconds(100);
+  // Granularity of execution between rescheduling points.
+  SimDuration chunk = Milliseconds(1);
+};
+
+// Runs `measured` to completion under the given treatment. For kMultiprog,
+// `intervening` names the program run between dispatches (only its cache
+// parameters matter).
+Section4Result RunSection4(const MachineConfig& machine, const AppProfile& measured,
+                           Section4Treatment treatment, const AppProfile* intervening,
+                           const Section4Options& options, uint64_t seed);
+
+struct CachePenalties {
+  double pna_us = 0.0;  // penalty per switch without affinity
+  double pa_us = 0.0;   // penalty per switch with affinity (intervening task)
+};
+
+// Convenience: runs all three treatments and forms the Table 1 entries.
+CachePenalties MeasureCachePenalties(const MachineConfig& machine, const AppProfile& measured,
+                                     const AppProfile& intervening, const Section4Options& options,
+                                     uint64_t seed);
+
+}  // namespace affsched
+
+#endif  // SRC_MEASURE_SECTION4_H_

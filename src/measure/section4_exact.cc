@@ -1,0 +1,136 @@
+#include "src/measure/section4_exact.h"
+
+#include <algorithm>
+
+#include "src/cache/refstream.h"
+#include "src/common/check.h"
+
+namespace affsched {
+
+double DeriveReferenceRate(const AppProfile& profile) {
+  const WorkingSetParams& ws = profile.working_set;
+  AFF_CHECK(ws.buildup_tau_s > 0.0);
+  AFF_CHECK(ws.blocks > 0.0);
+  return ws.blocks / ws.buildup_tau_s;
+}
+
+namespace {
+
+ReferenceStreamParams StreamParamsFor(const AppProfile& profile, double rate) {
+  ReferenceStreamParams params;
+  params.working_set_blocks = static_cast<size_t>(profile.working_set.blocks);
+  // The streaming component realises the steady miss rate: a fraction
+  // m / rate of references go to fresh blocks.
+  params.streaming_fraction =
+      std::min(0.5, profile.working_set.steady_miss_per_s / rate);
+  return params;
+}
+
+// One program as a reference generator with turnover bookkeeping.
+class StreamedProgram {
+ public:
+  StreamedProgram(const AppProfile& profile, const Section4ExactOptions& options, uint64_t seed)
+      : profile_(profile),
+        rate_(DeriveReferenceRate(profile)),
+        stream_(StreamParamsFor(profile, rate_), seed),
+        turnover_refs_(static_cast<uint64_t>(rate_ * ToSeconds(options.thread_length))) {}
+
+  double rate() const { return rate_; }
+
+  // Runs `refs` references through `cache` as `owner`; returns misses.
+  uint64_t Run(ExactCache& cache, CacheOwner owner, uint64_t refs) {
+    uint64_t misses = 0;
+    for (uint64_t i = 0; i < refs; ++i) {
+      if (!cache.Access(owner, stream_.Next()).hit) {
+        ++misses;
+      }
+      if (turnover_refs_ > 0 && ++since_turnover_ >= turnover_refs_) {
+        since_turnover_ = 0;
+        stream_.TurnOver(profile_.thread_overlap);
+      }
+    }
+    return misses;
+  }
+
+ private:
+  const AppProfile& profile_;
+  double rate_;
+  ReferenceStream stream_;
+  uint64_t turnover_refs_;
+  uint64_t since_turnover_ = 0;
+};
+
+// Response time (seconds of the measured program's own schedule) for one
+// treatment, plus the switch count.
+Section4Result RunExact(const MachineConfig& machine, const AppProfile& measured,
+                        Section4Treatment treatment, const AppProfile* intervening,
+                        const Section4ExactOptions& options, uint64_t seed) {
+  ExactCache cache(machine.geometry);
+  StreamedProgram program(measured, options, seed);
+  // The intervening program keeps its own persistent stream across windows.
+  std::unique_ptr<StreamedProgram> other;
+  if (intervening != nullptr) {
+    other = std::make_unique<StreamedProgram>(*intervening, options, seed ^ 0x9E3779B9u);
+  }
+
+  constexpr CacheOwner kMeasured = 1;
+  constexpr CacheOwner kIntervening = 2;
+  const double service = machine.MissServiceSeconds();
+
+  Section4Result result;
+  const uint64_t total_windows = static_cast<uint64_t>(
+      ToSeconds(options.run_length) / ToSeconds(options.q));
+  const uint64_t refs_per_window =
+      static_cast<uint64_t>(program.rate() * ToSeconds(options.q));
+  const uint64_t other_refs_per_window =
+      other != nullptr ? static_cast<uint64_t>(other->rate() * ToSeconds(options.q)) : 0;
+
+  for (uint64_t window = 0; window < total_windows; ++window) {
+    const uint64_t misses = program.Run(cache, kMeasured, refs_per_window);
+    result.response_s += ToSeconds(options.q) + static_cast<double>(misses) * service;
+    if (window + 1 == total_windows) {
+      break;  // the program "completes"; no trailing switch
+    }
+    ++result.switches;
+    result.response_s += ToSeconds(machine.SwitchCost());
+    switch (treatment) {
+      case Section4Treatment::kStationary:
+        break;
+      case Section4Treatment::kMigrating:
+        cache.Flush();
+        break;
+      case Section4Treatment::kMultiprog:
+        AFF_CHECK(other != nullptr);
+        other->Run(cache, kIntervening, other_refs_per_window);
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+CachePenalties MeasureCachePenaltiesExact(const MachineConfig& machine,
+                                          const AppProfile& measured,
+                                          const AppProfile& intervening,
+                                          const Section4ExactOptions& options, uint64_t seed) {
+  const Section4Result stationary =
+      RunExact(machine, measured, Section4Treatment::kStationary, nullptr, options, seed);
+  const Section4Result migrating =
+      RunExact(machine, measured, Section4Treatment::kMigrating, nullptr, options, seed);
+  const Section4Result multiprog =
+      RunExact(machine, measured, Section4Treatment::kMultiprog, &intervening, options, seed);
+
+  CachePenalties penalties;
+  if (migrating.switches > 0) {
+    penalties.pna_us = (migrating.response_s - stationary.response_s) /
+                       static_cast<double>(migrating.switches) * 1e6;
+  }
+  if (multiprog.switches > 0) {
+    penalties.pa_us = (multiprog.response_s - stationary.response_s) /
+                      static_cast<double>(multiprog.switches) * 1e6;
+  }
+  return penalties;
+}
+
+}  // namespace affsched

@@ -1,0 +1,47 @@
+// The Section 4 measurement harness, re-run against the exact
+// set-associative cache with per-reference synthetic address streams.
+//
+// This is an independent implementation of the Table 1 experiment: instead
+// of the footprint model's closed-form reload counts, every reference goes
+// through ExactCache (real sets, ways, LRU, per-line tags), with the
+// measured and intervening programs realised as ReferenceStreams whose
+// statistics (working set, buildup time constant, steady miss rate, thread
+// turnover) are derived from the same AppProfile the scheduling experiments
+// use. Agreement between the two harnesses (bench_calibration_section4)
+// validates the model end to end.
+
+#ifndef SRC_MEASURE_SECTION4_EXACT_H_
+#define SRC_MEASURE_SECTION4_EXACT_H_
+
+#include "src/measure/section4.h"
+
+namespace affsched {
+
+struct Section4ExactOptions {
+  // Rescheduling interval.
+  SimDuration q = Milliseconds(100);
+  // Virtual execution length of the measured program. Longer runs average
+  // over more switches.
+  SimDuration run_length = Seconds(4);
+  // Approximate length of one user-level thread (triggers working-set
+  // turnover with the profile's thread_overlap).
+  SimDuration thread_length = Seconds(1);
+};
+
+// Derives the reference rate (references per second of useful execution)
+// that makes the stream's working-set buildup match the profile's
+// exponential time constant: uniform sampling of W blocks touches
+// W(1 - e^(-n/W)) distinct blocks after n references, so rate = W / tau.
+double DeriveReferenceRate(const AppProfile& profile);
+
+// Runs the three treatments reference-by-reference through an ExactCache of
+// the machine's geometry and returns the per-switch penalties, exactly as
+// MeasureCachePenalties does for the footprint substrate.
+CachePenalties MeasureCachePenaltiesExact(const MachineConfig& machine,
+                                          const AppProfile& measured,
+                                          const AppProfile& intervening,
+                                          const Section4ExactOptions& options, uint64_t seed);
+
+}  // namespace affsched
+
+#endif  // SRC_MEASURE_SECTION4_EXACT_H_

@@ -1,0 +1,41 @@
+#include "src/model/crossover.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+double RelativeResponseAtProduct(const ModelParams& policy, const ModelParams& equipartition,
+                                 double product) {
+  AFF_CHECK(product >= 1.0);
+  const double factor = std::sqrt(product);
+  const double rt = FutureResponseTime(policy, factor, factor);
+  const double rt_equi = FutureResponseTime(equipartition, factor, factor);
+  AFF_CHECK(rt_equi > 0.0);
+  return rt / rt_equi;
+}
+
+double CrossoverProduct(const ModelParams& policy, const ModelParams& equipartition,
+                        double max_product) {
+  AFF_CHECK(max_product >= 1.0);
+  if (RelativeResponseAtProduct(policy, equipartition, 1.0) >= 1.0) {
+    return 1.0;  // already behind on current technology
+  }
+  if (RelativeResponseAtProduct(policy, equipartition, max_product) < 1.0) {
+    return -1.0;  // no crossover within the horizon
+  }
+  double lo = 1.0;
+  double hi = max_product;
+  for (int iter = 0; iter < 80 && hi / lo > 1.0001; ++iter) {
+    const double mid = std::sqrt(lo * hi);  // bisect in log space
+    if (RelativeResponseAtProduct(policy, equipartition, mid) >= 1.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace affsched

@@ -1,0 +1,32 @@
+// Crossover analysis for the future-machine model.
+//
+// Figures 8-13 show relative response-time curves; the paper's reading of
+// them is that where a dynamic policy's curve crosses Equipartition's, "the
+// crossover point is quite far in the future". This module computes that
+// point exactly: the speed x cache product at which a policy's predicted
+// response time first exceeds Equipartition's.
+
+#ifndef SRC_MODEL_CROSSOVER_H_
+#define SRC_MODEL_CROSSOVER_H_
+
+#include "src/model/response_model.h"
+
+namespace affsched {
+
+// Relative response time (policy / equipartition) at the given speed x cache
+// product, splitting the product evenly between the two factors (the paper
+// observed results depend essentially only on the product).
+double RelativeResponseAtProduct(const ModelParams& policy, const ModelParams& equipartition,
+                                 double product);
+
+// Smallest product in [1, max_product] at which the policy's predicted
+// response time reaches Equipartition's (relative RT >= 1), found by
+// bisection on the (monotone in practice) relative-RT curve. Returns a
+// negative value if no crossover occurs up to max_product — the policy stays
+// ahead for the whole horizon.
+double CrossoverProduct(const ModelParams& policy, const ModelParams& equipartition,
+                        double max_product = 1e9);
+
+}  // namespace affsched
+
+#endif  // SRC_MODEL_CROSSOVER_H_

@@ -1,0 +1,72 @@
+#include "src/model/future_sweep.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+PenaltyTable PaperPenaltyTable() {
+  PenaltyTable table;
+  // Table 1, Q = 400 ms. P^A uses the self-interference column (MAT vs MAT,
+  // MVA vs MVA, GRAV vs GRAV).
+  table.pna_us = {{"MATRIX", 1679.0}, {"MVA", 2330.0}, {"GRAVITY", 2349.0}};
+  table.pa_us = {{"MATRIX", 737.0}, {"MVA", 1061.0}, {"GRAVITY", 1719.0}};
+  return table;
+}
+
+namespace {
+
+double LookupOrDie(const std::map<std::string, double>& table, const std::string& key) {
+  auto it = table.find(key);
+  AFF_CHECK_MSG(it != table.end(), "application missing from penalty table");
+  return it->second;
+}
+
+}  // namespace
+
+FutureSweepResult SweepFutureMachines(const MachineConfig& machine, const WorkloadMix& mix,
+                                      const std::vector<AppProfile>& apps,
+                                      const PenaltyTable& penalties, uint64_t seed,
+                                      const FutureSweepOptions& options) {
+  const std::vector<AppProfile> jobs = mix.Expand(apps);
+  AFF_CHECK(!jobs.empty());
+
+  // Current-technology runs: Equipartition plus each candidate policy.
+  const ReplicatedResult equi = RunReplicated(machine, PolicyKind::kEquipartition, jobs, seed,
+                                              options.replication);
+  std::vector<ModelParams> equi_params;
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    equi_params.push_back(ExtractModelParams(equi.mean_stats[j],
+                                             LookupOrDie(penalties.pa_us, equi.app[j]),
+                                             LookupOrDie(penalties.pna_us, equi.app[j])));
+  }
+
+  FutureSweepResult result;
+  result.products = options.products;
+
+  for (PolicyKind policy : options.policies) {
+    const ReplicatedResult run = RunReplicated(machine, policy, jobs, seed, options.replication);
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      const ModelParams params = ExtractModelParams(run.mean_stats[j],
+                                                    LookupOrDie(penalties.pa_us, run.app[j]),
+                                                    LookupOrDie(penalties.pna_us, run.app[j]));
+      FutureCurve curve;
+      curve.policy = policy;
+      curve.app = run.app[j];
+      curve.job_index = j;
+      for (double product : options.products) {
+        const double speed = std::pow(product, options.speed_exponent);
+        const double cache = std::pow(product, 1.0 - options.speed_exponent);
+        const double rt = FutureResponseTime(params, speed, cache);
+        const double rt_equi = FutureResponseTime(equi_params[j], speed, cache);
+        AFF_CHECK(rt_equi > 0.0);
+        curve.relative_rt.push_back(rt / rt_equi);
+      }
+      result.curves.push_back(std::move(curve));
+    }
+  }
+  return result;
+}
+
+}  // namespace affsched

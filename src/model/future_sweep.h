@@ -1,0 +1,65 @@
+// Driver for the Figures 8-13 extrapolation: runs a workload mix under each
+// policy on the current-technology simulator, extracts model parameters per
+// job, and sweeps (processor-speed x cache-size) to predict response times on
+// future machines, relative to Equipartition.
+
+#ifndef SRC_MODEL_FUTURE_SWEEP_H_
+#define SRC_MODEL_FUTURE_SWEEP_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/measure/experiment.h"
+#include "src/measure/mixes.h"
+#include "src/model/response_model.h"
+#include "src/sched/factory.h"
+
+namespace affsched {
+
+// Per-application per-switch penalties (microseconds) at the rescheduling
+// interval relevant to space-sharing reallocation (~400 ms).
+struct PenaltyTable {
+  std::map<std::string, double> pa_us;   // keyed by application name
+  std::map<std::string, double> pna_us;
+};
+
+// The paper's Table 1 values at Q = 400 ms (self-interference column for
+// P^A), usable when re-measuring via the Section 4 harness is not desired.
+PenaltyTable PaperPenaltyTable();
+
+struct FutureCurve {
+  PolicyKind policy = PolicyKind::kDynamic;
+  std::string app;   // application name of the job this curve describes
+  size_t job_index = 0;
+  // Relative response time (policy / Equipartition) at each sweep point.
+  std::vector<double> relative_rt;
+};
+
+struct FutureSweepResult {
+  std::vector<double> products;  // processor-speed x cache-size sweep points
+  std::vector<FutureCurve> curves;
+};
+
+struct FutureSweepOptions {
+  // Sweep points for speed x cache product (log scale by default).
+  std::vector<double> products = {1, 4, 16, 64, 256, 1024, 4096, 16384};
+  // How the product splits between the two factors: speed = product^alpha,
+  // cache = product^(1-alpha). The paper observed results depend (to three
+  // digits) only on the product; 0.5 splits evenly.
+  double speed_exponent = 0.5;
+  std::vector<PolicyKind> policies = {PolicyKind::kDynamic, PolicyKind::kDynAff,
+                                      PolicyKind::kDynAffDelay};
+  ReplicationOptions replication;
+};
+
+// Runs `mix` under Equipartition and each policy in `options.policies` on the
+// current-technology machine, then extrapolates.
+FutureSweepResult SweepFutureMachines(const MachineConfig& machine, const WorkloadMix& mix,
+                                      const std::vector<AppProfile>& apps,
+                                      const PenaltyTable& penalties, uint64_t seed,
+                                      const FutureSweepOptions& options = {});
+
+}  // namespace affsched
+
+#endif  // SRC_MODEL_FUTURE_SWEEP_H_

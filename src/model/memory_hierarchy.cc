@@ -1,0 +1,71 @@
+#include "src/model/memory_hierarchy.h"
+
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+namespace {
+
+void ValidateParams(const HierarchyParams& p) {
+  AFF_CHECK(p.l1_hit >= 0.0 && p.l1_hit <= 1.0);
+  AFF_CHECK(p.l2_hit >= 0.0 && p.l2_hit <= 1.0);
+  AFF_CHECK(p.l1_time_s > 0.0);
+  AFF_CHECK(p.l2_time_s >= 0.0);
+  AFF_CHECK(p.memory_time_s >= 0.0);
+}
+
+}  // namespace
+
+double MissComponent(const HierarchyParams& p) {
+  ValidateParams(p);
+  const double below_l1 = p.l2_hit * p.l2_time_s + (1.0 - p.l2_hit) * p.memory_time_s;
+  return (1.0 - p.l1_hit) * below_l1;
+}
+
+double EffectiveAccessTime(const HierarchyParams& p) {
+  ValidateParams(p);
+  return p.l1_hit * p.l1_time_s + MissComponent(p);
+}
+
+double RequiredMemorySpeedup(const HierarchyParams& p, double speed, double miss_reduction) {
+  ValidateParams(p);
+  AFF_CHECK(speed >= 1.0);
+  AFF_CHECK(miss_reduction >= 0.0 && miss_reduction < 1.0);
+  // Target: the whole hierarchy must be `speed` times faster on average.
+  const double target = EffectiveAccessTime(p) / speed;
+  // L1 scales with the core. Hits stay hits; the improved cache removes
+  // `miss_reduction` of the misses (they become L1-speed hits).
+  const double l1_term =
+      (p.l1_hit + (1.0 - p.l1_hit) * miss_reduction) * (p.l1_time_s / speed);
+  const double miss_term = MissComponent(p) * (1.0 - miss_reduction);
+  if (miss_term <= 0.0) {
+    return 1.0;  // nothing left below L1 to speed up
+  }
+  const double budget = target - l1_term;
+  if (budget <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double speedup = miss_term / budget;
+  return speedup < 1.0 ? 1.0 : speedup;
+}
+
+double MissReductionToAvoidFasterMemory(const HierarchyParams& p, double speed) {
+  ValidateParams(p);
+  AFF_CHECK(speed >= 1.0);
+  // Solve for r in: l1_term(r) + miss_term(r) = EAT / speed with memory
+  // speed unchanged:
+  //   (h1 + (1-h1) r) t1/s + M (1 - r) = EAT / s
+  // => r [ (1-h1) t1/s - M ] = EAT/s - h1 t1/s - M
+  const double t1_s = p.l1_time_s / speed;
+  const double m = MissComponent(p);
+  const double lhs_coeff = (1.0 - p.l1_hit) * t1_s - m;
+  const double rhs = EffectiveAccessTime(p) / speed - p.l1_hit * t1_s - m;
+  if (lhs_coeff == 0.0) {
+    return rhs <= 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return rhs / lhs_coeff;
+}
+
+}  // namespace affsched

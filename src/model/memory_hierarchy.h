@@ -1,0 +1,60 @@
+// The Section 7.2 side analysis: a two-level cache hierarchy over a single
+// central memory.
+//
+// The paper: "To gauge the amount by which hit rates must be increased, we
+// analyzed a simple model consisting of two levels of cache memory and a
+// single central memory. We found that because multiprocessor hit rates may
+// already be expected to be quite high, there was little room for
+// improvement: hit rates could not be increased enough to obviate the need
+// for faster miss resolution. For this reason, the model assumes that
+// (effective) memory speed must increase as sqrt(processor-speed)."
+//
+// This module reproduces that analysis: given a hierarchy's hit rates and
+// access times, it computes the effective access time, and — for a processor
+// `speed` times faster — the factor by which the memory subsystem (L2 +
+// central memory) must accelerate so the processor stays fully utilised,
+// under an assumed bound on how much of the miss traffic better caching can
+// remove.
+
+#ifndef SRC_MODEL_MEMORY_HIERARCHY_H_
+#define SRC_MODEL_MEMORY_HIERARCHY_H_
+
+namespace affsched {
+
+struct HierarchyParams {
+  // Hit probability in the first-level cache.
+  double l1_hit = 0.95;
+  // Hit probability in the second-level cache, given an L1 miss.
+  double l2_hit = 0.80;
+  // Access times, seconds. Defaults model a 16 MHz-era hierarchy: 1-cycle L1,
+  // ~200 ns L2, 750 ns central memory (the Symmetry's block fill).
+  double l1_time_s = 62.5e-9;
+  double l2_time_s = 200e-9;
+  double memory_time_s = 750e-9;
+};
+
+// Mean time per reference through the hierarchy.
+double EffectiveAccessTime(const HierarchyParams& params);
+
+// The portion of the effective access time spent below L1 (the "miss
+// resolution" component the memory subsystem controls).
+double MissComponent(const HierarchyParams& params);
+
+// Factor by which the below-L1 subsystem must speed up so that a processor
+// `speed` times faster (L1 keeps pace with the core: l1_time/speed) achieves
+// effective access time EAT/speed — i.e. the processor is not memory-bound —
+// assuming better caching can remove at most `miss_reduction` (in [0,1)) of
+// the L1 miss traffic. Returns +infinity if no finite speedup suffices.
+double RequiredMemorySpeedup(const HierarchyParams& params, double speed, double miss_reduction);
+
+// Miss-traffic reduction (fraction of L1 misses removed) that would be needed
+// to avoid speeding memory up at all, i.e. solving
+// RequiredMemorySpeedup(..., r) == 1. The paper's Section 7.2 finding is that
+// this value is implausibly large for realistic hierarchies: already-high hit
+// rates leave "little room for improvement" — e.g. a 16x processor needs
+// ~95% of remaining misses removed, a 20x cut in miss rate.
+double MissReductionToAvoidFasterMemory(const HierarchyParams& params, double speed);
+
+}  // namespace affsched
+
+#endif  // SRC_MODEL_MEMORY_HIERARCHY_H_

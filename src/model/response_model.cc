@@ -1,0 +1,49 @@
+#include "src/model/response_model.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+double CachePenaltySeconds(const ModelParams& p) {
+  return p.pct_affinity * p.pa_s + (1.0 - p.pct_affinity) * p.pna_s;
+}
+
+double ModelResponseTime(const ModelParams& p) {
+  AFF_CHECK(p.average_allocation > 0.0);
+  const double numerator =
+      p.work_s + p.waste_s + p.reallocations * (p.realloc_time_s + CachePenaltySeconds(p));
+  return numerator / p.average_allocation;
+}
+
+double FutureResponseTime(const ModelParams& p, double processor_speed, double cache_size) {
+  AFF_CHECK(p.average_allocation > 0.0);
+  AFF_CHECK(processor_speed > 0.0);
+  AFF_CHECK(cache_size > 0.0);
+  const double penalty_future = p.pct_affinity * p.pa_s / cache_size +
+                                (1.0 - p.pct_affinity) * p.pna_s * std::sqrt(cache_size);
+  const double numerator =
+      (p.work_s + p.waste_s) / processor_speed +
+      p.reallocations *
+          (p.realloc_time_s / processor_speed + penalty_future / std::sqrt(processor_speed));
+  return numerator / p.average_allocation;
+}
+
+ModelParams ExtractModelParams(const JobStats& stats, double pa_us, double pna_us,
+                               SimDuration realloc_time) {
+  ModelParams p;
+  // Contention and the application's own steady-state misses fold into work,
+  // exactly as the paper's work term does.
+  p.work_s = stats.useful_work_s + stats.steady_stall_s;
+  p.waste_s = stats.waste_s;
+  p.reallocations = static_cast<double>(stats.reallocations);
+  p.realloc_time_s = ToSeconds(realloc_time);
+  p.pct_affinity = stats.AffinityFraction();
+  p.pa_s = pa_us * 1e-6;
+  p.pna_s = pna_us * 1e-6;
+  p.average_allocation = stats.AverageAllocation();
+  return p;
+}
+
+}  // namespace affsched

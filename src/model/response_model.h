@@ -1,0 +1,63 @@
+// The paper's analytic response-time model.
+//
+// Equation (1) (Figure 1):
+//   RT = [ work + waste + #reallocations x (reallocation-time + cache-penalty) ]
+//        / average-allocation
+// Equation (2):
+//   cache-penalty = %affinity x P^A + %no-affinity x P^NA
+//
+// Extended for future machines (Figure 7): computation scales linearly with
+// processor speed, miss service only as sqrt(speed); larger caches preserve
+// more of a returning task's context (P^A / cache-size) but also let tasks
+// dirty more of the cache (P^NA x sqrt(cache-size)):
+//   RT = [ (work + waste)/speed
+//          + #reallocations x ( realloc-time/speed + penalty_future/sqrt(speed) ) ]
+//        / average-allocation
+//   penalty_future = %affinity x P^A / cache-size
+//                  + %no-affinity x P^NA x sqrt(cache-size)
+
+#ifndef SRC_MODEL_RESPONSE_MODEL_H_
+#define SRC_MODEL_RESPONSE_MODEL_H_
+
+#include "src/common/time.h"
+#include "src/workload/job.h"
+
+namespace affsched {
+
+struct ModelParams {
+  // Processor-seconds of useful work, including contention effects (the
+  // paper folds bus contention and synchronisation into `work`).
+  double work_s = 0.0;
+  // Processor-seconds spent holding processors with nothing to run.
+  double waste_s = 0.0;
+  // Number of processor reallocations the job experienced.
+  double reallocations = 0.0;
+  // Kernel path length per reallocation, seconds (750 us on the Symmetry).
+  double realloc_time_s = 750e-6;
+  // Fraction of reallocations that resumed a task where it has affinity.
+  double pct_affinity = 0.0;
+  // Per-switch cache penalties, seconds (Table 1 / Section 4 harness).
+  double pa_s = 0.0;
+  double pna_s = 0.0;
+  // Average number of processors the policy provided over the job's life.
+  double average_allocation = 1.0;
+};
+
+// Equation (2).
+double CachePenaltySeconds(const ModelParams& p);
+
+// Equation (1): predicted response time on the base (current) machine.
+double ModelResponseTime(const ModelParams& p);
+
+// Figure 7: predicted response time on a machine `processor_speed` times
+// faster with `cache_size` times larger caches.
+double FutureResponseTime(const ModelParams& p, double processor_speed, double cache_size);
+
+// Builds model parameters from a simulated job's statistics plus externally
+// measured per-switch penalties (microseconds, as Table 1 reports them).
+ModelParams ExtractModelParams(const JobStats& stats, double pa_us, double pna_us,
+                               SimDuration realloc_time = Microseconds(750));
+
+}  // namespace affsched
+
+#endif  // SRC_MODEL_RESPONSE_MODEL_H_

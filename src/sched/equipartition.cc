@@ -1,0 +1,54 @@
+#include "src/sched/equipartition.h"
+
+namespace affsched {
+
+std::map<JobId, size_t> Equipartition::ComputeTargets(const SchedView& view) {
+  std::map<JobId, size_t> targets;
+  const std::vector<JobId> jobs = view.ActiveJobs();
+  for (JobId j : jobs) {
+    targets[j] = 0;
+  }
+  size_t remaining = view.NumProcessors();
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (JobId j : jobs) {
+      if (remaining == 0) {
+        break;
+      }
+      if (targets[j] < view.MaxParallelism(j)) {
+        ++targets[j];
+        --remaining;
+        progress = true;
+      }
+    }
+  }
+  return targets;
+}
+
+PolicyDecision Equipartition::Repartition(const SchedView& view) {
+  PolicyDecision decision;
+  decision.targets = ComputeTargets(view);
+  return decision;
+}
+
+PolicyDecision Equipartition::OnJobArrival(const SchedView& view, JobId /*job*/) {
+  return Repartition(view);
+}
+
+PolicyDecision Equipartition::OnJobDeparture(const SchedView& view, JobId /*job*/) {
+  return Repartition(view);
+}
+
+PolicyDecision Equipartition::OnProcessorAvailable(const SchedView& /*view*/, size_t /*proc*/) {
+  // Idle processors are never redistributed between arrivals: this is the
+  // policy's deliberate waste / affinity trade.
+  return {};
+}
+
+PolicyDecision Equipartition::OnRequest(const SchedView& /*view*/, JobId /*job*/) {
+  // Requests beyond the equipartition target are ignored.
+  return {};
+}
+
+}  // namespace affsched

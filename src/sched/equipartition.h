@@ -1,0 +1,40 @@
+// Equipartition (Section 5.1), after the "process control" policy of
+// [Tucker & Gupta 89]: processors are divided equally among jobs, with
+// reallocation only on job arrival and completion. This extreme minimises
+// #reallocations (perfect affinity: tasks essentially never move) at the cost
+// of maximum waste (idle processors are never redistributed to jobs that
+// could use them).
+
+#ifndef SRC_SCHED_EQUIPARTITION_H_
+#define SRC_SCHED_EQUIPARTITION_H_
+
+#include "src/sched/policy.h"
+
+namespace affsched {
+
+class Equipartition : public Policy {
+ public:
+  std::string name() const override { return "Equipartition"; }
+
+  PolicyDecision OnJobArrival(const SchedView& view, JobId job) override;
+  PolicyDecision OnJobDeparture(const SchedView& view, JobId job) override;
+  PolicyDecision OnProcessorAvailable(const SchedView& view, size_t proc) override;
+  PolicyDecision OnRequest(const SchedView& view, JobId job) override;
+
+  // Tasks essentially never move under Equipartition, so the runtime keeps
+  // worker/processor pairings stable ("perfect affinity scheduling").
+  bool UsesAffinity() const override { return true; }
+
+  // The paper's allocation-number computation: allocation numbers start at
+  // zero and are incremented round-robin; a job whose number reaches its
+  // maximum parallelism drops out; the process stops when all processors are
+  // allocated or no jobs remain. Exposed for unit testing.
+  static std::map<JobId, size_t> ComputeTargets(const SchedView& view);
+
+ private:
+  PolicyDecision Repartition(const SchedView& view);
+};
+
+}  // namespace affsched
+
+#endif  // SRC_SCHED_EQUIPARTITION_H_

@@ -1,0 +1,38 @@
+#include "src/sched/factory.h"
+
+#include "src/common/check.h"
+#include "src/sched/dynamic.h"
+#include "src/sched/equipartition.h"
+#include "src/sched/timeshare.h"
+
+namespace affsched {
+
+std::unique_ptr<Policy> MakePolicy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kEquipartition:
+      return std::make_unique<Equipartition>();
+    case PolicyKind::kDynamic:
+      return std::make_unique<DynamicPolicy>(DynamicOptions{});
+    case PolicyKind::kDynAff:
+      return std::make_unique<DynamicPolicy>(DynamicOptions{.use_affinity = true});
+    case PolicyKind::kDynAffNoPri:
+      return std::make_unique<DynamicPolicy>(
+          DynamicOptions{.use_affinity = true, .enforce_priority = false});
+    case PolicyKind::kDynAffDelay:
+      return std::make_unique<DynamicPolicy>(
+          DynamicOptions{.use_affinity = true, .yield_delay = kDefaultYieldDelay});
+    case PolicyKind::kTimeShare:
+      return std::make_unique<TimeSharePolicy>(TimeShareOptions{});
+    case PolicyKind::kTimeShareAff:
+      return std::make_unique<TimeSharePolicy>(TimeShareOptions{.use_affinity = true});
+  }
+  AFF_CHECK_MSG(false, "unknown policy kind");
+}
+
+std::string PolicyKindName(PolicyKind kind) { return MakePolicy(kind)->name(); }
+
+std::vector<PolicyKind> DynamicFamily() {
+  return {PolicyKind::kDynamic, PolicyKind::kDynAff, PolicyKind::kDynAffDelay};
+}
+
+}  // namespace affsched

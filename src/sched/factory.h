@@ -1,0 +1,36 @@
+// Convenience constructors for the paper's policy line-up.
+
+#ifndef SRC_SCHED_FACTORY_H_
+#define SRC_SCHED_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sched/policy.h"
+
+namespace affsched {
+
+enum class PolicyKind {
+  kEquipartition,
+  kDynamic,
+  kDynAff,
+  kDynAffNoPri,
+  kDynAffDelay,
+  kTimeShare,
+  kTimeShareAff,
+};
+
+// Default hold time for Dyn-Aff-Delay.
+inline constexpr SimDuration kDefaultYieldDelay = Milliseconds(20);
+
+std::unique_ptr<Policy> MakePolicy(PolicyKind kind);
+
+std::string PolicyKindName(PolicyKind kind);
+
+// The policies Figure 5 compares against Equipartition, in paper order.
+std::vector<PolicyKind> DynamicFamily();
+
+}  // namespace affsched
+
+#endif  // SRC_SCHED_FACTORY_H_

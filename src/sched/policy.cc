@@ -1,0 +1,7 @@
+#include "src/sched/policy.h"
+
+namespace affsched {
+
+PolicyDecision Policy::OnQuantumExpiry(const SchedView& /*view*/, size_t /*proc*/) { return {}; }
+
+}  // namespace affsched

@@ -1,0 +1,140 @@
+// The processor-allocation policy interface (the "Minos" role).
+//
+// The engine (src/engine) owns all machine and job state and consults the
+// policy at the decision points Section 5 of the paper describes:
+//   * job arrival / departure,
+//   * a processor becoming available (freed, or willing-to-yield),
+//   * a job requesting additional processors.
+// Policies inspect the system through SchedView and answer with processor
+// assignments (and, for repartitioning policies like Equipartition, a full
+// target allocation). The engine carries out preemptions, context-switch
+// costs, and dispatch.
+
+#ifndef SRC_SCHED_POLICY_H_
+#define SRC_SCHED_POLICY_H_
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cache/exact_cache.h"
+#include "src/workload/job.h"
+#include "src/workload/worker.h"
+
+namespace affsched {
+
+// Read-only view of scheduler-relevant state, implemented by the engine.
+class SchedView {
+ public:
+  virtual ~SchedView() = default;
+
+  virtual size_t NumProcessors() const = 0;
+
+  // Jobs currently in the system, in arrival order.
+  virtual std::vector<JobId> ActiveJobs() const = 0;
+
+  // Number of processors currently held by `job`.
+  virtual size_t Allocation(JobId job) const = 0;
+
+  // Allocation after all committed (pending) reassignments take effect.
+  // Policies should reason about this value to avoid double-preempting.
+  virtual size_t EffectiveAllocation(JobId job) const = 0;
+
+  virtual size_t MaxParallelism(JobId job) const = 0;
+
+  // Additional processors the job could use right now (ready threads not yet
+  // claimed, capped by max parallelism).
+  virtual size_t PendingDemand(JobId job) const = 0;
+
+  // Job holding this processor; kInvalidJobId if the processor is free.
+  virtual JobId ProcessorJob(size_t proc) const = 0;
+
+  // True if the holding job has flagged the processor as reallocatable.
+  virtual bool WillingToYield(size_t proc) const = 0;
+
+  // True if the processor is already committed to move to another job at the
+  // next chunk boundary; policies must not re-assign it.
+  virtual bool ReassignmentPending(size_t proc) const = 0;
+
+  // Processor history: the most recent task to have run on `proc`.
+  virtual CacheOwner LastTaskOn(size_t proc) const = 0;
+
+  // Full per-processor task history, most-recent-first (length T; the paper
+  // evaluates T = 1).
+  virtual std::vector<CacheOwner> RecentTasksOn(size_t proc) const = 0;
+
+  // True if `task` is not currently active on some processor but belongs to a
+  // job with useful work for it.
+  virtual bool TaskRunnable(CacheOwner task) const = 0;
+
+  virtual JobId TaskJob(CacheOwner task) const = 0;
+
+  // Task history (P = 1): the processor the job's next-to-run task last ran
+  // on; kNoProcessor if no hint.
+  virtual size_t DesiredProcessor(JobId job) const = 0;
+
+  // Usage-based priority (higher = more entitled to processors right now).
+  // Implements the credit scheme of [McCann et al. 91]: priority rises while
+  // a job uses less than its fair share and falls while it uses more.
+  virtual double Priority(JobId job) const = 0;
+};
+
+// Directive: give `proc` to `job`, preferring to dispatch `prefer_task` on it
+// (kNoOwner lets the engine pick, which itself prefers an affine worker).
+struct Assignment {
+  size_t proc = kNoProcessor;
+  JobId job = kInvalidJobId;
+  CacheOwner prefer_task = kNoOwner;
+};
+
+struct PolicyDecision {
+  // Incremental processor assignments.
+  std::vector<Assignment> assignments;
+  // Full repartition: target processor counts per job. The engine reconciles
+  // by preempting over-target jobs and assigning to under-target jobs.
+  std::optional<std::map<JobId, size_t>> targets;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual std::string name() const = 0;
+
+  // A new job entered the system (it appears in view.ActiveJobs()).
+  virtual PolicyDecision OnJobArrival(const SchedView& view, JobId job) = 0;
+
+  // A job left; its processors have already been freed.
+  virtual PolicyDecision OnJobDeparture(const SchedView& view, JobId job) = 0;
+
+  // `proc` became available: either it is free (holding job departed) or its
+  // holding job marked it willing-to-yield.
+  virtual PolicyDecision OnProcessorAvailable(const SchedView& view, size_t proc) = 0;
+
+  // `job` asked for additional processors (PendingDemand(job) > 0). The
+  // engine re-invokes this while the policy makes progress and demand
+  // remains, so returning a single assignment per call is fine.
+  virtual PolicyDecision OnRequest(const SchedView& view, JobId job) = 0;
+
+  // How long a job may hold an idle processor before it is advertised as
+  // willing-to-yield (Dyn-Aff-Delay returns > 0).
+  virtual SimDuration YieldDelay() const { return 0; }
+
+  // True if the policy (and the job runtime cooperating with it) uses
+  // affinity information when placing tasks. When false, the engine models an
+  // oblivious runtime: workers are dispatched without regard to where their
+  // cache context lives (the paper's plain Dynamic policy).
+  virtual bool UsesAffinity() const { return false; }
+
+  // Nonzero enables quantum-driven rescheduling (the TimeShare baseline).
+  virtual SimDuration Quantum() const { return 0; }
+
+  // Called on quantum expiry for `proc` when Quantum() > 0.
+  virtual PolicyDecision OnQuantumExpiry(const SchedView& view, size_t proc);
+};
+
+}  // namespace affsched
+
+#endif  // SRC_SCHED_POLICY_H_

@@ -1,0 +1,79 @@
+#include "src/sched/timeshare.h"
+
+namespace affsched {
+
+PolicyDecision TimeSharePolicy::OnJobArrival(const SchedView& /*view*/, JobId /*job*/) {
+  return {};
+}
+
+PolicyDecision TimeSharePolicy::OnJobDeparture(const SchedView& /*view*/, JobId /*job*/) {
+  return {};
+}
+
+PolicyDecision TimeSharePolicy::OnProcessorAvailable(const SchedView& view, size_t proc) {
+  PolicyDecision decision;
+  // Give the processor to the requesting job with the largest unmet demand
+  // (FIFO on ties), skipping the current holder.
+  JobId best = kInvalidJobId;
+  size_t best_demand = 0;
+  for (JobId j : view.ActiveJobs()) {
+    const size_t demand = view.PendingDemand(j);
+    if (j != view.ProcessorJob(proc) && demand > best_demand) {
+      best = j;
+      best_demand = demand;
+    }
+  }
+  if (best != kInvalidJobId) {
+    decision.assignments.push_back(Assignment{proc, best, kNoOwner});
+  }
+  return decision;
+}
+
+PolicyDecision TimeSharePolicy::OnRequest(const SchedView& view, JobId job) {
+  PolicyDecision decision;
+  if (view.PendingDemand(job) == 0) {
+    return decision;
+  }
+  // Only unallocated processors are claimed on request; rotation is what
+  // moves processors between jobs under time sharing.
+  for (size_t p = 0; p < view.NumProcessors(); ++p) {
+    if (view.ProcessorJob(p) == kInvalidJobId) {
+      decision.assignments.push_back(Assignment{p, job, kNoOwner});
+      return decision;
+    }
+  }
+  return decision;
+}
+
+PolicyDecision TimeSharePolicy::OnQuantumExpiry(const SchedView& view, size_t proc) {
+  PolicyDecision decision;
+  const std::vector<JobId> jobs = view.ActiveJobs();
+  if (jobs.size() < 2) {
+    return decision;
+  }
+
+  // Rotate the processor to the next job (round-robin) with unmet demand.
+  // Both variants rotate identically — quantum-driven fairness is the
+  // defining property of time sharing. The affinity variant differs in task
+  // *placement*: UsesAffinity() makes the runtime dispatch the worker whose
+  // cache context lives on this processor (and A.1-style reunification
+  // below), the approach of [Squillante & Lazowska 89].
+  for (size_t step = 0; step < jobs.size(); ++step) {
+    const JobId candidate = jobs[(rotation_cursor_ + step) % jobs.size()];
+    if (candidate != view.ProcessorJob(proc) && view.PendingDemand(candidate) > 0) {
+      rotation_cursor_ = (rotation_cursor_ + step + 1) % jobs.size();
+      CacheOwner prefer = kNoOwner;
+      if (options_.use_affinity) {
+        const CacheOwner last = view.LastTaskOn(proc);
+        if (last != kNoOwner && view.TaskJob(last) == candidate && view.TaskRunnable(last)) {
+          prefer = last;
+        }
+      }
+      decision.assignments.push_back(Assignment{proc, candidate, prefer});
+      return decision;
+    }
+  }
+  return decision;
+}
+
+}  // namespace affsched

@@ -1,0 +1,50 @@
+// Quantum-driven time-sharing baseline.
+//
+// Not one of the paper's candidate policies — Section 8 argues that previous
+// affinity-scheduling work reached different conclusions because it studied
+// time sharing, whose quantum-driven involuntary switches make affinity far
+// more important. This policy lets us reproduce that comparison as an
+// ablation (bench_ablation_timeshare): round-robin rotation of processors
+// among jobs on a fixed quantum (DYNIX used 100 ms), with an optional
+// affinity preference when rotating.
+
+#ifndef SRC_SCHED_TIMESHARE_H_
+#define SRC_SCHED_TIMESHARE_H_
+
+#include "src/sched/policy.h"
+
+namespace affsched {
+
+struct TimeShareOptions {
+  SimDuration quantum = Milliseconds(100);
+  // When rotating, prefer handing the processor to the job of the task that
+  // last ran there (a simple affinity-aware time-sharing variant).
+  bool use_affinity = false;
+};
+
+class TimeSharePolicy : public Policy {
+ public:
+  explicit TimeSharePolicy(const TimeShareOptions& options) : options_(options) {}
+
+  std::string name() const override {
+    return options_.use_affinity ? "TimeShare-Aff" : "TimeShare";
+  }
+
+  PolicyDecision OnJobArrival(const SchedView& view, JobId job) override;
+  PolicyDecision OnJobDeparture(const SchedView& view, JobId job) override;
+  PolicyDecision OnProcessorAvailable(const SchedView& view, size_t proc) override;
+  PolicyDecision OnRequest(const SchedView& view, JobId job) override;
+
+  SimDuration Quantum() const override { return options_.quantum; }
+  bool UsesAffinity() const override { return options_.use_affinity; }
+  PolicyDecision OnQuantumExpiry(const SchedView& view, size_t proc) override;
+
+ private:
+  TimeShareOptions options_;
+  // Round-robin cursor over job ids, advanced on each rotation decision.
+  size_t rotation_cursor_ = 0;
+};
+
+}  // namespace affsched
+
+#endif  // SRC_SCHED_TIMESHARE_H_

@@ -1,0 +1,81 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+EventId EventQueue::ScheduleAt(SimTime when, std::function<void()> fn) {
+  AFF_CHECK_MSG(when >= now_, "event scheduled in the past");
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId EventQueue::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+  AFF_CHECK(delay >= 0);
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::Cancel(EventId id) { return handlers_.erase(id) > 0; }
+
+bool EventQueue::IsPending(EventId id) const { return handlers_.count(id) > 0; }
+
+void EventQueue::SkimCancelled() {
+  while (!heap_.empty() && handlers_.find(heap_.top().id) == handlers_.end()) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::PeekTime() {
+  SkimCancelled();
+  return heap_.empty() ? kTimeInfinite : heap_.top().when;
+}
+
+bool EventQueue::RunNext() {
+  SkimCancelled();
+  if (heap_.empty()) {
+    return false;
+  }
+  const Entry entry = heap_.top();
+  heap_.pop();
+  auto it = handlers_.find(entry.id);
+  AFF_CHECK(it != handlers_.end());
+  // Move the handler out before running: the handler may schedule or cancel
+  // other events (and re-entrantly touch the map).
+  std::function<void()> fn = std::move(it->second);
+  handlers_.erase(it);
+  AFF_CHECK(entry.when >= now_);
+  now_ = entry.when;
+  fn();
+  return true;
+}
+
+size_t EventQueue::RunUntil(SimTime deadline) {
+  size_t ran = 0;
+  while (true) {
+    const SimTime next = PeekTime();
+    if (next == kTimeInfinite || next > deadline) {
+      break;
+    }
+    RunNext();
+    ++ran;
+  }
+  if (now_ < deadline && deadline != kTimeInfinite) {
+    now_ = deadline;
+  }
+  return ran;
+}
+
+size_t EventQueue::RunAll(size_t max_events) {
+  size_t ran = 0;
+  while (RunNext()) {
+    ++ran;
+    AFF_CHECK_MSG(ran < max_events, "event cap exceeded: likely a runaway simulation");
+  }
+  return ran;
+}
+
+}  // namespace affsched

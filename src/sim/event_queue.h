@@ -1,0 +1,87 @@
+// Discrete-event simulation core: a time-ordered event queue with support for
+// event cancellation, plus the simulation clock.
+//
+// Determinism: events at the same timestamp run in scheduling order (FIFO by
+// sequence number), so a given seed always produces the same trajectory.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace affsched {
+
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `fn` to run at absolute time `when` (>= now). Returns a handle
+  // usable with Cancel().
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` (>= 0) after the current time.
+  EventId ScheduleAfter(SimDuration delay, std::function<void()> fn);
+
+  // Cancels a pending event. Returns true if the event was pending (i.e. had
+  // not yet run and had not already been cancelled).
+  bool Cancel(EventId id);
+
+  // True if an event with this id is still pending.
+  bool IsPending(EventId id) const;
+
+  // Runs the earliest pending event, advancing the clock to its timestamp.
+  // Returns false if no events remain.
+  bool RunNext();
+
+  // Runs events until the queue empties or the clock would pass `deadline`;
+  // the clock is left at min(deadline, last event time). Returns the number
+  // of events run.
+  size_t RunUntil(SimTime deadline);
+
+  // Runs all events. Guards against runaway simulations with a hard cap.
+  size_t RunAll(size_t max_events = 500'000'000);
+
+  SimTime now() const { return now_; }
+  bool empty() const { return handlers_.empty(); }
+  size_t pending_count() const { return handlers_.size(); }
+
+  // Timestamp of the earliest pending event; kTimeInfinite if none.
+  SimTime PeekTime();
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;
+    EventId id;
+    bool operator>(const Entry& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  // Drops cancelled entries from the head of the heap.
+  void SkimCancelled();
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+};
+
+}  // namespace affsched
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

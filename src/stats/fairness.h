@@ -1,0 +1,28 @@
+// Fairness metrics over per-job outcomes.
+//
+// The paper rejects Dyn-Aff-NoPri because its response times relative to
+// Equipartition are "extremely variable" across jobs (Figure 6). These
+// metrics quantify that variability: Jain's fairness index and the max/min
+// spread.
+
+#ifndef SRC_STATS_FAIRNESS_H_
+#define SRC_STATS_FAIRNESS_H_
+
+#include <vector>
+
+namespace affsched {
+
+// Jain's fairness index: (sum x)^2 / (n * sum x^2). 1.0 = perfectly equal;
+// 1/n = one job gets everything. Inputs must be non-negative; returns 1.0
+// for empty input.
+double JainFairnessIndex(const std::vector<double>& values);
+
+// max(values) / min(values); +inf if min is 0; 1.0 for empty input.
+double MaxMinRatio(const std::vector<double>& values);
+
+// Population coefficient of variation (stddev / mean); 0 for empty input.
+double CoefficientOfVariation(const std::vector<double>& values);
+
+}  // namespace affsched
+
+#endif  // SRC_STATS_FAIRNESS_H_

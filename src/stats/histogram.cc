@@ -1,0 +1,67 @@
+#include "src/stats/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+WeightedHistogram::WeightedHistogram(size_t max_value) : buckets_(max_value + 1, 0.0) {}
+
+void WeightedHistogram::Add(size_t value, double weight) {
+  AFF_CHECK(weight >= 0.0);
+  const size_t idx = std::min(value, buckets_.size() - 1);
+  buckets_[idx] += weight;
+}
+
+double WeightedHistogram::TotalWeight() const {
+  return std::accumulate(buckets_.begin(), buckets_.end(), 0.0);
+}
+
+double WeightedHistogram::Fraction(size_t value) const {
+  const double total = TotalWeight();
+  if (total <= 0.0 || value >= buckets_.size()) {
+    return 0.0;
+  }
+  return buckets_[value] / total;
+}
+
+double WeightedHistogram::Mean() const {
+  const double total = TotalWeight();
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    acc += static_cast<double>(i) * buckets_[i];
+  }
+  return acc / total;
+}
+
+std::string WeightedHistogram::Render(const std::string& label) const {
+  std::ostringstream out;
+  out << label << "\n";
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const double frac = Fraction(i);
+    if (frac <= 0.0) {
+      continue;
+    }
+    char line[128];
+    std::snprintf(line, sizeof(line), "  parallelism %2zu: %5.1f%%  ", i, frac * 100.0);
+    out << line;
+    const int bar = static_cast<int>(frac * 60.0 + 0.5);
+    for (int b = 0; b < bar; ++b) {
+      out << '#';
+    }
+    out << "\n";
+  }
+  char mean_line[64];
+  std::snprintf(mean_line, sizeof(mean_line), "  mean parallelism: %.2f\n", Mean());
+  out << mean_line;
+  return out.str();
+}
+
+}  // namespace affsched

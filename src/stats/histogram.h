@@ -1,0 +1,41 @@
+// Fixed-bucket histogram, used to record parallelism profiles (Figures 2-4
+// show "% of time spent at each level of physical parallelism").
+
+#ifndef SRC_STATS_HISTOGRAM_H_
+#define SRC_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace affsched {
+
+// Accumulates weight (e.g. simulated time) per integer bucket [0, max_value].
+class WeightedHistogram {
+ public:
+  explicit WeightedHistogram(size_t max_value);
+
+  // Adds `weight` to `value`'s bucket; values above max clamp to the top.
+  void Add(size_t value, double weight);
+
+  double TotalWeight() const;
+
+  // Fraction of total weight in the given bucket (0 if no weight recorded).
+  double Fraction(size_t value) const;
+
+  // Weighted mean bucket value.
+  double Mean() const;
+
+  size_t max_value() const { return buckets_.size() - 1; }
+
+  // Renders "level: percent" lines for nonzero buckets, plus the mean —
+  // the textual equivalent of the per-application bar charts in Figs. 2-4.
+  std::string Render(const std::string& label) const;
+
+ private:
+  std::vector<double> buckets_;
+};
+
+}  // namespace affsched
+
+#endif  // SRC_STATS_HISTOGRAM_H_

@@ -1,0 +1,40 @@
+// Application profile: everything the simulator needs to know about one
+// application class — its cache behaviour and how to generate its thread
+// dependence graph.
+
+#ifndef SRC_WORKLOAD_APP_PROFILE_H_
+#define SRC_WORKLOAD_APP_PROFILE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/cache/footprint.h"
+#include "src/common/rng.h"
+#include "src/workload/thread_graph.h"
+
+namespace affsched {
+
+struct AppProfile {
+  std::string name;
+
+  // Per-worker cache behaviour.
+  WorkingSetParams working_set;
+
+  // Fraction of a worker's cache footprint still useful when it switches to
+  // the next user-level thread of the same job. High for wavefront codes that
+  // consume their predecessors' outputs (MVA); low when successive threads
+  // work on disjoint data (MATRIX blocks); moderate for GRAVITY.
+  double thread_overlap = 0.5;
+
+  // Maximum number of processors the job can ever use (drives Equipartition's
+  // allocation-number computation).
+  size_t max_parallelism = 0;
+
+  // Builds a fresh (randomised) thread dependence graph for one job instance.
+  std::function<std::unique_ptr<ThreadGraph>(Rng&)> build_graph;
+};
+
+}  // namespace affsched
+
+#endif  // SRC_WORKLOAD_APP_PROFILE_H_

@@ -1,0 +1,121 @@
+#include "src/workload/graph_builders.h"
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+WorkFn ConstantWork(SimDuration work) {
+  return [work](size_t) { return work; };
+}
+
+std::vector<size_t> AddFork(ThreadGraph& graph, size_t count, const WorkFn& work) {
+  AFF_CHECK(count > 0);
+  std::vector<size_t> nodes;
+  nodes.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    nodes.push_back(graph.AddNode(work(i)));
+  }
+  return nodes;
+}
+
+std::vector<size_t> AddChain(ThreadGraph& graph, size_t count, const WorkFn& work) {
+  AFF_CHECK(count > 0);
+  std::vector<size_t> nodes;
+  nodes.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t node = graph.AddNode(work(i));
+    if (i > 0) {
+      graph.AddEdge(nodes.back(), node);
+    }
+    nodes.push_back(node);
+  }
+  return nodes;
+}
+
+std::vector<size_t> AddBarrierPhase(ThreadGraph& graph, const std::vector<size_t>& from,
+                                    size_t to_count, const WorkFn& work) {
+  AFF_CHECK(to_count > 0);
+  std::vector<size_t> nodes;
+  nodes.reserve(to_count);
+  for (size_t i = 0; i < to_count; ++i) {
+    const size_t node = graph.AddNode(work(i));
+    for (size_t p : from) {
+      graph.AddEdge(p, node);
+    }
+    nodes.push_back(node);
+  }
+  return nodes;
+}
+
+std::vector<size_t> AddWavefront(ThreadGraph& graph, size_t n, size_t m, const WorkFn& work) {
+  AFF_CHECK(n > 0 && m > 0);
+  std::vector<size_t> nodes;
+  nodes.reserve(n * m);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      nodes.push_back(graph.AddNode(work(i * m + j)));
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      if (i + 1 < n) {
+        graph.AddEdge(nodes[i * m + j], nodes[(i + 1) * m + j]);
+      }
+      if (j + 1 < m) {
+        graph.AddEdge(nodes[i * m + j], nodes[i * m + j + 1]);
+      }
+    }
+  }
+  return nodes;
+}
+
+std::vector<size_t> AddPipeline(ThreadGraph& graph, size_t stages, size_t items,
+                                const WorkFn& work) {
+  AFF_CHECK(stages > 0 && items > 0);
+  std::vector<size_t> nodes;
+  nodes.reserve(stages * items);
+  for (size_t s = 0; s < stages; ++s) {
+    for (size_t k = 0; k < items; ++k) {
+      nodes.push_back(graph.AddNode(work(s * items + k)));
+    }
+  }
+  for (size_t s = 0; s < stages; ++s) {
+    for (size_t k = 0; k < items; ++k) {
+      if (s + 1 < stages) {
+        graph.AddEdge(nodes[s * items + k], nodes[(s + 1) * items + k]);
+      }
+      if (k + 1 < items) {
+        graph.AddEdge(nodes[s * items + k], nodes[s * items + k + 1]);
+      }
+    }
+  }
+  return nodes;
+}
+
+std::vector<size_t> AddReductionTree(ThreadGraph& graph, size_t leaves, const WorkFn& work) {
+  AFF_CHECK(leaves > 0);
+  // Build level by level: leaves first, then parents over pairs.
+  std::vector<size_t> all;
+  std::vector<size_t> level;
+  size_t index = 0;
+  for (size_t i = 0; i < leaves; ++i) {
+    level.push_back(graph.AddNode(work(index++)));
+  }
+  all.insert(all.end(), level.begin(), level.end());
+  while (level.size() > 1) {
+    std::vector<size_t> next;
+    for (size_t i = 0; i < level.size(); i += 2) {
+      const size_t parent = graph.AddNode(work(index++));
+      graph.AddEdge(level[i], parent);
+      if (i + 1 < level.size()) {
+        graph.AddEdge(level[i + 1], parent);
+      }
+      next.push_back(parent);
+    }
+    all.insert(all.end(), next.begin(), next.end());
+    level = std::move(next);
+  }
+  return all;
+}
+
+}  // namespace affsched

@@ -1,0 +1,59 @@
+// Reusable thread-dependence-graph builders.
+//
+// The paper's applications are instances of classic parallel structures:
+// MVA is a wavefront, MATRIX a flat fork, GRAVITY a sequence of fork-join
+// phases. These helpers build such structures (and a few more: chains,
+// pipelines, trees) so new application profiles can be assembled from parts;
+// src/apps uses the same shapes inline.
+//
+// All builders append to an existing ThreadGraph and return the new nodes'
+// indices so structures can be composed (e.g. a chain of fork-joins).
+
+#ifndef SRC_WORKLOAD_GRAPH_BUILDERS_H_
+#define SRC_WORKLOAD_GRAPH_BUILDERS_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/workload/thread_graph.h"
+
+namespace affsched {
+
+// Produces the work for the i-th node of a structure.
+using WorkFn = std::function<SimDuration(size_t index)>;
+
+// A WorkFn returning the same duration for every node.
+WorkFn ConstantWork(SimDuration work);
+
+// `count` independent nodes (MATRIX's shape). Returns their indices.
+std::vector<size_t> AddFork(ThreadGraph& graph, size_t count, const WorkFn& work);
+
+// A serial chain of `count` nodes. Returns their indices in order.
+std::vector<size_t> AddChain(ThreadGraph& graph, size_t count, const WorkFn& work);
+
+// A full barrier: every node of `from` precedes every node of `to_count` new
+// nodes (GRAVITY's phase boundary). Returns the new nodes.
+std::vector<size_t> AddBarrierPhase(ThreadGraph& graph, const std::vector<size_t>& from,
+                                    size_t to_count, const WorkFn& work);
+
+// An n x m wavefront grid (MVA's shape): node (i,j) depends on (i-1,j) and
+// (i,j-1). Returns all nodes in row-major order; work(index) is called with
+// i * m + j.
+std::vector<size_t> AddWavefront(ThreadGraph& graph, size_t n, size_t m, const WorkFn& work);
+
+// A software pipeline: `stages` x `items` nodes where node (s, k) depends on
+// (s-1, k) (same item, previous stage) and (s, k-1) (previous item, same
+// stage — stages process items in order). Steady-state parallelism ~stages.
+// Returns nodes in stage-major order.
+std::vector<size_t> AddPipeline(ThreadGraph& graph, size_t stages, size_t items,
+                                const WorkFn& work);
+
+// A (top-down) complete binary reduction tree with `leaves` leaf nodes:
+// leaves are independent; each internal node depends on its two children.
+// Parallelism halves level by level — the mirror image of a fork.
+// Returns the root's index via the last element.
+std::vector<size_t> AddReductionTree(ThreadGraph& graph, size_t leaves, const WorkFn& work);
+
+}  // namespace affsched
+
+#endif  // SRC_WORKLOAD_GRAPH_BUILDERS_H_

@@ -1,0 +1,35 @@
+#include "src/workload/job.h"
+
+namespace affsched {
+
+Job::Job(JobId id, const AppProfile& profile, std::unique_ptr<ThreadGraph> graph, SimTime arrival)
+    : id_(id), profile_(profile), graph_(std::move(graph)) {
+  AFF_CHECK(graph_ != nullptr);
+  graph_->Start();
+  for (size_t node : graph_->initial_ready()) {
+    ready_.push_back(ThreadRef{.node = node, .remaining = graph_->work(node)});
+  }
+  stats_.arrival = arrival;
+}
+
+ThreadRef Job::PopReadyThread() {
+  AFF_CHECK(!ready_.empty());
+  ThreadRef t = ready_.front();
+  ready_.pop_front();
+  return t;
+}
+
+void Job::PushPreemptedThread(ThreadRef t) {
+  AFF_CHECK(t.remaining > 0);
+  ready_.push_front(t);
+}
+
+size_t Job::CompleteThread(size_t node) {
+  const std::vector<size_t> newly_ready = graph_->Complete(node);
+  for (size_t n : newly_ready) {
+    ready_.push_back(ThreadRef{.node = n, .remaining = graph_->work(n)});
+  }
+  return newly_ready.size();
+}
+
+}  // namespace affsched

@@ -1,0 +1,106 @@
+#include "src/workload/thread_graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+size_t ThreadGraph::AddNode(SimDuration work) {
+  AFF_CHECK(!started_);
+  AFF_CHECK(work >= 0);
+  nodes_.push_back(Node{.work = work, .dependents = {}, .indegree = 0, .done = false});
+  return nodes_.size() - 1;
+}
+
+void ThreadGraph::AddEdge(size_t from, size_t to) {
+  AFF_CHECK(!started_);
+  AFF_CHECK(from < nodes_.size() && to < nodes_.size());
+  AFF_CHECK(from != to);
+  nodes_[from].dependents.push_back(to);
+  ++nodes_[to].indegree;
+}
+
+void ThreadGraph::Start() {
+  AFF_CHECK(!started_);
+  started_ = true;
+  remaining_ = nodes_.size();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].indegree == 0) {
+      initial_ready_.push_back(i);
+    }
+  }
+}
+
+std::vector<size_t> ThreadGraph::Complete(size_t node) {
+  AFF_CHECK(started_);
+  AFF_CHECK(node < nodes_.size());
+  Node& n = nodes_[node];
+  AFF_CHECK_MSG(!n.done, "thread completed twice");
+  n.done = true;
+  AFF_CHECK(remaining_ > 0);
+  --remaining_;
+  std::vector<size_t> ready;
+  for (size_t dep : n.dependents) {
+    AFF_CHECK(nodes_[dep].indegree > 0);
+    if (--nodes_[dep].indegree == 0) {
+      ready.push_back(dep);
+    }
+  }
+  return ready;
+}
+
+SimDuration ThreadGraph::work(size_t node) const {
+  AFF_CHECK(node < nodes_.size());
+  return nodes_[node].work;
+}
+
+SimDuration ThreadGraph::TotalWork() const {
+  SimDuration total = 0;
+  for (const Node& n : nodes_) {
+    total += n.work;
+  }
+  return total;
+}
+
+std::vector<size_t> ThreadGraph::LevelWidths() const {
+  // BFS levelisation: level(n) = 1 + max(level of predecessors).
+  std::vector<size_t> level(nodes_.size(), 0);
+  std::vector<size_t> indeg(nodes_.size());
+  std::vector<size_t> queue;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    indeg[i] = nodes_[i].indegree + (nodes_[i].done ? 1 : 0);
+  }
+  // Recompute indegrees from scratch so this works before or after Start().
+  std::fill(indeg.begin(), indeg.end(), 0);
+  for (const Node& n : nodes_) {
+    for (size_t dep : n.dependents) {
+      ++indeg[dep];
+    }
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (indeg[i] == 0) {
+      queue.push_back(i);
+    }
+  }
+  size_t max_level = 0;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const size_t u = queue[head];
+    for (size_t v : nodes_[u].dependents) {
+      level[v] = std::max(level[v], level[u] + 1);
+      if (--indeg[v] == 0) {
+        queue.push_back(v);
+      }
+    }
+    max_level = std::max(max_level, level[u]);
+  }
+  AFF_CHECK_MSG(queue.size() == nodes_.size(), "dependence graph has a cycle");
+  std::vector<size_t> widths(max_level + 1, 0);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    ++widths[level[i]];
+  }
+  return widths;
+}
+
+}  // namespace affsched

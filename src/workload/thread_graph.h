@@ -1,0 +1,66 @@
+// User-level thread dependence graphs.
+//
+// The paper's applications are structured as many user-level threads with
+// precedence constraints (Figures 2-4 show each application's thread
+// dependence graph), executed by a smaller number of kernel-schedulable
+// worker tasks. ThreadGraph is both the static DAG and its runtime state
+// (which nodes are complete, which are ready).
+
+#ifndef SRC_WORKLOAD_THREAD_GRAPH_H_
+#define SRC_WORKLOAD_THREAD_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace affsched {
+
+class ThreadGraph {
+ public:
+  // Adds a node (user-level thread) with the given useful work, expressed in
+  // base-machine processor time. Returns its index.
+  size_t AddNode(SimDuration work);
+
+  // Adds a precedence edge: `to` cannot start until `from` completes.
+  // Must be called before Start().
+  void AddEdge(size_t from, size_t to);
+
+  // Freezes the graph and computes the initial ready set.
+  void Start();
+
+  // Indices of nodes ready at Start() time.
+  const std::vector<size_t>& initial_ready() const { return initial_ready_; }
+
+  // Marks `node` complete; returns the nodes that became ready.
+  std::vector<size_t> Complete(size_t node);
+
+  bool Finished() const { return remaining_ == 0; }
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t remaining() const { return remaining_; }
+
+  SimDuration work(size_t node) const;
+  SimDuration TotalWork() const;
+
+  // Width of the graph if executed greedily on unlimited processors: returns,
+  // for each discrete "level", the number of concurrently-runnable nodes.
+  // Used to characterise application parallelism structure in tests.
+  std::vector<size_t> LevelWidths() const;
+
+ private:
+  struct Node {
+    SimDuration work = 0;
+    std::vector<size_t> dependents;
+    size_t indegree = 0;
+    bool done = false;
+  };
+
+  bool started_ = false;
+  size_t remaining_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<size_t> initial_ready_;
+};
+
+}  // namespace affsched
+
+#endif  // SRC_WORKLOAD_THREAD_GRAPH_H_

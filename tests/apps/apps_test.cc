@@ -1,0 +1,170 @@
+#include "src/apps/apps.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/rng.h"
+
+namespace affsched {
+namespace {
+
+TEST(AppsTest, DefaultProfilesAreTheThreePaperApps) {
+  const auto profiles = DefaultProfiles();
+  ASSERT_EQ(profiles.size(), 3u);
+  EXPECT_EQ(profiles[0].name, "MVA");
+  EXPECT_EQ(profiles[1].name, "MATRIX");
+  EXPECT_EQ(profiles[2].name, "GRAVITY");
+}
+
+TEST(MvaTest, WavefrontParallelismGrowsThenShrinks) {
+  // "Its precedence structure is representative of many wave front
+  // computations, and exhibits parallelism that first slowly grows and then
+  // slowly decreases."
+  const AppProfile mva = MakeMvaProfile(MvaParams{.grid = 8});
+  Rng rng(1);
+  auto graph = mva.build_graph(rng);
+  const auto widths = graph->LevelWidths();
+  ASSERT_EQ(widths.size(), 15u);  // 2*8 - 1 anti-diagonals
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(widths[i], i + 1);
+    EXPECT_EQ(widths[widths.size() - 1 - i], i + 1);
+  }
+  EXPECT_EQ(widths[7], 8u);
+}
+
+TEST(MvaTest, GridNodeCount) {
+  const AppProfile mva = MakeMvaProfile(MvaParams{.grid = 5});
+  Rng rng(2);
+  auto graph = mva.build_graph(rng);
+  EXPECT_EQ(graph->num_nodes(), 25u);
+  EXPECT_EQ(mva.max_parallelism, 5u);
+}
+
+TEST(MvaTest, SingleInitialThread) {
+  const AppProfile mva = MakeMvaProfile();
+  Rng rng(3);
+  auto graph = mva.build_graph(rng);
+  graph->Start();
+  EXPECT_EQ(graph->initial_ready().size(), 1u);
+}
+
+TEST(MatrixTest, AllThreadsIndependent) {
+  // "massive and constant parallelism": every thread is ready at the start.
+  const AppProfile matrix = MakeMatrixProfile(MatrixParams{.threads = 24});
+  Rng rng(4);
+  auto graph = matrix.build_graph(rng);
+  graph->Start();
+  EXPECT_EQ(graph->initial_ready().size(), 24u);
+  EXPECT_EQ(matrix.max_parallelism, 24u);
+}
+
+TEST(MatrixTest, BlockedAlgorithmHasLowSteadyMissRate) {
+  const auto profiles = DefaultProfiles();
+  const AppProfile& matrix = profiles[1];
+  EXPECT_LT(matrix.working_set.steady_miss_per_s, profiles[0].working_set.steady_miss_per_s);
+  EXPECT_LT(matrix.working_set.steady_miss_per_s, profiles[2].working_set.steady_miss_per_s);
+}
+
+TEST(GravityTest, PhaseStructurePerTimestep) {
+  GravityParams params;
+  params.timesteps = 3;
+  params.phase_threads = {8, 4, 4, 2};
+  const AppProfile gravity = MakeGravityProfile(params);
+  Rng rng(5);
+  auto graph = gravity.build_graph(rng);
+  // Per time step: 1 sequential + 8 + 4 + 4 + 2 = 19 nodes.
+  EXPECT_EQ(graph->num_nodes(), 3u * 19u);
+  // Level structure: seq, ph1, ph2, ph3, ph4 repeated per step.
+  const auto widths = graph->LevelWidths();
+  ASSERT_EQ(widths.size(), 15u);
+  for (size_t step = 0; step < 3; ++step) {
+    EXPECT_EQ(widths[step * 5 + 0], 1u);   // sequential phase
+    EXPECT_EQ(widths[step * 5 + 1], 8u);
+    EXPECT_EQ(widths[step * 5 + 2], 4u);
+    EXPECT_EQ(widths[step * 5 + 3], 4u);
+    EXPECT_EQ(widths[step * 5 + 4], 2u);
+  }
+}
+
+TEST(GravityTest, BarrierBetweenPhases) {
+  // The first phase-2 node must wait for every phase-1 node.
+  GravityParams params;
+  params.timesteps = 1;
+  params.phase_threads = {3, 2, 2, 1};
+  const AppProfile gravity = MakeGravityProfile(params);
+  Rng rng(6);
+  auto graph = gravity.build_graph(rng);
+  graph->Start();
+  ASSERT_EQ(graph->initial_ready().size(), 1u);  // only the sequential node
+  const size_t seq = graph->initial_ready()[0];
+  auto phase1 = graph->Complete(seq);
+  ASSERT_EQ(phase1.size(), 3u);
+  // Completing two of three phase-1 nodes releases nothing.
+  EXPECT_TRUE(graph->Complete(phase1[0]).empty());
+  EXPECT_TRUE(graph->Complete(phase1[1]).empty());
+  // The last one releases all of phase 2.
+  EXPECT_EQ(graph->Complete(phase1[2]).size(), 2u);
+}
+
+TEST(GravityTest, MaxParallelismIsWidestPhase) {
+  const AppProfile gravity = MakeGravityProfile();
+  EXPECT_EQ(gravity.max_parallelism, 32u);
+}
+
+TEST(AppsTest, WorkJitterIsSeedDependentButBounded) {
+  const AppProfile matrix = MakeMatrixProfile(MatrixParams{.threads = 50,
+                                                           .thread_work = Milliseconds(100),
+                                                           .work_cv = 0.1});
+  Rng rng_a(7);
+  Rng rng_b(8);
+  auto ga = matrix.build_graph(rng_a);
+  auto gb = matrix.build_graph(rng_b);
+  bool any_diff = false;
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_GT(ga->work(i), 0);
+    EXPECT_LT(ga->work(i), Milliseconds(200));
+    any_diff = any_diff || ga->work(i) != gb->work(i);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(AppsTest, CacheCalibrationOrdering) {
+  // Table 1 fit: GRAVITY builds its working set slowest (smallest P^NA at
+  // Q=25ms but among the largest at Q=400ms); MATRIX has the smallest
+  // working set.
+  const auto profiles = DefaultProfiles();
+  const auto& mva = profiles[0].working_set;
+  const auto& matrix = profiles[1].working_set;
+  const auto& gravity = profiles[2].working_set;
+  EXPECT_GT(gravity.buildup_tau_s, mva.buildup_tau_s);
+  EXPECT_GT(gravity.buildup_tau_s, matrix.buildup_tau_s);
+  EXPECT_LT(matrix.blocks, mva.blocks);
+  EXPECT_LT(matrix.blocks, gravity.blocks);
+}
+
+TEST(AppsTest, TotalWorkMagnitudes) {
+  // Sanity-check the calibration targets discussed in DESIGN.md: MATRIX is by
+  // far the largest job; MVA the smallest.
+  Rng rng(9);
+  const auto profiles = DefaultProfiles();
+  const double mva_work = ToSeconds(profiles[0].build_graph(rng)->TotalWork());
+  const double matrix_work = ToSeconds(profiles[1].build_graph(rng)->TotalWork());
+  const double gravity_work = ToSeconds(profiles[2].build_graph(rng)->TotalWork());
+  EXPECT_NEAR(mva_work, 102.4, 10.0);
+  EXPECT_NEAR(matrix_work, 758.4, 40.0);
+  EXPECT_NEAR(gravity_work, 370.0, 30.0);
+}
+
+TEST(AppsTest, SmallProfilesAreActuallySmall) {
+  Rng rng(10);
+  for (const AppProfile& p :
+       {MakeSmallMvaProfile(), MakeSmallMatrixProfile(), MakeSmallGravityProfile()}) {
+    auto graph = p.build_graph(rng);
+    EXPECT_LT(ToSeconds(graph->TotalWork()), 5.0) << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace affsched

@@ -1,0 +1,65 @@
+#include "src/cache/bus.h"
+
+#include <gtest/gtest.h>
+
+namespace affsched {
+namespace {
+
+TEST(SharedBusTest, IdleBusHasNoInflation) {
+  SharedBus bus;
+  EXPECT_DOUBLE_EQ(bus.Utilization(0), 0.0);
+  EXPECT_DOUBLE_EQ(bus.InflationFactor(Seconds(1)), 1.0);
+}
+
+TEST(SharedBusTest, TrafficRaisesUtilization) {
+  SharedBus bus;
+  bus.RecordTraffic(0, 10000.0);  // 10k transfers x 0.45 us = 4.5 ms busy
+  EXPECT_GT(bus.Utilization(0), 0.0);
+  EXPECT_GT(bus.InflationFactor(0), 1.0);
+}
+
+TEST(SharedBusTest, UtilizationDecaysOverTime) {
+  SharedBus bus;
+  bus.RecordTraffic(0, 10000.0);
+  const double early = bus.Utilization(Milliseconds(1));
+  const double late = bus.Utilization(Milliseconds(100));
+  EXPECT_GT(early, late);
+  EXPECT_NEAR(late, 0.0, 1e-3);
+}
+
+TEST(SharedBusTest, InflationIsCapped) {
+  SharedBus::Config config;
+  config.max_inflation = 3.0;
+  SharedBus bus(config);
+  bus.RecordTraffic(0, 1e9);  // absurd traffic
+  EXPECT_LE(bus.InflationFactor(0), 3.0);
+}
+
+TEST(SharedBusTest, UtilizationNeverReachesOne) {
+  SharedBus bus;
+  bus.RecordTraffic(0, 1e9);
+  EXPECT_LT(bus.Utilization(0), 1.0);
+}
+
+TEST(SharedBusTest, SteadyTrafficApproximatesRate) {
+  // 16 processors missing at 2000/s each => 32k misses/s x 0.45us = 1.44%
+  // utilisation.
+  SharedBus bus;
+  SimTime now = 0;
+  for (int i = 0; i < 2000; ++i) {
+    now += Milliseconds(1);
+    bus.RecordTraffic(now, 32.0);  // 32 misses per ms
+  }
+  EXPECT_NEAR(bus.Utilization(now), 0.0144, 0.004);
+}
+
+TEST(SharedBusTest, ZeroTransferTimeMeansFreeBus) {
+  SharedBus::Config config;
+  config.transfer_seconds = 0.0;
+  SharedBus bus(config);
+  bus.RecordTraffic(0, 1e9);
+  EXPECT_DOUBLE_EQ(bus.InflationFactor(0), 1.0);
+}
+
+}  // namespace
+}  // namespace affsched

@@ -1,0 +1,148 @@
+#include "src/cache/coherent_caches.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace affsched {
+namespace {
+
+constexpr CacheOwner kJob = 7;
+
+CoherentCaches MakeCaches(size_t n = 4) { return CoherentCaches(n, CacheGeometry{}); }
+
+TEST(CoherentCachesTest, ReadFillsLocalCacheOnly) {
+  CoherentCaches caches = MakeCaches();
+  const auto r = caches.Access(0, kJob, 100, CoherentCaches::AccessType::kRead);
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(caches.ResidentIn(0, kJob, 100));
+  EXPECT_FALSE(caches.ResidentIn(1, kJob, 100));
+  EXPECT_EQ(caches.SharerCount(kJob, 100), 1u);
+}
+
+TEST(CoherentCachesTest, SecondReadHits) {
+  CoherentCaches caches = MakeCaches();
+  caches.Access(0, kJob, 100, CoherentCaches::AccessType::kRead);
+  EXPECT_TRUE(caches.Access(0, kJob, 100, CoherentCaches::AccessType::kRead).hit);
+}
+
+TEST(CoherentCachesTest, LineMayBeSharedByManyReaders) {
+  CoherentCaches caches = MakeCaches();
+  for (size_t c = 0; c < 4; ++c) {
+    caches.Access(c, kJob, 55, CoherentCaches::AccessType::kRead);
+  }
+  EXPECT_EQ(caches.SharerCount(kJob, 55), 4u);
+  EXPECT_TRUE(caches.CheckConsistency());
+}
+
+TEST(CoherentCachesTest, WriteInvalidatesAllOtherCopies) {
+  CoherentCaches caches = MakeCaches();
+  for (size_t c = 0; c < 4; ++c) {
+    caches.Access(c, kJob, 55, CoherentCaches::AccessType::kRead);
+  }
+  const auto w = caches.Access(0, kJob, 55, CoherentCaches::AccessType::kWrite);
+  EXPECT_EQ(w.remote_invalidations, 3u);
+  EXPECT_EQ(caches.SharerCount(kJob, 55), 1u);
+  EXPECT_TRUE(caches.DirtyIn(0, kJob, 55));
+  for (size_t c = 1; c < 4; ++c) {
+    EXPECT_FALSE(caches.ResidentIn(c, kJob, 55));
+  }
+  EXPECT_TRUE(caches.CheckConsistency());
+}
+
+TEST(CoherentCachesTest, ReadAfterRemoteWriteIsDirtySupply) {
+  CoherentCaches caches = MakeCaches();
+  caches.Access(0, kJob, 9, CoherentCaches::AccessType::kWrite);
+  const auto r = caches.Access(1, kJob, 9, CoherentCaches::AccessType::kRead);
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.dirty_supply);
+  // The line is now clean-shared in both caches.
+  EXPECT_EQ(caches.SharerCount(kJob, 9), 2u);
+  EXPECT_FALSE(caches.DirtyIn(0, kJob, 9));
+  EXPECT_TRUE(caches.CheckConsistency());
+}
+
+TEST(CoherentCachesTest, WriteToSharedLineIsAnUpgrade) {
+  CoherentCaches caches = MakeCaches();
+  caches.Access(0, kJob, 3, CoherentCaches::AccessType::kRead);
+  caches.Access(1, kJob, 3, CoherentCaches::AccessType::kRead);
+  // Writing a shared (non-exclusive) local copy requires an invalidation
+  // round: not a silent hit.
+  const auto w = caches.Access(0, kJob, 3, CoherentCaches::AccessType::kWrite);
+  EXPECT_FALSE(w.hit);
+  EXPECT_EQ(w.remote_invalidations, 1u);
+}
+
+TEST(CoherentCachesTest, ExclusiveWriterHitsRepeatedly) {
+  CoherentCaches caches = MakeCaches();
+  caches.Access(0, kJob, 3, CoherentCaches::AccessType::kWrite);
+  const auto w2 = caches.Access(0, kJob, 3, CoherentCaches::AccessType::kWrite);
+  EXPECT_TRUE(w2.hit);
+  EXPECT_EQ(w2.remote_invalidations, 0u);
+}
+
+TEST(CoherentCachesTest, PingPongWritesCountInvalidations) {
+  // The classic coherence pathology: two processors alternately writing the
+  // same line invalidate each other every time.
+  CoherentCaches caches = MakeCaches(2);
+  size_t invalidations = 0;
+  for (int round = 0; round < 10; ++round) {
+    invalidations += caches.Access(round % 2, kJob, 77,
+                                   CoherentCaches::AccessType::kWrite).remote_invalidations;
+  }
+  EXPECT_EQ(invalidations, 9u);  // every write after the first invalidates
+  EXPECT_TRUE(caches.CheckConsistency());
+}
+
+TEST(CoherentCachesTest, EvictionUpdatesDirectory) {
+  // Fill one set past capacity and check the directory never goes stale.
+  CoherentCaches caches = MakeCaches(2);
+  const size_t sets = CacheGeometry{}.NumSets();
+  // Three blocks mapping to set 0 in a 2-way cache: one gets evicted.
+  caches.Access(0, kJob, 0 * sets, CoherentCaches::AccessType::kRead);
+  caches.Access(0, kJob, 1 * sets, CoherentCaches::AccessType::kRead);
+  caches.Access(0, kJob, 2 * sets, CoherentCaches::AccessType::kRead);
+  EXPECT_TRUE(caches.CheckConsistency());
+  EXPECT_EQ(caches.SharerCount(kJob, 0 * sets), 0u);  // LRU victim
+}
+
+TEST(CoherentCachesTest, DirtyEvictionIsACopyBack) {
+  CoherentCaches caches = MakeCaches(1);
+  const size_t sets = CacheGeometry{}.NumSets();
+  caches.Access(0, kJob, 0 * sets, CoherentCaches::AccessType::kWrite);
+  const uint64_t before = caches.total_bus_transfers();
+  caches.Access(0, kJob, 1 * sets, CoherentCaches::AccessType::kRead);
+  caches.Access(0, kJob, 2 * sets, CoherentCaches::AccessType::kRead);  // evicts dirty line
+  // The eviction of the dirty line adds a copy-back transfer on top of the
+  // fill itself.
+  EXPECT_GE(caches.total_bus_transfers(), before + 3);
+  EXPECT_TRUE(caches.CheckConsistency());
+}
+
+TEST(CoherentCachesTest, DistinctOwnersDoNotInterfere) {
+  CoherentCaches caches = MakeCaches(2);
+  caches.Access(0, 1, 42, CoherentCaches::AccessType::kWrite);
+  const auto w = caches.Access(1, 2, 42, CoherentCaches::AccessType::kWrite);
+  EXPECT_EQ(w.remote_invalidations, 0u);  // different address spaces
+  EXPECT_TRUE(caches.ResidentIn(0, 1, 42));
+  EXPECT_TRUE(caches.ResidentIn(1, 2, 42));
+}
+
+TEST(CoherentCachesTest, RandomSoakStaysConsistent) {
+  CoherentCaches caches = MakeCaches(4);
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    const size_t cache = rng.NextBounded(4);
+    const CacheOwner owner = 1 + rng.NextBounded(2);
+    const uint64_t block = rng.NextBounded(6000);
+    const auto type = rng.NextBernoulli(0.3) ? CoherentCaches::AccessType::kWrite
+                                             : CoherentCaches::AccessType::kRead;
+    caches.Access(cache, owner, block, type);
+  }
+  EXPECT_TRUE(caches.CheckConsistency());
+  EXPECT_GT(caches.total_invalidations(), 0u);
+  EXPECT_GT(caches.total_dirty_supplies(), 0u);
+}
+
+}  // namespace
+}  // namespace affsched

@@ -1,0 +1,61 @@
+// Block-level invalidation paths of the exact cache (used by the coherence
+// layer).
+
+#include <gtest/gtest.h>
+
+#include "src/cache/exact_cache.h"
+
+namespace affsched {
+namespace {
+
+CacheGeometry SmallGeometry() {
+  return CacheGeometry{.line_bytes = 16, .total_bytes = 16 * 16, .ways = 2};
+}
+
+TEST(ExactCacheInvalidateTest, InvalidateResidentBlock) {
+  ExactCache c(SmallGeometry());
+  c.Access(1, 5);
+  EXPECT_TRUE(c.InvalidateBlock(1, 5));
+  EXPECT_FALSE(c.Contains(1, 5));
+  EXPECT_EQ(c.ResidentLines(1), 0u);
+  EXPECT_EQ(c.OccupiedLines(), 0u);
+}
+
+TEST(ExactCacheInvalidateTest, InvalidateAbsentBlockIsNoop) {
+  ExactCache c(SmallGeometry());
+  c.Access(1, 5);
+  EXPECT_FALSE(c.InvalidateBlock(1, 6));
+  EXPECT_FALSE(c.InvalidateBlock(2, 5));  // other owner's space
+  EXPECT_EQ(c.ResidentLines(1), 1u);
+}
+
+TEST(ExactCacheInvalidateTest, InvalidatedWayIsReusedFirst) {
+  ExactCache c(SmallGeometry());  // 8 sets x 2 ways
+  c.Access(1, 0);
+  c.Access(1, 8);  // set 0 now full
+  c.InvalidateBlock(1, 0);
+  // The next fill in set 0 must take the freed way, not evict block 8.
+  const auto result = c.Access(1, 16);
+  EXPECT_EQ(result.evicted_owner, kNoOwner);
+  EXPECT_TRUE(c.Contains(1, 8));
+  EXPECT_TRUE(c.Contains(1, 16));
+}
+
+TEST(ExactCacheInvalidateTest, EvictionReportsBlock) {
+  ExactCache c(SmallGeometry());
+  c.Access(1, 0);
+  c.Access(1, 8);
+  const auto result = c.Access(1, 16);  // evicts LRU (block 0)
+  EXPECT_EQ(result.evicted_owner, 1u);
+  EXPECT_EQ(result.evicted_block, 0u);
+}
+
+TEST(ExactCacheInvalidateTest, ReaccessAfterInvalidationMisses) {
+  ExactCache c(SmallGeometry());
+  c.Access(1, 3);
+  c.InvalidateBlock(1, 3);
+  EXPECT_FALSE(c.Access(1, 3).hit);
+}
+
+}  // namespace
+}  // namespace affsched

@@ -1,0 +1,162 @@
+// Validates the FootprintCache ejection approximation against the exact
+// set-associative cache: after task B streams its working set through a cache
+// holding task A's context, both models should agree (to tolerance) on how
+// much of A's footprint survives.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "src/cache/exact_cache.h"
+#include "src/cache/footprint.h"
+#include "src/common/rng.h"
+
+namespace affsched {
+namespace {
+
+// Draws `count` distinct block addresses from a large space so set placement
+// is effectively random (as virtually-addressed working sets are).
+std::vector<uint64_t> RandomBlocks(Rng& rng, size_t count) {
+  std::unordered_set<uint64_t> chosen;
+  std::vector<uint64_t> blocks;
+  while (blocks.size() < count) {
+    const uint64_t b = rng.NextBounded(1u << 24);
+    if (chosen.insert(b).second) {
+      blocks.push_back(b);
+    }
+  }
+  return blocks;
+}
+
+// Touches every block a few times (the steady state of a task's execution).
+void TouchAll(ExactCache& cache, CacheOwner owner, const std::vector<uint64_t>& blocks,
+              int passes = 3) {
+  for (int p = 0; p < passes; ++p) {
+    for (uint64_t b : blocks) {
+      cache.Access(owner, b);
+    }
+  }
+}
+
+struct SurvivalCase {
+  size_t wa;  // task A working set, blocks
+  size_t wb;  // intervening task B working set, blocks
+};
+
+class FootprintVsExactTest : public ::testing::TestWithParam<SurvivalCase> {};
+
+TEST_P(FootprintVsExactTest, EjectionAgreesWithinTolerance) {
+  const SurvivalCase c = GetParam();
+  const CacheGeometry geometry{};  // Symmetry: 4096 lines, 2-way
+  const double capacity = static_cast<double>(geometry.TotalLines());
+
+  Rng rng(0xFEEDu + c.wa * 131 + c.wb);
+  const auto blocks_a = RandomBlocks(rng, c.wa);
+  const auto blocks_b = RandomBlocks(rng, c.wb);
+
+  // Exact simulation.
+  ExactCache exact(geometry);
+  TouchAll(exact, 1, blocks_a);
+  const double resident_before = static_cast<double>(exact.ResidentLines(1));
+  TouchAll(exact, 2, blocks_b);
+  const double exact_survivors = static_cast<double>(exact.ResidentLines(1));
+
+  // Footprint model, driven to the same pre-interference state.
+  FootprintCache model(capacity);
+  model.SetResident(1, resident_before);
+  const WorkingSetParams ws_b{.blocks = static_cast<double>(c.wb),
+                              .buildup_tau_s = 0.01,
+                              .steady_miss_per_s = 0.0};
+  model.RunChunk(2, ws_b, 1.0);  // long enough to touch all of B's set
+  const double model_survivors = model.Resident(1);
+
+  // The exponential-ejection approximation should track the exact cache to
+  // within 15% of total capacity across regimes.
+  EXPECT_NEAR(model_survivors, exact_survivors, 0.15 * capacity)
+      << "A=" << c.wa << " B=" << c.wb << " exact=" << exact_survivors
+      << " model=" << model_survivors;
+
+  // Directionality: light interference leaves most of A intact in both
+  // models (set conflicts cost a little even below global capacity).
+  if (resident_before + static_cast<double>(c.wb) < 0.5 * capacity) {
+    EXPECT_GT(exact_survivors, 0.75 * resident_before);
+    EXPECT_GT(model_survivors, 0.75 * resident_before);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SurvivalRegimes, FootprintVsExactTest,
+    ::testing::Values(SurvivalCase{500, 500},    // both small: no interference
+                      SurvivalCase{1000, 2000},  // fits together
+                      SurvivalCase{2000, 2000},  // borderline
+                      SurvivalCase{3000, 1500},  // partial ejection
+                      SurvivalCase{3000, 3000},  // heavy ejection
+                      SurvivalCase{3500, 3900}   // near-total ejection
+                      ));
+
+TEST(FootprintVsExactTest, ColdReloadCountsAgree) {
+  // After a flush, both models reload exactly the working set.
+  const CacheGeometry geometry{};
+  Rng rng(77);
+  const auto blocks = RandomBlocks(rng, 2500);
+
+  ExactCache exact(geometry);
+  TouchAll(exact, 1, blocks);
+  exact.Flush();
+  exact.ResetCounters();
+  TouchAll(exact, 1, blocks, 1);
+  const double exact_reloads = static_cast<double>(exact.misses());
+
+  FootprintCache model(static_cast<double>(geometry.TotalLines()));
+  const WorkingSetParams ws{.blocks = 2500.0, .buildup_tau_s = 0.01, .steady_miss_per_s = 0.0};
+  model.RunChunk(1, ws, 1.0);
+  model.Flush();
+  const auto result = model.RunChunk(1, ws, 1.0);
+
+  // The model reloads the occupancy-capped footprint (self-conflicting
+  // blocks' repeated misses are the steady-state rate's job); the exact cache
+  // sees the compulsory 2500 plus a few conflict misses.
+  EXPECT_NEAR(result.reload_misses, model.MaxResident(2500.0), 1.0);
+  EXPECT_GE(exact_reloads, 2500.0);
+  EXPECT_LT(exact_reloads, 2500.0 * 1.2);
+  // The two agree within the documented tolerance.
+  EXPECT_NEAR(result.reload_misses, exact_reloads, 0.15 * 4096.0);
+}
+
+TEST(FootprintVsExactTest, OrderingPreservedAcrossInterferenceLevels) {
+  // More interference must mean fewer survivors in both models.
+  const CacheGeometry geometry{};
+  const double capacity = static_cast<double>(geometry.TotalLines());
+  Rng rng(99);
+  const auto blocks_a = RandomBlocks(rng, 3000);
+
+  double prev_exact = capacity;
+  double prev_model = capacity;
+  for (size_t wb : {500u, 1500u, 2500u, 3500u}) {
+    Rng inner(1000 + wb);
+    const auto blocks_b = RandomBlocks(inner, wb);
+    ExactCache exact(geometry);
+    TouchAll(exact, 1, blocks_a);
+    const double before = static_cast<double>(exact.ResidentLines(1));
+    TouchAll(exact, 2, blocks_b);
+    const double exact_survivors = static_cast<double>(exact.ResidentLines(1));
+
+    FootprintCache model(capacity);
+    model.SetResident(1, before);
+    const WorkingSetParams ws_b{.blocks = static_cast<double>(wb),
+                                .buildup_tau_s = 0.01,
+                                .steady_miss_per_s = 0.0};
+    model.RunChunk(2, ws_b, 1.0);
+    const double model_survivors = model.Resident(1);
+
+    EXPECT_LE(exact_survivors, prev_exact + 1e-9);
+    EXPECT_LE(model_survivors, prev_model + 1e-9);
+    prev_exact = exact_survivors;
+    prev_model = model_survivors;
+  }
+}
+
+}  // namespace
+}  // namespace affsched

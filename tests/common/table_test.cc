@@ -1,0 +1,62 @@
+#include "src/common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace affsched {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable t;
+  t.SetHeader({"policy", "rt"});
+  t.AddRow({"Dynamic", "87.5"});
+  t.AddRow({"Equipartition", "95.0"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("policy"), std::string::npos);
+  EXPECT_NE(out.find("Dynamic"), std::string::npos);
+  EXPECT_NE(out.find("Equipartition"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t;
+  t.SetHeader({"a", "b"});
+  t.AddRow({"xxxx", "1"});
+  t.AddRow({"y", "2"});
+  const std::string out = t.Render();
+  // Both data rows should place column b at the same offset.
+  const size_t line1 = out.find("xxxx");
+  const size_t pos1 = out.find('1', line1) - line1;
+  const size_t line2 = out.find("y\n") != std::string::npos ? out.find("y ") : out.find('y', line1);
+  const size_t pos2 = out.find('2', line2) - line2;
+  EXPECT_EQ(pos1, pos2);
+}
+
+TEST(TextTableTest, CountsRows) {
+  TextTable t;
+  t.SetHeader({"x"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTableDeathTest, MismatchedRowAborts) {
+  TextTable t;
+  t.SetHeader({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "CHECK");
+}
+
+TEST(FormatHelpersTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(FormatHelpersTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.83), "83%");
+  EXPECT_EQ(FormatPercent(0.215, 1), "21.5%");
+  EXPECT_EQ(FormatPercent(1.0), "100%");
+}
+
+}  // namespace
+}  // namespace affsched

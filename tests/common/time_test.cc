@@ -1,0 +1,43 @@
+#include "src/common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace affsched {
+namespace {
+
+TEST(TimeTest, UnitRelationships) {
+  EXPECT_EQ(kMicrosecond, 1000 * kNanosecond);
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+}
+
+TEST(TimeTest, ConstructorsRoundTrip) {
+  EXPECT_DOUBLE_EQ(ToMicroseconds(Microseconds(750)), 750.0);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(Milliseconds(25)), 25.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(87.5)), 87.5);
+}
+
+TEST(TimeTest, FractionalConstruction) {
+  EXPECT_EQ(Microseconds(0.75), 750);
+  EXPECT_EQ(Milliseconds(0.5), 500 * kMicrosecond);
+}
+
+TEST(TimeTest, CrossUnitConversions) {
+  EXPECT_DOUBLE_EQ(ToMilliseconds(Seconds(1.5)), 1500.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(Milliseconds(250)), 0.25);
+}
+
+TEST(TimeTest, FormatDurationPicksUnits) {
+  EXPECT_EQ(FormatDuration(Microseconds(750)), "750.000 us");
+  EXPECT_EQ(FormatDuration(Milliseconds(3.072)), "3.072 ms");
+  EXPECT_EQ(FormatDuration(Seconds(51.4)), "51.400 s");
+  EXPECT_EQ(FormatDuration(500), "500 ns");
+}
+
+TEST(TimeTest, SymmetryConstantsRelate) {
+  // Full cache fill: 4096 blocks x 0.75 us = 3.072 ms, as Section 3 states.
+  EXPECT_EQ(4096 * Microseconds(0.75), Milliseconds(3.072));
+}
+
+}  // namespace
+}  // namespace affsched

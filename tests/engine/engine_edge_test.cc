@@ -1,0 +1,237 @@
+// Edge-case engine tests: view semantics, priority credit dynamics, yield
+// timers, quantum rotation mechanics, repartition on staggered arrivals.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/apps.h"
+#include "src/engine/engine.h"
+#include "src/sched/factory.h"
+#include "src/trace/trace.h"
+
+namespace affsched {
+namespace {
+
+AppProfile FlatProfile(std::string name, size_t width, SimDuration work, size_t max_par = 0) {
+  AppProfile profile;
+  profile.name = std::move(name);
+  profile.working_set =
+      WorkingSetParams{.blocks = 0.0, .buildup_tau_s = 0.01, .steady_miss_per_s = 0.0};
+  profile.thread_overlap = 1.0;
+  profile.max_parallelism = max_par == 0 ? width : max_par;
+  profile.build_graph = [width, work](Rng&) {
+    auto g = std::make_unique<ThreadGraph>();
+    for (size_t i = 0; i < width; ++i) {
+      g->AddNode(work);
+    }
+    return g;
+  };
+  return profile;
+}
+
+MachineConfig TestMachine(size_t procs) {
+  MachineConfig config;
+  config.num_processors = procs;
+  return config;
+}
+
+TEST(EngineViewTest, AllocationAndDemandLifecycle) {
+  // Before Run() the view reports an empty system.
+  Engine engine(TestMachine(4), MakePolicy(PolicyKind::kDynamic), 1);
+  const JobId id = engine.SubmitJob(FlatProfile("x", 2, Milliseconds(10)));
+  EXPECT_TRUE(engine.ActiveJobs().empty());
+  EXPECT_EQ(engine.Allocation(id), 0u);
+  EXPECT_EQ(engine.PendingDemand(id), 0u);  // not yet arrived
+  engine.Run();
+  EXPECT_TRUE(engine.ActiveJobs().empty());  // completed
+  EXPECT_EQ(engine.EffectiveAllocation(id), 0u);
+}
+
+TEST(EngineViewTest, ProcessorsFreeAfterCompletion) {
+  Engine engine(TestMachine(4), MakePolicy(PolicyKind::kDynamic), 1);
+  engine.SubmitJob(FlatProfile("x", 4, Milliseconds(10)));
+  engine.Run();
+  for (size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(engine.ProcessorJob(p), kInvalidJobId);
+    EXPECT_FALSE(engine.WillingToYield(p));
+    EXPECT_FALSE(engine.ReassignmentPending(p));
+  }
+}
+
+TEST(EngineViewTest, ProcessorHistorySurvivesCompletion) {
+  Engine engine(TestMachine(2), MakePolicy(PolicyKind::kDynamic), 1);
+  engine.SubmitJob(FlatProfile("x", 2, Milliseconds(10)));
+  engine.Run();
+  // The last tasks remain in history for affinity decisions by later jobs.
+  EXPECT_NE(engine.LastTaskOn(0), kNoOwner);
+  EXPECT_EQ(engine.RecentTasksOn(0).size(), 1u);
+}
+
+TEST(EnginePriorityTest, UnderallocatedJobGainsPriority) {
+  // Submit a wide job and a narrow one; after running, the narrow job (which
+  // held fewer processors than its fair share) must have accrued positive
+  // credit relative to the hog. We observe priorities mid-run via a policy
+  // that snapshots them.
+  struct SnoopPolicy : public Policy {
+    std::string name() const override { return "snoop"; }
+    PolicyDecision OnJobArrival(const SchedView&, JobId) override { return {}; }
+    PolicyDecision OnJobDeparture(const SchedView&, JobId) override { return {}; }
+    PolicyDecision OnProcessorAvailable(const SchedView& view, size_t proc) override {
+      // Behave like Dynamic's basic rule so the workload progresses.
+      PolicyDecision d;
+      for (JobId j : view.ActiveJobs()) {
+        if (view.PendingDemand(j) > 0 && j != view.ProcessorJob(proc)) {
+          d.assignments.push_back(Assignment{proc, j, kNoOwner});
+          break;
+        }
+      }
+      return d;
+    }
+    PolicyDecision OnRequest(const SchedView& view, JobId job) override {
+      if (view.ActiveJobs().size() == 2) {
+        last_priority_gap = view.Priority(1) - view.Priority(0);
+        ++snapshots;
+      }
+      PolicyDecision d;
+      for (size_t p = 0; p < view.NumProcessors(); ++p) {
+        if (view.ProcessorJob(p) == kInvalidJobId) {
+          d.assignments.push_back(Assignment{p, job, kNoOwner});
+          return d;
+        }
+      }
+      return d;
+    }
+    double last_priority_gap = 0.0;
+    size_t snapshots = 0;
+  };
+
+  auto policy = std::make_unique<SnoopPolicy>();
+  SnoopPolicy* snoop = policy.get();
+  Engine engine(TestMachine(4), std::move(policy), 1);
+  // Job 0: hogs the machine with many threads. Job 1: a serial chain that can
+  // use only one processor, repeatedly requesting as threads complete.
+  engine.SubmitJob(FlatProfile("hog", 40, Milliseconds(50)));
+  AppProfile chain = FlatProfile("chain", 0, 0, 4);
+  chain.build_graph = [](Rng&) {
+    auto g = std::make_unique<ThreadGraph>();
+    size_t prev = g->AddNode(Milliseconds(30));
+    for (int i = 0; i < 10; ++i) {
+      const size_t next = g->AddNode(Milliseconds(30));
+      g->AddEdge(prev, next);
+      prev = next;
+    }
+    return g;
+  };
+  engine.SubmitJob(chain);
+  engine.Run();
+  EXPECT_GT(snoop->snapshots, 0u);
+  // The chain (job 1, at 1 processor vs fair share 2) accrues credit over the
+  // hog (at 3 processors).
+  EXPECT_GT(snoop->last_priority_gap, 0.0);
+}
+
+TEST(EngineYieldTest, DelayTimerCancelledWhenWorkArrives) {
+  // Under Dyn-Aff-Delay, a short inter-phase gap must not produce a yield
+  // event at all: the timer is cancelled when new work lands.
+  AppProfile two_phase = FlatProfile("p", 0, 0, 2);
+  two_phase.build_graph = [](Rng&) {
+    auto g = std::make_unique<ThreadGraph>();
+    const size_t a = g->AddNode(Milliseconds(30));
+    const size_t b = g->AddNode(Milliseconds(34));  // staggered finish
+    const size_t c = g->AddNode(Milliseconds(30));
+    g->AddEdge(a, c);
+    g->AddEdge(b, c);
+    return g;
+  };
+  RingTrace trace;
+  Engine engine(TestMachine(2), MakePolicy(PolicyKind::kDynAffDelay), 1);
+  engine.SetTraceSink(&trace);
+  engine.SubmitJob(two_phase);
+  engine.Run();
+  size_t yields = 0;
+  for (const TraceEvent& e : trace.Events()) {
+    if (e.kind == TraceEventKind::kYield) {
+      ++yields;
+    }
+  }
+  // The 4 ms gap between a's completion and c's start is far below the 20 ms
+  // yield delay: no willing-to-yield advertisement for that processor. The
+  // job's final wind-down (nothing left to run) may still yield.
+  EXPECT_LE(yields, 2u);
+}
+
+TEST(EngineQuantumTest, TimeShareAlternatesJobsOnOneProcessor) {
+  RingTrace trace;
+  Engine engine(TestMachine(1), MakePolicy(PolicyKind::kTimeShare), 1);
+  engine.SetTraceSink(&trace);
+  engine.SubmitJob(FlatProfile("a", 1, Milliseconds(450)));
+  engine.SubmitJob(FlatProfile("b", 1, Milliseconds(450)));
+  engine.Run();
+  // With a 100 ms quantum and two 450 ms jobs, several rotations occur, and
+  // dispatches alternate between the jobs.
+  std::vector<JobId> dispatch_jobs;
+  for (const TraceEvent& e : trace.Events()) {
+    if (e.kind == TraceEventKind::kDispatch) {
+      dispatch_jobs.push_back(e.job);
+    }
+  }
+  ASSERT_GE(dispatch_jobs.size(), 6u);
+  size_t alternations = 0;
+  for (size_t i = 1; i < dispatch_jobs.size(); ++i) {
+    alternations += dispatch_jobs[i] != dispatch_jobs[i - 1] ? 1 : 0;
+  }
+  EXPECT_EQ(alternations, dispatch_jobs.size() - 1);  // strict round-robin
+}
+
+TEST(EngineReconcileTest, LateArrivalPreemptsRunningEquipartition) {
+  RingTrace trace;
+  Engine engine(TestMachine(4), MakePolicy(PolicyKind::kEquipartition), 1);
+  engine.SetTraceSink(&trace);
+  engine.SubmitJob(FlatProfile("first", 8, Milliseconds(100)), 0);
+  const JobId late = engine.SubmitJob(FlatProfile("late", 8, Milliseconds(100)), Milliseconds(30));
+  engine.Run();
+  // The late arrival forced preemptions of the first job's running workers.
+  size_t preempts = 0;
+  for (const TraceEvent& e : trace.Events()) {
+    if (e.kind == TraceEventKind::kPreempt) {
+      ++preempts;
+    }
+  }
+  EXPECT_GE(preempts, 2u);
+  EXPECT_NEAR(engine.job_stats(late).AverageAllocation(), 2.0, 0.3);
+}
+
+TEST(EngineReconcileTest, DepartureHandsProcessorsToSurvivor) {
+  Engine engine(TestMachine(4), MakePolicy(PolicyKind::kEquipartition), 1);
+  const JobId quick = engine.SubmitJob(FlatProfile("quick", 2, Milliseconds(20)));
+  const JobId slow = engine.SubmitJob(FlatProfile("slow", 8, Milliseconds(100)));
+  engine.Run();
+  // After `quick` departs, `slow` gets the whole machine: its average
+  // allocation exceeds the 2 processors it started with.
+  EXPECT_GT(engine.job_stats(slow).AverageAllocation(), 2.5);
+  EXPECT_LT(engine.job_stats(quick).ResponseSeconds(),
+            engine.job_stats(slow).ResponseSeconds());
+}
+
+TEST(EngineMaxParallelismTest, AllocationNeverExceedsMaxParallelism) {
+  AppProfile capped = FlatProfile("capped", 12, Milliseconds(30), /*max_par=*/3);
+  Engine engine(TestMachine(8), MakePolicy(PolicyKind::kDynamic), 1);
+  const JobId id = engine.SubmitJob(capped);
+  engine.Run();
+  EXPECT_LE(engine.job_stats(id).AverageAllocation(), 3.0 + 1e-9);
+  // 12 threads x 30 ms at <= 3 wide: at least 120 ms.
+  EXPECT_GE(engine.job_stats(id).ResponseSeconds(), 0.120);
+}
+
+TEST(EngineZeroCacheTest, CachelessJobsPayOnlyPathLength) {
+  Engine engine(TestMachine(2), MakePolicy(PolicyKind::kDynamic), 1);
+  const JobId id = engine.SubmitJob(FlatProfile("x", 2, Milliseconds(40)));
+  engine.Run();
+  const JobStats& s = engine.job_stats(id);
+  EXPECT_DOUBLE_EQ(s.reload_stall_s, 0.0);
+  EXPECT_DOUBLE_EQ(s.steady_stall_s, 0.0);
+}
+
+}  // namespace
+}  // namespace affsched

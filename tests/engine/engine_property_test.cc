@@ -1,0 +1,195 @@
+// Property tests: invariants that must hold for ANY (policy, workload, seed)
+// combination. Each property is swept over a parameter grid with randomized
+// small workloads.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/apps.h"
+#include "src/engine/engine.h"
+#include "src/sched/factory.h"
+
+namespace affsched {
+namespace {
+
+struct PropertyCase {
+  PolicyKind policy;
+  uint64_t seed;
+  size_t procs;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  std::string name = PolicyKindName(info.param.policy);
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name + "_seed" + std::to_string(info.param.seed) + "_p" +
+         std::to_string(info.param.procs);
+}
+
+// A randomized workload: 2-3 jobs with random structure drawn from the seed.
+std::vector<AppProfile> RandomJobs(uint64_t seed) {
+  Rng rng(seed * 7919 + 13);
+  std::vector<AppProfile> jobs;
+  const size_t count = 2 + rng.NextBounded(2);
+  for (size_t i = 0; i < count; ++i) {
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        MvaParams params;
+        params.grid = 4 + rng.NextBounded(4);
+        params.node_work = Milliseconds(10 + rng.NextBounded(30));
+        jobs.push_back(MakeMvaProfile(params));
+        break;
+      }
+      case 1: {
+        MatrixParams params;
+        params.threads = 6 + rng.NextBounded(12);
+        params.thread_work = Milliseconds(40 + rng.NextBounded(120));
+        jobs.push_back(MakeMatrixProfile(params));
+        break;
+      }
+      default: {
+        GravityParams params;
+        params.timesteps = 1 + rng.NextBounded(3);
+        params.sequential_work = Milliseconds(5 + rng.NextBounded(20));
+        params.phase_threads = {4 + rng.NextBounded(6), 3, 3, 2};
+        params.phase_work = {Milliseconds(200 + rng.NextBounded(300)), Milliseconds(80),
+                             Milliseconds(60), Milliseconds(40)};
+        params.phase_cv = {0.2, 0.1, 0.1, 0.4};
+        jobs.push_back(MakeGravityProfile(params));
+        break;
+      }
+    }
+  }
+  return jobs;
+}
+
+class EnginePropertyTest : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  struct Expected {
+    double total_work_s = 0.0;
+  };
+
+  // Builds and runs the engine; returns it for inspection.
+  std::unique_ptr<Engine> RunCase(Expected* expected) {
+    const PropertyCase c = GetParam();
+    MachineConfig machine;
+    machine.num_processors = c.procs;
+    auto engine = std::make_unique<Engine>(machine, MakePolicy(c.policy), c.seed);
+    for (const AppProfile& job : RandomJobs(c.seed)) {
+      engine->SubmitJob(job);
+    }
+    // Total work must equal the sum of the generated graphs. Rebuild them
+    // with the same derived RNG stream the engine used: not accessible, so
+    // derive the invariant from the engine's own reporting instead.
+    engine->Run();
+    if (expected != nullptr) {
+      for (JobId id = 0; id < engine->job_count(); ++id) {
+        expected->total_work_s += engine->job(id).graph().TotalWork() > 0
+                                      ? ToSeconds(engine->job(id).graph().TotalWork())
+                                      : 0.0;
+      }
+    }
+    return engine;
+  }
+};
+
+TEST_P(EnginePropertyTest, AllJobsComplete) {
+  auto engine = RunCase(nullptr);
+  for (JobId id = 0; id < engine->job_count(); ++id) {
+    EXPECT_GE(engine->job_stats(id).completion, 0);
+    EXPECT_TRUE(engine->job(id).Finished());
+  }
+}
+
+TEST_P(EnginePropertyTest, WorkIsConserved) {
+  // Useful work executed equals the thread graph's total work, regardless of
+  // policy, preemptions, or migrations.
+  Expected expected;
+  auto engine = RunCase(&expected);
+  double executed = 0.0;
+  for (JobId id = 0; id < engine->job_count(); ++id) {
+    executed += engine->job_stats(id).useful_work_s;
+  }
+  EXPECT_NEAR(executed, expected.total_work_s, 1e-6 * expected.total_work_s + 1e-9);
+}
+
+TEST_P(EnginePropertyTest, AllocationIntegralIdentity) {
+  // Every processor-second a job holds is accounted as work, stall, switch
+  // path, or waste.
+  auto engine = RunCase(nullptr);
+  for (JobId id = 0; id < engine->job_count(); ++id) {
+    const JobStats& s = engine->job_stats(id);
+    const double accounted =
+        s.useful_work_s + s.reload_stall_s + s.steady_stall_s + s.switch_s + s.waste_s;
+    EXPECT_NEAR(s.alloc_integral_s, accounted, 0.02 * accounted + 1e-3);
+  }
+}
+
+TEST_P(EnginePropertyTest, StatisticsAreSane) {
+  auto engine = RunCase(nullptr);
+  for (JobId id = 0; id < engine->job_count(); ++id) {
+    const JobStats& s = engine->job_stats(id);
+    EXPECT_LE(s.affinity_dispatches, s.reallocations);
+    EXPECT_GE(s.reallocations, 1u);  // at least the first dispatch
+    EXPECT_GE(s.ResponseSeconds(), 0.0);
+    EXPECT_GT(s.AverageAllocation(), 0.0);
+    EXPECT_LE(s.AverageAllocation(),
+              static_cast<double>(engine->machine().config().num_processors) + 1e-9);
+    EXPECT_GE(s.waste_s, 0.0);
+    EXPECT_GE(s.reload_stall_s, 0.0);
+    // The switch path length is charged at least once per reallocation
+    // (aborted switches — e.g. a retarget while the path cost was being
+    // paid — charge without producing a dispatch).
+    EXPECT_GE(s.switch_s + 1e-12, 750e-6 * static_cast<double>(s.reallocations));
+  }
+}
+
+TEST_P(EnginePropertyTest, DeterministicReplay) {
+  const PropertyCase c = GetParam();
+  MachineConfig machine;
+  machine.num_processors = c.procs;
+  auto run_once = [&]() {
+    Engine engine(machine, MakePolicy(c.policy), c.seed);
+    for (const AppProfile& job : RandomJobs(c.seed)) {
+      engine.SubmitJob(job);
+    }
+    engine.Run();
+    std::vector<double> rts;
+    for (JobId id = 0; id < engine.job_count(); ++id) {
+      rts.push_back(engine.job_stats(id).ResponseSeconds());
+    }
+    return rts;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_P(EnginePropertyTest, ResponseBoundedBelowByCriticalWork) {
+  // A job can never finish faster than its total work spread over the whole
+  // machine (ignoring the even stricter critical-path bound).
+  auto engine = RunCase(nullptr);
+  const double procs = static_cast<double>(engine->machine().config().num_processors);
+  for (JobId id = 0; id < engine->job_count(); ++id) {
+    const JobStats& s = engine->job_stats(id);
+    EXPECT_GE(s.ResponseSeconds() + 1e-9, s.useful_work_s / procs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EnginePropertyTest,
+    ::testing::Values(
+        PropertyCase{PolicyKind::kEquipartition, 1, 4}, PropertyCase{PolicyKind::kDynamic, 1, 4},
+        PropertyCase{PolicyKind::kDynAff, 1, 4}, PropertyCase{PolicyKind::kDynAffNoPri, 1, 4},
+        PropertyCase{PolicyKind::kDynAffDelay, 1, 4}, PropertyCase{PolicyKind::kTimeShare, 1, 4},
+        PropertyCase{PolicyKind::kEquipartition, 2, 8}, PropertyCase{PolicyKind::kDynamic, 2, 8},
+        PropertyCase{PolicyKind::kDynAff, 2, 8}, PropertyCase{PolicyKind::kDynAffDelay, 3, 8},
+        PropertyCase{PolicyKind::kDynamic, 3, 2}, PropertyCase{PolicyKind::kDynAff, 4, 2},
+        PropertyCase{PolicyKind::kTimeShareAff, 4, 4}, PropertyCase{PolicyKind::kDynamic, 5, 16},
+        PropertyCase{PolicyKind::kDynAffNoPri, 5, 3}, PropertyCase{PolicyKind::kDynAff, 6, 5}),
+    CaseName);
+
+}  // namespace
+}  // namespace affsched

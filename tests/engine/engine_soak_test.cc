@@ -1,0 +1,58 @@
+// Soak test: many randomized configurations (policies x seeds x staggered
+// arrivals x machine sizes) must all run to completion with invariants
+// intact. This is the catch-all net for scheduling deadlocks and accounting
+// leaks under combinations no targeted test enumerates.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/apps.h"
+#include "src/engine/engine.h"
+#include "src/measure/arrivals.h"
+#include "src/sched/factory.h"
+
+namespace affsched {
+namespace {
+
+const PolicyKind kAllPolicies[] = {
+    PolicyKind::kEquipartition, PolicyKind::kDynamic,      PolicyKind::kDynAff,
+    PolicyKind::kDynAffNoPri,   PolicyKind::kDynAffDelay,  PolicyKind::kTimeShare,
+    PolicyKind::kTimeShareAff,
+};
+
+TEST(EngineSoakTest, RandomizedConfigurationsComplete) {
+  const std::vector<AppProfile> apps = {MakeSmallMvaProfile(), MakeSmallMatrixProfile(),
+                                        MakeSmallGravityProfile()};
+  Rng meta(0x50AD5EED);  // seed source for configuration draws
+  for (int round = 0; round < 30; ++round) {
+    const PolicyKind policy = kAllPolicies[meta.NextBounded(std::size(kAllPolicies))];
+    MachineConfig machine;
+    machine.num_processors = 1 + meta.NextBounded(12);
+    Engine::Options options;
+    options.chunk_quantum = Milliseconds(1 + meta.NextBounded(4));
+    options.processor_history_depth = 1 + meta.NextBounded(3);
+    Engine engine(machine, MakePolicy(policy), meta.NextU64(), options);
+
+    const size_t job_count = 1 + meta.NextBounded(4);
+    const auto plan =
+        PoissonArrivals(job_count, Milliseconds(200 + meta.NextBounded(800)),
+                        {1.0, 1.0, 1.0}, meta.NextU64());
+    for (const ArrivalPlanEntry& a : plan) {
+      engine.SubmitJob(apps[a.app_index], a.when);
+    }
+    const SimTime end = engine.Run();
+    ASSERT_GT(end, 0) << "round " << round << " policy " << PolicyKindName(policy);
+
+    for (JobId id = 0; id < engine.job_count(); ++id) {
+      const JobStats& s = engine.job_stats(id);
+      ASSERT_GE(s.completion, s.arrival);
+      ASSERT_LE(s.affinity_dispatches, s.reallocations);
+      const double accounted =
+          s.useful_work_s + s.reload_stall_s + s.steady_stall_s + s.switch_s + s.waste_s;
+      ASSERT_NEAR(s.alloc_integral_s, accounted, 0.02 * accounted + 1e-3)
+          << "round " << round << " policy " << PolicyKindName(policy) << " job " << id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace affsched

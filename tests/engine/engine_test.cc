@@ -1,0 +1,249 @@
+#include "src/engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sched/factory.h"
+
+namespace affsched {
+namespace {
+
+// A profile with no cache behaviour, for timing-exact tests.
+AppProfile CachelessProfile(std::string name, size_t width, SimDuration work_per_thread,
+                            size_t max_par = 0) {
+  AppProfile profile;
+  profile.name = std::move(name);
+  profile.working_set = WorkingSetParams{.blocks = 0.0, .buildup_tau_s = 0.01,
+                                         .steady_miss_per_s = 0.0};
+  profile.thread_overlap = 1.0;
+  profile.max_parallelism = max_par == 0 ? width : max_par;
+  profile.build_graph = [width, work_per_thread](Rng&) {
+    auto g = std::make_unique<ThreadGraph>();
+    for (size_t i = 0; i < width; ++i) {
+      g->AddNode(work_per_thread);
+    }
+    return g;
+  };
+  return profile;
+}
+
+AppProfile CachedProfile(std::string name, size_t width, SimDuration work_per_thread,
+                         double blocks) {
+  AppProfile profile = CachelessProfile(std::move(name), width, work_per_thread);
+  profile.working_set.blocks = blocks;
+  profile.working_set.buildup_tau_s = 0.005;
+  return profile;
+}
+
+MachineConfig TestMachine(size_t procs = 4) {
+  MachineConfig config;
+  config.num_processors = procs;
+  return config;
+}
+
+TEST(EngineTest, SingleThreadJobRunsToCompletion) {
+  Engine engine(TestMachine(), MakePolicy(PolicyKind::kDynamic), 1);
+  const JobId id = engine.SubmitJob(CachelessProfile("solo", 1, Milliseconds(50)));
+  const SimTime end = engine.Run();
+  const JobStats& stats = engine.job_stats(id);
+  // Response = one switch (dispatch) + 50 ms of work.
+  EXPECT_EQ(end, Microseconds(750) + Milliseconds(50));
+  EXPECT_DOUBLE_EQ(stats.useful_work_s, 0.050);
+  EXPECT_EQ(stats.reallocations, 1u);
+  EXPECT_NEAR(stats.ResponseSeconds(), 0.05075, 1e-9);
+}
+
+TEST(EngineTest, ParallelJobUsesAllProcessors) {
+  Engine engine(TestMachine(4), MakePolicy(PolicyKind::kDynamic), 1);
+  const JobId id = engine.SubmitJob(CachelessProfile("wide", 4, Milliseconds(40)));
+  engine.Run();
+  const JobStats& stats = engine.job_stats(id);
+  EXPECT_DOUBLE_EQ(stats.useful_work_s, 0.160);
+  // All four threads ran concurrently: response is near 40 ms, far below the
+  // 160 ms serial time.
+  EXPECT_LT(stats.ResponseSeconds(), 0.060);
+  EXPECT_NEAR(stats.AverageAllocation(), 4.0, 0.5);
+}
+
+TEST(EngineTest, SerialChainRespectsDependencies) {
+  AppProfile chain = CachelessProfile("chain", 0, 0);
+  chain.max_parallelism = 4;
+  chain.build_graph = [](Rng&) {
+    auto g = std::make_unique<ThreadGraph>();
+    const size_t a = g->AddNode(Milliseconds(10));
+    const size_t b = g->AddNode(Milliseconds(10));
+    const size_t c = g->AddNode(Milliseconds(10));
+    g->AddEdge(a, b);
+    g->AddEdge(b, c);
+    return g;
+  };
+  Engine engine(TestMachine(4), MakePolicy(PolicyKind::kDynamic), 1);
+  const JobId id = engine.SubmitJob(chain);
+  engine.Run();
+  // 30 ms of serial work; only one processor ever used at a time.
+  EXPECT_GE(engine.job_stats(id).ResponseSeconds(), 0.030);
+  EXPECT_LE(engine.job_stats(id).AverageAllocation(), 1.1);
+}
+
+TEST(EngineTest, TwoJobsShareUnderDynamic) {
+  Engine engine(TestMachine(4), MakePolicy(PolicyKind::kDynamic), 1);
+  const JobId a = engine.SubmitJob(CachelessProfile("a", 8, Milliseconds(30)));
+  const JobId b = engine.SubmitJob(CachelessProfile("b", 8, Milliseconds(30)));
+  engine.Run();
+  // Both jobs complete, and each got roughly half the machine.
+  EXPECT_NEAR(engine.job_stats(a).AverageAllocation(), 2.0, 1.0);
+  EXPECT_NEAR(engine.job_stats(b).AverageAllocation(), 2.0, 1.0);
+}
+
+TEST(EngineTest, EquipartitionWastesHeldProcessors) {
+  // A 1-wide job under Equipartition receives extra processors (up to its
+  // max parallelism) and wastes them.
+  AppProfile narrow = CachelessProfile("narrow", 1, Milliseconds(100));
+  narrow.max_parallelism = 4;
+  Engine engine(TestMachine(4), MakePolicy(PolicyKind::kEquipartition), 1);
+  const JobId id = engine.SubmitJob(narrow);
+  engine.Run();
+  const JobStats& stats = engine.job_stats(id);
+  // Three held-but-idle processors for ~100 ms.
+  EXPECT_NEAR(stats.waste_s, 0.3, 0.05);
+}
+
+TEST(EngineTest, DynamicDoesNotHoardIdleProcessors) {
+  AppProfile narrow = CachelessProfile("narrow", 1, Milliseconds(100));
+  narrow.max_parallelism = 4;
+  Engine engine(TestMachine(4), MakePolicy(PolicyKind::kDynamic), 1);
+  const JobId id = engine.SubmitJob(narrow);
+  engine.Run();
+  EXPECT_LT(engine.job_stats(id).waste_s, 0.01);
+}
+
+TEST(EngineTest, ReloadStallsAppearAfterMigration) {
+  // Two cache-heavy jobs on one processor (forced interleaving) incur reload
+  // stalls; a solo job does not.
+  MachineConfig single = TestMachine(1);
+  Engine solo(single, MakePolicy(PolicyKind::kTimeShare), 1);
+  const JobId s = solo.SubmitJob(CachedProfile("solo", 1, Milliseconds(400), 2000.0));
+  solo.Run();
+  const double solo_reload = solo.job_stats(s).reload_stall_s;
+
+  Engine shared(single, MakePolicy(PolicyKind::kTimeShare), 1);
+  const JobId a = shared.SubmitJob(CachedProfile("a", 1, Milliseconds(400), 2000.0));
+  shared.SubmitJob(CachedProfile("b", 1, Milliseconds(400), 2000.0));
+  shared.Run();
+  EXPECT_GT(shared.job_stats(a).reload_stall_s, solo_reload);
+}
+
+TEST(EngineTest, DeterministicForSameSeed) {
+  // A profile whose thread lengths are drawn from the job RNG, so the seed
+  // actually matters.
+  AppProfile jittered = CachedProfile("a", 6, Milliseconds(20), 500.0);
+  jittered.build_graph = [](Rng& rng) {
+    auto g = std::make_unique<ThreadGraph>();
+    for (size_t i = 0; i < 6; ++i) {
+      g->AddNode(Milliseconds(rng.NextUniform(10.0, 30.0)));
+    }
+    return g;
+  };
+  auto run = [&jittered](uint64_t seed) {
+    Engine engine(TestMachine(4), MakePolicy(PolicyKind::kDynAff), seed);
+    engine.SubmitJob(jittered);
+    engine.SubmitJob(jittered);
+    engine.Run();
+    return std::pair(engine.job_stats(0).ResponseSeconds(),
+                     engine.job_stats(1).ResponseSeconds());
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(EngineTest, AffinityFractionTrackedPerDispatch) {
+  Engine engine(TestMachine(2), MakePolicy(PolicyKind::kDynAff), 1);
+  const JobId id = engine.SubmitJob(CachelessProfile("x", 4, Milliseconds(20)));
+  engine.Run();
+  const JobStats& stats = engine.job_stats(id);
+  EXPECT_GE(stats.reallocations, 2u);
+  EXPECT_LE(stats.affinity_dispatches, stats.reallocations);
+}
+
+TEST(EngineTest, SwitchCostsChargedPerReallocation) {
+  Engine engine(TestMachine(2), MakePolicy(PolicyKind::kDynamic), 1);
+  const JobId id = engine.SubmitJob(CachelessProfile("x", 2, Milliseconds(20)));
+  engine.Run();
+  const JobStats& stats = engine.job_stats(id);
+  EXPECT_NEAR(stats.switch_s, 750e-6 * static_cast<double>(stats.reallocations), 1e-9);
+}
+
+TEST(EngineTest, AllocationIntegralAccountsEverything) {
+  // Processor-seconds held = work + stalls + switch + waste.
+  Engine engine(TestMachine(4), MakePolicy(PolicyKind::kEquipartition), 1);
+  const JobId id = engine.SubmitJob(CachedProfile("x", 6, Milliseconds(30), 1000.0));
+  engine.Run();
+  const JobStats& s = engine.job_stats(id);
+  const double accounted =
+      s.useful_work_s + s.reload_stall_s + s.steady_stall_s + s.switch_s + s.waste_s;
+  EXPECT_NEAR(s.alloc_integral_s, accounted, 0.01 * accounted + 1e-6);
+}
+
+TEST(EngineTest, ParallelismHistogramRecordsProfile) {
+  Engine::Options options;
+  options.record_parallelism = true;
+  Engine engine(TestMachine(4), MakePolicy(PolicyKind::kDynamic), 1, options);
+  const JobId id = engine.SubmitJob(CachelessProfile("x", 4, Milliseconds(50)));
+  engine.Run();
+  const WeightedHistogram* hist = engine.parallelism_histogram(id);
+  ASSERT_NE(hist, nullptr);
+  EXPECT_GT(hist->TotalWeight(), 0.0);
+  EXPECT_GT(hist->Mean(), 2.0);  // mostly ran 4-wide
+}
+
+TEST(EngineTest, StaggeredArrivalsRepartition) {
+  Engine engine(TestMachine(4), MakePolicy(PolicyKind::kEquipartition), 1);
+  const JobId a = engine.SubmitJob(CachelessProfile("a", 8, Milliseconds(50)), 0);
+  const JobId b = engine.SubmitJob(CachelessProfile("b", 8, Milliseconds(50)), Milliseconds(20));
+  engine.Run();
+  EXPECT_GE(engine.job_stats(b).ResponseSeconds(), 0.05);
+  // Job a started with all 4 processors, then dropped to 2.
+  EXPECT_GT(engine.job_stats(a).AverageAllocation(), 2.0);
+}
+
+TEST(EngineTest, YieldDelayKeepsProcessorThroughShortGaps) {
+  // A two-phase job with a gap shorter than the yield delay: under
+  // Dyn-Aff-Delay the second phase restarts without a new reallocation on
+  // the held processor.
+  AppProfile phased = CachelessProfile("phased", 0, 0);
+  phased.max_parallelism = 2;
+  phased.build_graph = [](Rng&) {
+    auto g = std::make_unique<ThreadGraph>();
+    const size_t a = g->AddNode(Milliseconds(30));
+    const size_t b = g->AddNode(Milliseconds(30));
+    const size_t c = g->AddNode(Milliseconds(30));
+    g->AddEdge(a, c);
+    g->AddEdge(b, c);  // join: one worker idles while the other finishes
+    return g;
+  };
+  Engine delay_engine(TestMachine(2), MakePolicy(PolicyKind::kDynAffDelay), 7);
+  const JobId id = delay_engine.SubmitJob(phased);
+  delay_engine.Run();
+  // Two initial dispatches only; the join thread reuses a held processor.
+  EXPECT_EQ(delay_engine.job_stats(id).reallocations, 2u);
+}
+
+TEST(EngineTest, MakespanIsMaxCompletion) {
+  Engine engine(TestMachine(2), MakePolicy(PolicyKind::kDynamic), 1);
+  engine.SubmitJob(CachelessProfile("short", 1, Milliseconds(10)));
+  engine.SubmitJob(CachelessProfile("long", 1, Milliseconds(90)));
+  const SimTime end = engine.Run();
+  EXPECT_GE(end, Milliseconds(90));
+  EXPECT_EQ(end, std::max(engine.job_stats(0).completion, engine.job_stats(1).completion));
+}
+
+TEST(EngineDeathTest, SubmitAfterRunAborts) {
+  Engine engine(TestMachine(2), MakePolicy(PolicyKind::kDynamic), 1);
+  engine.SubmitJob(CachelessProfile("x", 1, Milliseconds(1)));
+  engine.Run();
+  EXPECT_DEATH(engine.SubmitJob(CachelessProfile("y", 1, Milliseconds(1))), "before Run");
+}
+
+}  // namespace
+}  // namespace affsched

@@ -1,0 +1,67 @@
+#include "src/measure/arrivals.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/apps.h"
+#include "src/engine/engine.h"
+#include "src/sched/factory.h"
+
+namespace affsched {
+namespace {
+
+TEST(ArrivalsTest, GeneratesRequestedCountSorted) {
+  const auto plan = PoissonArrivals(50, Seconds(2), {1.0, 1.0, 1.0}, 9);
+  ASSERT_EQ(plan.size(), 50u);
+  for (size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_GE(plan[i].when, plan[i - 1].when);
+  }
+}
+
+TEST(ArrivalsTest, MeanInterarrivalApproximatelyMatches) {
+  const auto plan = PoissonArrivals(2000, Seconds(3), {1.0}, 10);
+  const double mean = ToSeconds(plan.back().when) / static_cast<double>(plan.size());
+  EXPECT_NEAR(mean, 3.0, 0.25);
+}
+
+TEST(ArrivalsTest, WeightsSteerAppMix) {
+  const auto plan = PoissonArrivals(3000, Seconds(1), {8.0, 1.0, 1.0}, 11);
+  size_t counts[3] = {0, 0, 0};
+  for (const auto& entry : plan) {
+    ASSERT_LT(entry.app_index, 3u);
+    ++counts[entry.app_index];
+  }
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 3000.0, 0.8, 0.03);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 3000.0, 0.1, 0.03);
+}
+
+TEST(ArrivalsTest, DeterministicPerSeed) {
+  const auto a = PoissonArrivals(20, Seconds(1), {1.0, 2.0}, 12);
+  const auto b = PoissonArrivals(20, Seconds(1), {1.0, 2.0}, 12);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].when, b[i].when);
+    EXPECT_EQ(a[i].app_index, b[i].app_index);
+  }
+}
+
+TEST(ArrivalsTest, PlanDrivesEngineToCompletion) {
+  MachineConfig machine;
+  machine.num_processors = 4;
+  const std::vector<AppProfile> apps = {MakeSmallMvaProfile(), MakeSmallGravityProfile()};
+  const auto plan = PoissonArrivals(4, Seconds(1), {1.0, 1.0}, 13);
+  Engine engine(machine, MakePolicy(PolicyKind::kDynAff), 13);
+  for (const auto& entry : plan) {
+    engine.SubmitJob(apps[entry.app_index], entry.when);
+  }
+  const SimTime end = engine.Run();
+  EXPECT_GT(end, plan.back().when);
+  for (JobId id = 0; id < engine.job_count(); ++id) {
+    EXPECT_GE(engine.job_stats(id).completion, 0);
+  }
+}
+
+TEST(ArrivalsDeathTest, EmptyWeightsAbort) {
+  EXPECT_DEATH(PoissonArrivals(1, Seconds(1), {}, 1), "CHECK");
+}
+
+}  // namespace
+}  // namespace affsched

@@ -1,0 +1,86 @@
+#include "src/measure/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/apps.h"
+
+namespace affsched {
+namespace {
+
+std::vector<AppProfile> SmallMixJobs() {
+  return {MakeSmallMvaProfile(), MakeSmallGravityProfile()};
+}
+
+MachineConfig SmallMachine() {
+  MachineConfig config;
+  config.num_processors = 8;
+  return config;
+}
+
+TEST(ExperimentTest, PaperMachineIsSixteenProcessors) {
+  const MachineConfig config = PaperMachineConfig();
+  EXPECT_EQ(config.num_processors, 16u);
+  EXPECT_DOUBLE_EQ(config.CapacityBlocks(), 4096.0);
+}
+
+TEST(ExperimentTest, RunOnceReportsAllJobs) {
+  const RunResult result =
+      RunOnce(SmallMachine(), PolicyKind::kDynamic, SmallMixJobs(), 1);
+  ASSERT_EQ(result.jobs.size(), 2u);
+  EXPECT_EQ(result.jobs[0].app, "MVA");
+  EXPECT_EQ(result.jobs[1].app, "GRAVITY");
+  EXPECT_GT(result.makespan, 0);
+  for (const JobResult& j : result.jobs) {
+    EXPECT_GT(j.stats.ResponseSeconds(), 0.0);
+  }
+}
+
+TEST(ExperimentTest, RunOnceIsDeterministicPerSeed) {
+  const RunResult a = RunOnce(SmallMachine(), PolicyKind::kDynAff, SmallMixJobs(), 5);
+  const RunResult b = RunOnce(SmallMachine(), PolicyKind::kDynAff, SmallMixJobs(), 5);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].stats.ResponseSeconds(), b.jobs[i].stats.ResponseSeconds());
+  }
+}
+
+TEST(ExperimentTest, ReplicationRunsAtLeastMinimum) {
+  ReplicationOptions rep;
+  rep.min_replications = 3;
+  rep.max_replications = 4;
+  const ReplicatedResult result =
+      RunReplicated(SmallMachine(), PolicyKind::kDynamic, SmallMixJobs(), 1, rep);
+  EXPECT_GE(result.replications, 3u);
+  EXPECT_LE(result.replications, 4u);
+  ASSERT_EQ(result.response.size(), 2u);
+  EXPECT_EQ(result.response[0].count(), result.replications);
+}
+
+TEST(ExperimentTest, MeanStatsAveragedAcrossReplications) {
+  ReplicationOptions rep;
+  rep.min_replications = 3;
+  rep.max_replications = 3;
+  const ReplicatedResult result =
+      RunReplicated(SmallMachine(), PolicyKind::kDynamic, SmallMixJobs(), 1, rep);
+  for (size_t j = 0; j < result.mean_stats.size(); ++j) {
+    const JobStats& s = result.mean_stats[j];
+    EXPECT_GT(s.useful_work_s, 0.0);
+    EXPECT_GT(s.reallocations, 0u);
+    EXPECT_NEAR(ToSeconds(s.completion), result.response[j].mean(),
+                0.05 * result.response[j].mean());
+  }
+}
+
+TEST(ExperimentTest, AppNamesStableAcrossReplications) {
+  ReplicationOptions rep;
+  rep.min_replications = 2;
+  rep.max_replications = 2;
+  const ReplicatedResult result =
+      RunReplicated(SmallMachine(), PolicyKind::kEquipartition, SmallMixJobs(), 1, rep);
+  ASSERT_EQ(result.app.size(), 2u);
+  EXPECT_EQ(result.app[0], "MVA");
+  EXPECT_EQ(result.app[1], "GRAVITY");
+}
+
+}  // namespace
+}  // namespace affsched

@@ -1,0 +1,68 @@
+#include "src/measure/section4_exact.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/apps.h"
+
+namespace affsched {
+namespace {
+
+Section4ExactOptions FastOptions(double q_ms) {
+  Section4ExactOptions options;
+  options.q = Milliseconds(q_ms);
+  options.run_length = Seconds(1.5);
+  options.thread_length = Milliseconds(300);
+  return options;
+}
+
+TEST(Section4ExactTest, ReferenceRateMatchesBuildupConstant) {
+  // rate = W / tau for each calibrated application.
+  for (const AppProfile& app : DefaultProfiles()) {
+    const double rate = DeriveReferenceRate(app);
+    EXPECT_NEAR(rate * app.working_set.buildup_tau_s, app.working_set.blocks, 1e-6);
+  }
+}
+
+TEST(Section4ExactTest, PenaltiesPositiveAndOrdered) {
+  const MachineConfig machine;
+  const AppProfile app = MakeSmallMatrixProfile();
+  const CachePenalties p =
+      MeasureCachePenaltiesExact(machine, app, app, FastOptions(25.0), 1);
+  EXPECT_GT(p.pna_us, 0.0);
+  EXPECT_GT(p.pa_us, 0.0);
+  EXPECT_GT(p.pna_us, p.pa_us);
+}
+
+TEST(Section4ExactTest, PenaltyGrowsWithQ) {
+  const MachineConfig machine;
+  const AppProfile app = DefaultProfiles()[1];  // MATRIX
+  const CachePenalties q25 = MeasureCachePenaltiesExact(machine, app, app, FastOptions(25.0), 1);
+  const CachePenalties q100 =
+      MeasureCachePenaltiesExact(machine, app, app, FastOptions(100.0), 1);
+  EXPECT_GT(q100.pna_us, q25.pna_us);
+}
+
+TEST(Section4ExactTest, PenaltyBoundedByFullFill) {
+  const MachineConfig machine;
+  const AppProfile app = DefaultProfiles()[0];  // MVA
+  const CachePenalties p =
+      MeasureCachePenaltiesExact(machine, app, app, FastOptions(100.0), 1);
+  EXPECT_LT(p.pna_us, ToMicroseconds(kSymmetryFullFill) * 1.3);
+}
+
+TEST(Section4ExactTest, AgreesWithFootprintHarness) {
+  // The two independent substrates should land within a factor of ~1.7 of
+  // each other for the no-affinity penalty.
+  const MachineConfig machine;
+  const AppProfile app = DefaultProfiles()[1];  // MATRIX: fastest to run
+  Section4Options fp_options;
+  fp_options.q = Milliseconds(100);
+  const CachePenalties fp = MeasureCachePenalties(machine, app, app, fp_options, 1);
+  const CachePenalties ex =
+      MeasureCachePenaltiesExact(machine, app, app, FastOptions(100.0), 1);
+  EXPECT_GT(ex.pna_us, fp.pna_us / 1.7);
+  EXPECT_LT(ex.pna_us, fp.pna_us * 1.7);
+}
+
+}  // namespace
+}  // namespace affsched

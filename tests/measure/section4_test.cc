@@ -1,0 +1,109 @@
+#include "src/measure/section4.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/apps.h"
+
+namespace affsched {
+namespace {
+
+MachineConfig BaseMachine() { return MachineConfig{}; }
+
+AppProfile SmallApp() {
+  // A compact cache-heavy app so the harness runs quickly.
+  AppProfile p = MakeSmallMatrixProfile();
+  return p;
+}
+
+TEST(Section4Test, StationaryCountsSwitches) {
+  const Section4Options options{.q = Milliseconds(25)};
+  const Section4Result r = RunSection4(BaseMachine(), SmallApp(),
+                                       Section4Treatment::kStationary, nullptr, options, 1);
+  EXPECT_GT(r.switches, 0u);
+  EXPECT_GT(r.response_s, 1.0);  // ~1.44 s of work plus overheads
+}
+
+TEST(Section4Test, MigratingCostsMoreThanStationary) {
+  const Section4Options options{.q = Milliseconds(25)};
+  const Section4Result stat = RunSection4(BaseMachine(), SmallApp(),
+                                          Section4Treatment::kStationary, nullptr, options, 1);
+  const Section4Result mig = RunSection4(BaseMachine(), SmallApp(),
+                                         Section4Treatment::kMigrating, nullptr, options, 1);
+  EXPECT_GT(mig.response_s, stat.response_s);
+}
+
+TEST(Section4Test, MultiprogBetweenStationaryAndMigrating) {
+  // Affinity with an intervening task: some of the context survives, so the
+  // penalty is positive but below the full-flush penalty.
+  const Section4Options options{.q = Milliseconds(25)};
+  const AppProfile app = SmallApp();
+  const AppProfile other = MakeSmallGravityProfile();
+  const Section4Result stat =
+      RunSection4(BaseMachine(), app, Section4Treatment::kStationary, nullptr, options, 1);
+  const Section4Result mig =
+      RunSection4(BaseMachine(), app, Section4Treatment::kMigrating, nullptr, options, 1);
+  const Section4Result multi =
+      RunSection4(BaseMachine(), app, Section4Treatment::kMultiprog, &other, options, 1);
+  EXPECT_GT(multi.response_s, stat.response_s);
+  EXPECT_LT(multi.response_s, mig.response_s);
+}
+
+TEST(Section4Test, PenaltiesArePositiveAndOrdered) {
+  const Section4Options options{.q = Milliseconds(25)};
+  const CachePenalties p = MeasureCachePenalties(BaseMachine(), SmallApp(),
+                                                 MakeSmallGravityProfile(), options, 1);
+  EXPECT_GT(p.pna_us, 0.0);
+  EXPECT_GT(p.pa_us, 0.0);
+  EXPECT_GT(p.pna_us, p.pa_us);  // no affinity costs more than partial loss
+}
+
+TEST(Section4Test, PenaltyGrowsWithQ) {
+  // The central Table 1 trend: both penalties increase with the
+  // rescheduling interval.
+  const AppProfile app = SmallApp();
+  const AppProfile other = MakeSmallGravityProfile();
+  CachePenalties prev{};
+  bool first = true;
+  for (double q_ms : {25.0, 100.0, 400.0}) {
+    const Section4Options options{.q = Milliseconds(q_ms)};
+    const CachePenalties p = MeasureCachePenalties(BaseMachine(), app, other, options, 1);
+    if (!first) {
+      EXPECT_GE(p.pna_us, prev.pna_us * 0.95) << "Q=" << q_ms;
+      EXPECT_GE(p.pa_us, prev.pa_us * 0.95) << "Q=" << q_ms;
+    }
+    prev = p;
+    first = false;
+  }
+}
+
+TEST(Section4Test, PenaltyBoundedByFullCacheFill) {
+  // P^NA can never exceed one full cache reload per switch (~3.072 ms).
+  const Section4Options options{.q = Milliseconds(400)};
+  const CachePenalties p = MeasureCachePenalties(BaseMachine(), SmallApp(),
+                                                 MakeSmallGravityProfile(), options, 1);
+  EXPECT_LT(p.pna_us, ToMicroseconds(kSymmetryFullFill) * 1.25);
+}
+
+TEST(Section4Test, SwitchCountsConsistentAcrossTreatments) {
+  const Section4Options options{.q = Milliseconds(50)};
+  const Section4Result stat = RunSection4(BaseMachine(), SmallApp(),
+                                          Section4Treatment::kStationary, nullptr, options, 1);
+  const Section4Result mig = RunSection4(BaseMachine(), SmallApp(),
+                                         Section4Treatment::kMigrating, nullptr, options, 1);
+  // The migrating run takes more wall time per window but the same schedule
+  // of Q-driven switches within a similar total: counts should be close.
+  const double ratio =
+      static_cast<double>(mig.switches) / static_cast<double>(std::max<uint64_t>(1, stat.switches));
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.5);
+}
+
+TEST(Section4DeathTest, MultiprogNeedsIntervening) {
+  const Section4Options options{.q = Milliseconds(25)};
+  EXPECT_DEATH(RunSection4(BaseMachine(), SmallApp(), Section4Treatment::kMultiprog, nullptr,
+                           options, 1),
+               "intervening");
+}
+
+}  // namespace
+}  // namespace affsched

@@ -1,0 +1,80 @@
+#include "src/model/crossover.h"
+
+#include <gtest/gtest.h>
+
+namespace affsched {
+namespace {
+
+// A Dynamic-like job: many reallocations, low %affinity, no waste.
+ModelParams DynamicLike() {
+  ModelParams p;
+  p.work_s = 700.0;
+  p.waste_s = 5.0;
+  p.reallocations = 2000.0;
+  p.pct_affinity = 0.15;
+  p.pa_s = 737e-6;
+  p.pna_s = 1679e-6;
+  p.average_allocation = 8.0;
+  return p;
+}
+
+// An Equipartition-like job: almost no reallocations, lots of waste.
+ModelParams EquiLike() {
+  ModelParams p = DynamicLike();
+  p.reallocations = 20.0;
+  p.waste_s = 80.0;
+  p.pct_affinity = 0.95;
+  return p;
+}
+
+TEST(CrossoverTest, RelativeAtProductOneMatchesBaseModel) {
+  const ModelParams dyn = DynamicLike();
+  const ModelParams equi = EquiLike();
+  EXPECT_NEAR(RelativeResponseAtProduct(dyn, equi, 1.0),
+              ModelResponseTime(dyn) / ModelResponseTime(equi), 1e-12);
+}
+
+TEST(CrossoverTest, DynamicEventuallyCrosses) {
+  // Dynamic starts ahead (less waste) but its reallocation penalties grow
+  // with the product; a crossover exists and bisection finds it.
+  const ModelParams dyn = DynamicLike();
+  const ModelParams equi = EquiLike();
+  ASSERT_LT(RelativeResponseAtProduct(dyn, equi, 1.0), 1.0);
+  const double crossover = CrossoverProduct(dyn, equi);
+  ASSERT_GT(crossover, 1.0);
+  // At the crossover the ratio is ~1.
+  EXPECT_NEAR(RelativeResponseAtProduct(dyn, equi, crossover), 1.0, 0.01);
+  // Just before it, still ahead.
+  EXPECT_LT(RelativeResponseAtProduct(dyn, equi, crossover * 0.8), 1.0);
+}
+
+TEST(CrossoverTest, AffinityPolicyCrossesLaterOrNever) {
+  const ModelParams equi = EquiLike();
+  ModelParams dyn = DynamicLike();
+  ModelParams dyn_aff = DynamicLike();
+  dyn_aff.pct_affinity = 0.95;  // same decisions, affine placement
+  const double oblivious = CrossoverProduct(dyn, equi);
+  const double affine = CrossoverProduct(dyn_aff, equi);
+  ASSERT_GT(oblivious, 1.0);
+  // The affinity variant either never crosses or crosses much later.
+  if (affine > 0.0) {
+    EXPECT_GT(affine, oblivious * 10.0);
+  }
+}
+
+TEST(CrossoverTest, AlreadyBehindReturnsOne) {
+  ModelParams bad = DynamicLike();
+  bad.waste_s = 500.0;  // worse than Equipartition from the start
+  EXPECT_DOUBLE_EQ(CrossoverProduct(bad, EquiLike()), 1.0);
+}
+
+TEST(CrossoverTest, NoCrossoverReturnsNegative) {
+  ModelParams good = DynamicLike();
+  good.reallocations = 20.0;  // as few reallocations as Equipartition,
+  good.pct_affinity = 0.95;   // placed affinely,
+  good.waste_s = 5.0;         // and far less waste: never crosses
+  EXPECT_LT(CrossoverProduct(good, EquiLike()), 0.0);
+}
+
+}  // namespace
+}  // namespace affsched

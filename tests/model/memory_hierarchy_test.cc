@@ -1,0 +1,104 @@
+#include "src/model/memory_hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace affsched {
+namespace {
+
+TEST(MemoryHierarchyTest, EffectiveAccessTimeArithmetic) {
+  HierarchyParams p;
+  p.l1_hit = 0.9;
+  p.l2_hit = 0.5;
+  p.l1_time_s = 10e-9;
+  p.l2_time_s = 100e-9;
+  p.memory_time_s = 1000e-9;
+  // 0.9*10 + 0.1*(0.5*100 + 0.5*1000) = 9 + 55 = 64 ns.
+  EXPECT_NEAR(EffectiveAccessTime(p), 64e-9, 1e-15);
+  EXPECT_NEAR(MissComponent(p), 55e-9, 1e-15);
+}
+
+TEST(MemoryHierarchyTest, PerfectL1NeedsNoMemorySpeedup) {
+  HierarchyParams p;
+  p.l1_hit = 1.0;
+  EXPECT_DOUBLE_EQ(MissComponent(p), 0.0);
+  EXPECT_DOUBLE_EQ(RequiredMemorySpeedup(p, 16.0, 0.0), 1.0);
+}
+
+TEST(MemoryHierarchyTest, SpeedOneNeedsNothing) {
+  HierarchyParams p;
+  EXPECT_DOUBLE_EQ(RequiredMemorySpeedup(p, 1.0, 0.0), 1.0);
+}
+
+TEST(MemoryHierarchyTest, RequiredSpeedupGrowsWithProcessorSpeed) {
+  HierarchyParams p;  // defaults: h1=0.95, high-but-not-perfect
+  double prev = 1.0;
+  for (double s : {2.0, 4.0, 16.0, 64.0}) {
+    const double req = RequiredMemorySpeedup(p, s, 0.0);
+    EXPECT_GT(req, prev);
+    prev = req;
+  }
+}
+
+TEST(MemoryHierarchyTest, WithoutBetterCachingMemoryMustTrackProcessor) {
+  // With hit rates fixed, the miss component must shrink by exactly `speed`.
+  HierarchyParams p;
+  const double req = RequiredMemorySpeedup(p, 16.0, 0.0);
+  EXPECT_NEAR(req, 16.0, 0.5);
+}
+
+TEST(MemoryHierarchyTest, BetterCachingReducesButDoesNotRemoveTheNeed) {
+  // The paper's Section 7.2 finding: plausible hit-rate improvements cannot
+  // obviate faster miss resolution. Removing even half of all L1 misses
+  // still leaves a required memory speedup well above sqrt(speed).
+  HierarchyParams p;
+  const double speed = 16.0;
+  const double with_half = RequiredMemorySpeedup(p, speed, 0.5);
+  const double without = RequiredMemorySpeedup(p, speed, 0.0);
+  EXPECT_LT(with_half, without);
+  EXPECT_GT(with_half, std::sqrt(speed));
+}
+
+TEST(MemoryHierarchyTest, MissReductionToAvoidFasterMemoryIsImplausible) {
+  // Section 7.2: "hit rates could not be increased enough to obviate the
+  // need for faster miss resolution". Keeping a 16x processor busy on a
+  // fixed-speed memory would require removing ~95% of the remaining misses
+  // (a 20x miss-rate cut), and the requirement approaches 100% with speed.
+  HierarchyParams p;
+  const double r16 = MissReductionToAvoidFasterMemory(p, 16.0);
+  const double r256 = MissReductionToAvoidFasterMemory(p, 256.0);
+  EXPECT_GT(r16, 0.90);
+  EXPECT_GT(r256, r16);
+  EXPECT_LT(r256, 1.0 + 1e-9);
+}
+
+TEST(MemoryHierarchyTest, ModestSpeedupMayBeCoverable) {
+  // For a tiny speed bump the needed miss reduction is feasible (< 1).
+  HierarchyParams p;
+  const double r = MissReductionToAvoidFasterMemory(p, 1.05);
+  EXPECT_GT(r, 0.0);
+  EXPECT_LT(r, 1.0);
+}
+
+TEST(MemoryHierarchyTest, InfiniteWhenL1AloneExceedsBudget) {
+  HierarchyParams p;
+  p.l1_hit = 0.5;  // huge miss component
+  p.l1_time_s = 60e-9;
+  p.l2_hit = 0.0;
+  p.memory_time_s = 10000e-9;
+  // At extreme speeds the (reduced) L1 term alone can exceed EAT/speed when
+  // miss_reduction converts misses into L1 hits; check we report infinity
+  // rather than a negative speedup in such corners.
+  const double req = RequiredMemorySpeedup(p, 1000.0, 0.99);
+  EXPECT_TRUE(std::isinf(req) || req >= 1.0);
+}
+
+TEST(MemoryHierarchyDeathTest, InvalidParamsAbort) {
+  HierarchyParams p;
+  p.l1_hit = 1.5;
+  EXPECT_DEATH(EffectiveAccessTime(p), "CHECK");
+}
+
+}  // namespace
+}  // namespace affsched

@@ -1,0 +1,131 @@
+#include "src/model/response_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace affsched {
+namespace {
+
+ModelParams BaseParams() {
+  ModelParams p;
+  p.work_s = 700.0;
+  p.waste_s = 20.0;
+  p.reallocations = 2469.0;
+  p.realloc_time_s = 750e-6;
+  p.pct_affinity = 0.21;
+  p.pa_s = 737e-6;
+  p.pna_s = 1679e-6;
+  p.average_allocation = 8.27;
+  return p;
+}
+
+TEST(ResponseModelTest, CachePenaltyIsWeightedMix) {
+  const ModelParams p = BaseParams();
+  const double expected = 0.21 * 737e-6 + 0.79 * 1679e-6;
+  EXPECT_NEAR(CachePenaltySeconds(p), expected, 1e-12);
+}
+
+TEST(ResponseModelTest, EquationOneArithmetic) {
+  const ModelParams p = BaseParams();
+  const double penalty = CachePenaltySeconds(p);
+  const double expected = (700.0 + 20.0 + 2469.0 * (750e-6 + penalty)) / 8.27;
+  EXPECT_NEAR(ModelResponseTime(p), expected, 1e-9);
+}
+
+TEST(ResponseModelTest, FullAffinityUsesOnlyPA) {
+  ModelParams p = BaseParams();
+  p.pct_affinity = 1.0;
+  EXPECT_DOUBLE_EQ(CachePenaltySeconds(p), p.pa_s);
+}
+
+TEST(ResponseModelTest, FutureReducesToCurrentAtUnityScaling) {
+  const ModelParams p = BaseParams();
+  EXPECT_NEAR(FutureResponseTime(p, 1.0, 1.0), ModelResponseTime(p), 1e-9);
+}
+
+TEST(ResponseModelTest, FasterProcessorShrinksComputeLinearly) {
+  ModelParams p = BaseParams();
+  p.reallocations = 0.0;  // isolate the compute terms
+  const double rt1 = FutureResponseTime(p, 1.0, 1.0);
+  const double rt16 = FutureResponseTime(p, 16.0, 1.0);
+  EXPECT_NEAR(rt16, rt1 / 16.0, 1e-9);
+}
+
+TEST(ResponseModelTest, CachePenaltyShrinksOnlyAsSqrtSpeed) {
+  // Figure 7: the penalty term divides by sqrt(speed), so reallocation costs
+  // grow in *relative* importance on faster machines.
+  ModelParams p = BaseParams();
+  p.work_s = 0.0;
+  p.waste_s = 0.0;
+  p.realloc_time_s = 0.0;
+  const double rt1 = FutureResponseTime(p, 1.0, 1.0);
+  const double rt16 = FutureResponseTime(p, 16.0, 1.0);
+  EXPECT_NEAR(rt16, rt1 / 4.0, 1e-9);
+}
+
+TEST(ResponseModelTest, LargerCacheHelpsAffineSwitchesHurtsColdOnes) {
+  ModelParams p = BaseParams();
+  p.work_s = 0.0;
+  p.waste_s = 0.0;
+  p.realloc_time_s = 0.0;
+
+  p.pct_affinity = 1.0;  // only P^A: penalty / cache-size
+  const double affine_small = FutureResponseTime(p, 1.0, 1.0);
+  const double affine_big = FutureResponseTime(p, 1.0, 16.0);
+  EXPECT_NEAR(affine_big, affine_small / 16.0, 1e-9);
+
+  p.pct_affinity = 0.0;  // only P^NA: penalty x sqrt(cache-size)
+  const double cold_small = FutureResponseTime(p, 1.0, 1.0);
+  const double cold_big = FutureResponseTime(p, 1.0, 16.0);
+  EXPECT_NEAR(cold_big, cold_small * 4.0, 1e-9);
+}
+
+TEST(ResponseModelTest, AffinitySchedulingWinsOnFutureMachines) {
+  // The paper's qualitative conclusion: with many reallocations, a policy
+  // that keeps %affinity high scales much better in speed x cache.
+  ModelParams oblivious = BaseParams();
+  oblivious.pct_affinity = 0.21;
+  ModelParams affine = BaseParams();
+  affine.pct_affinity = 0.83;
+  const double product = 1024.0;
+  const double s = std::sqrt(product);
+  const double rt_oblivious = FutureResponseTime(oblivious, s, s);
+  const double rt_affine = FutureResponseTime(affine, s, s);
+  EXPECT_LT(rt_affine, rt_oblivious);
+}
+
+TEST(ResponseModelTest, ExtractFromJobStats) {
+  JobStats stats;
+  stats.arrival = 0;
+  stats.completion = Seconds(87.5);
+  stats.useful_work_s = 690.0;
+  stats.steady_stall_s = 10.0;
+  stats.reload_stall_s = 2.0;
+  stats.waste_s = 20.0;
+  stats.alloc_integral_s = 87.5 * 8.27;
+  stats.reallocations = 2469;
+  stats.affinity_dispatches = 518;
+
+  const ModelParams p = ExtractModelParams(stats, 737.0, 1679.0);
+  EXPECT_DOUBLE_EQ(p.work_s, 700.0);  // useful + steady stalls
+  EXPECT_DOUBLE_EQ(p.waste_s, 20.0);
+  EXPECT_DOUBLE_EQ(p.reallocations, 2469.0);
+  EXPECT_NEAR(p.pct_affinity, 518.0 / 2469.0, 1e-12);
+  EXPECT_NEAR(p.pa_s, 737e-6, 1e-12);
+  EXPECT_NEAR(p.pna_s, 1679e-6, 1e-12);
+  EXPECT_NEAR(p.average_allocation, 8.27, 1e-9);
+  EXPECT_DOUBLE_EQ(p.realloc_time_s, 750e-6);
+}
+
+TEST(ResponseModelTest, ModelPredictsSimulatedResponseOrder) {
+  // With realistic magnitudes, the model's RT should be in the ballpark of
+  // the measured RT (they share the accounting identity).
+  const ModelParams p = BaseParams();
+  const double rt = ModelResponseTime(p);
+  EXPECT_GT(rt, 80.0);
+  EXPECT_LT(rt, 95.0);
+}
+
+}  // namespace
+}  // namespace affsched

@@ -1,0 +1,297 @@
+#include "src/sched/dynamic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sched/factory.h"
+#include "tests/sched/fake_view.h"
+
+namespace affsched {
+namespace {
+
+TEST(DynamicOptionsTest, NamesMatchThePaper) {
+  EXPECT_EQ(DynamicOptions{}.PolicyName(), "Dynamic");
+  EXPECT_EQ((DynamicOptions{.use_affinity = true}).PolicyName(), "Dyn-Aff");
+  EXPECT_EQ((DynamicOptions{.use_affinity = true, .enforce_priority = false}).PolicyName(),
+            "Dyn-Aff-NoPri");
+  EXPECT_EQ((DynamicOptions{.use_affinity = true, .yield_delay = Milliseconds(20)}).PolicyName(),
+            "Dyn-Aff-Delay");
+}
+
+TEST(DynamicPolicyTest, RuleD1TakesFreeProcessorFirst) {
+  FakeSchedView view(4);
+  const JobId a = view.AddJob({.allocation = 1, .max_parallelism = 8, .demand = 2});
+  view.procs[0].holder = a;
+  // Processors 1..3 free.
+  DynamicPolicy policy({});
+  const auto decision = policy.OnRequest(view, a);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(decision.assignments[0].proc, 1u);
+  EXPECT_EQ(decision.assignments[0].job, a);
+}
+
+TEST(DynamicPolicyTest, RuleD2TakesWillingToYield) {
+  FakeSchedView view(2);
+  const JobId a = view.AddJob({.allocation = 1, .max_parallelism = 8, .demand = 1});
+  const JobId b = view.AddJob({.allocation = 1, .max_parallelism = 8});
+  view.procs[0].holder = a;
+  view.procs[1].holder = b;
+  view.procs[1].willing = true;
+  DynamicPolicy policy({});
+  const auto decision = policy.OnRequest(view, a);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(decision.assignments[0].proc, 1u);
+}
+
+TEST(DynamicPolicyTest, RuleD3PreemptsLargestJobWhenImbalanced) {
+  FakeSchedView view(4);
+  const JobId a = view.AddJob({.allocation = 1, .max_parallelism = 8, .demand = 1});
+  const JobId b = view.AddJob({.allocation = 3, .max_parallelism = 8});
+  view.procs[0].holder = a;
+  view.procs[1].holder = b;
+  view.procs[2].holder = b;
+  view.procs[3].holder = b;
+  DynamicPolicy policy({});
+  const auto decision = policy.OnRequest(view, a);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(view.ProcessorJob(decision.assignments[0].proc), b);
+  EXPECT_EQ(decision.assignments[0].job, a);
+}
+
+TEST(DynamicPolicyTest, RuleD3DoesNotThrashEqualAllocations) {
+  FakeSchedView view(2);
+  const JobId a = view.AddJob({.allocation = 1, .max_parallelism = 8, .demand = 1});
+  const JobId b = view.AddJob({.allocation = 1, .max_parallelism = 8});
+  view.procs[0].holder = a;
+  view.procs[1].holder = b;
+  DynamicPolicy policy({});
+  EXPECT_TRUE(policy.OnRequest(view, a).assignments.empty());
+}
+
+TEST(DynamicPolicyTest, RuleD3SpendsPriorityCredit) {
+  // A one-processor difference is preemptible when the requester has banked
+  // credit (higher priority).
+  FakeSchedView view(3);
+  const JobId a = view.AddJob({.allocation = 1, .max_parallelism = 8, .demand = 1,
+                               .priority = 5.0});
+  const JobId b = view.AddJob({.allocation = 2, .max_parallelism = 8, .priority = -5.0});
+  view.procs[0].holder = a;
+  view.procs[1].holder = b;
+  view.procs[2].holder = b;
+  DynamicPolicy policy({});
+  const auto decision = policy.OnRequest(view, a);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(view.ProcessorJob(decision.assignments[0].proc), b);
+}
+
+TEST(DynamicPolicyTest, NoPriDisablesD3Entirely) {
+  FakeSchedView view(4);
+  const JobId a = view.AddJob({.allocation = 1, .max_parallelism = 8, .demand = 1});
+  const JobId b = view.AddJob({.allocation = 3, .max_parallelism = 8});
+  view.procs[0].holder = a;
+  for (size_t p = 1; p < 4; ++p) {
+    view.procs[p].holder = b;
+  }
+  DynamicPolicy policy({.use_affinity = true, .enforce_priority = false});
+  EXPECT_TRUE(policy.OnRequest(view, a).assignments.empty());
+}
+
+TEST(DynamicPolicyTest, AvailableProcessorGoesToHighestPriorityRequester) {
+  FakeSchedView view(2);
+  const JobId low = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1,
+                                 .priority = -1.0});
+  const JobId high = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1,
+                                  .priority = 1.0});
+  DynamicPolicy policy({});
+  const auto decision = policy.OnProcessorAvailable(view, 0);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(decision.assignments[0].job, high);
+  (void)low;
+}
+
+TEST(DynamicPolicyTest, YieldingProcessorNotReturnedToYielder) {
+  FakeSchedView view(2);
+  const JobId a = view.AddJob({.allocation = 1, .max_parallelism = 8, .demand = 1});
+  view.procs[0].holder = a;
+  view.procs[0].willing = true;
+  DynamicPolicy policy({});
+  EXPECT_TRUE(policy.OnProcessorAvailable(view, 0).assignments.empty());
+}
+
+TEST(DynAffTest, RuleA1ReunitesLastTask) {
+  FakeSchedView view(2);
+  const JobId a = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1});
+  view.procs[0].last_task = 42;
+  view.tasks[42] = {.job = a, .runnable = true};
+  DynamicPolicy policy({.use_affinity = true});
+  const auto decision = policy.OnProcessorAvailable(view, 0);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(decision.assignments[0].job, a);
+  EXPECT_EQ(decision.assignments[0].prefer_task, 42u);
+}
+
+TEST(DynAffTest, RuleA1YieldsToHigherPriorityRequester) {
+  FakeSchedView view(2);
+  const JobId affine = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1,
+                                    .priority = -1.0});
+  const JobId urgent = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1,
+                                    .priority = 1.0});
+  view.procs[0].last_task = 42;
+  view.tasks[42] = {.job = affine, .runnable = true};
+  DynamicPolicy policy({.use_affinity = true});
+  const auto decision = policy.OnProcessorAvailable(view, 0);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(decision.assignments[0].job, urgent);
+}
+
+TEST(DynAffNoPriTest, RuleA1IgnoresPriorities) {
+  FakeSchedView view(2);
+  const JobId affine = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1,
+                                    .priority = -10.0});
+  view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1, .priority = 10.0});
+  view.procs[0].last_task = 42;
+  view.tasks[42] = {.job = affine, .runnable = true};
+  DynamicPolicy policy({.use_affinity = true, .enforce_priority = false});
+  const auto decision = policy.OnProcessorAvailable(view, 0);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(decision.assignments[0].job, affine);
+}
+
+TEST(DynAffTest, RuleA2HonoursDesiredProcessorWhenAvailable) {
+  FakeSchedView view(3);
+  const JobId a = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1,
+                               .desired = 2});
+  const JobId b = view.AddJob({.allocation = 1, .max_parallelism = 8});
+  view.procs[2].holder = b;
+  view.procs[2].willing = true;
+  DynamicPolicy policy({.use_affinity = true});
+  const auto decision = policy.OnRequest(view, a);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(decision.assignments[0].proc, 2u);
+}
+
+TEST(DynAffTest, RuleA2NeverPreemptsActiveTaskForAffinity) {
+  // "Such preemption is counterproductive, since an active task presumably
+  // has greater affinity for the processor than the task we are attempting
+  // to schedule."
+  FakeSchedView view(3);
+  const JobId a = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1,
+                               .desired = 2});
+  const JobId b = view.AddJob({.allocation = 1, .max_parallelism = 8});
+  view.procs[2].holder = b;  // actively used, not willing
+  DynamicPolicy policy({.use_affinity = true});
+  const auto decision = policy.OnRequest(view, a);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_NE(decision.assignments[0].proc, 2u);  // falls back to a free one
+}
+
+TEST(DynAffTest, PrefersFreeProcessorWithOwnHistory) {
+  FakeSchedView view(4);
+  const JobId a = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1});
+  view.procs[2].last_task = 7;
+  view.tasks[7] = {.job = a, .runnable = false};
+  DynamicPolicy policy({.use_affinity = true});
+  const auto decision = policy.OnRequest(view, a);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(decision.assignments[0].proc, 2u);
+}
+
+TEST(DynamicPolicyTest, NoDemandMeansNoAssignment) {
+  FakeSchedView view(2);
+  const JobId a = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 0});
+  DynamicPolicy policy({});
+  EXPECT_TRUE(policy.OnRequest(view, a).assignments.empty());
+}
+
+TEST(DynamicPolicyTest, CreditSpendRequiresVictimAboveFairShare) {
+  // Two jobs, fair share = 1 each on a 2-processor machine: even a large
+  // priority gap must not let one raid the other below its fair share.
+  FakeSchedView view(2);
+  const JobId a = view.AddJob({.allocation = 1, .max_parallelism = 8, .demand = 1,
+                               .priority = 100.0});
+  const JobId b = view.AddJob({.allocation = 1, .max_parallelism = 8, .priority = -100.0});
+  view.procs[0].holder = a;
+  view.procs[1].holder = b;
+  DynamicPolicy policy({});
+  EXPECT_TRUE(policy.OnRequest(view, a).assignments.empty());
+}
+
+TEST(DynamicPolicyTest, CreditSpendRequiresPositiveCredit) {
+  // Victim above fair share, requester with higher but non-positive priority:
+  // no raid (only genuinely banked credit spends).
+  FakeSchedView view(4);
+  const JobId a = view.AddJob({.allocation = 2, .max_parallelism = 8, .demand = 1,
+                               .priority = -1.0});
+  const JobId b = view.AddJob({.allocation = 2, .max_parallelism = 8, .priority = -10.0});
+  view.procs[0].holder = a;
+  view.procs[1].holder = a;
+  view.procs[2].holder = b;
+  view.procs[3].holder = b;
+  DynamicPolicy policy({});
+  EXPECT_TRUE(policy.OnRequest(view, a).assignments.empty());
+}
+
+TEST(DynamicPolicyTest, CreditSpendTakesVictimAboveFairShare) {
+  // 3 jobs on 9 procs (fair share 3): the requester with banked credit may
+  // push the 4-processor victim down toward its fair share.
+  FakeSchedView view(9);
+  const JobId a = view.AddJob({.allocation = 3, .max_parallelism = 16, .demand = 4,
+                               .priority = 50.0});
+  const JobId b = view.AddJob({.allocation = 4, .max_parallelism = 16, .priority = -20.0});
+  view.AddJob({.allocation = 2, .max_parallelism = 16, .priority = 0.0});
+  for (size_t p = 0; p < 3; ++p) {
+    view.procs[p].holder = a;
+  }
+  for (size_t p = 3; p < 7; ++p) {
+    view.procs[p].holder = b;
+  }
+  for (size_t p = 7; p < 9; ++p) {
+    view.procs[p].holder = 2;
+  }
+  DynamicPolicy policy({});
+  const auto decision = policy.OnRequest(view, a);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(view.ProcessorJob(decision.assignments[0].proc), b);
+}
+
+TEST(DynamicPolicyTest, PreemptionSkipsPendingProcessors) {
+  // A victim processor already committed to move must not be picked again.
+  class PendingView : public FakeSchedView {
+   public:
+    using FakeSchedView::FakeSchedView;
+    bool ReassignmentPending(size_t proc) const override { return proc == 3; }
+  };
+  PendingView view(4);
+  const JobId a = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 2});
+  const JobId b = view.AddJob({.allocation = 4, .max_parallelism = 8});
+  for (size_t p = 0; p < 4; ++p) {
+    view.procs[p].holder = b;
+  }
+  DynamicPolicy policy({});
+  const auto decision = policy.OnRequest(view, a);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  // Highest-numbered non-pending processor: 2, not 3.
+  EXPECT_EQ(decision.assignments[0].proc, 2u);
+  (void)a;
+}
+
+TEST(FactoryTest, MakesAllKinds) {
+  for (PolicyKind kind : {PolicyKind::kEquipartition, PolicyKind::kDynamic, PolicyKind::kDynAff,
+                          PolicyKind::kDynAffNoPri, PolicyKind::kDynAffDelay,
+                          PolicyKind::kTimeShare, PolicyKind::kTimeShareAff}) {
+    EXPECT_NE(MakePolicy(kind), nullptr);
+  }
+  EXPECT_EQ(PolicyKindName(PolicyKind::kDynAffDelay), "Dyn-Aff-Delay");
+}
+
+TEST(FactoryTest, DelayVariantHasYieldDelay) {
+  EXPECT_EQ(MakePolicy(PolicyKind::kDynAffDelay)->YieldDelay(), kDefaultYieldDelay);
+  EXPECT_EQ(MakePolicy(PolicyKind::kDynamic)->YieldDelay(), 0);
+}
+
+TEST(FactoryTest, TimeShareHasQuantum) {
+  EXPECT_EQ(MakePolicy(PolicyKind::kTimeShare)->Quantum(), Milliseconds(100));
+  EXPECT_EQ(MakePolicy(PolicyKind::kDynamic)->Quantum(), 0);
+}
+
+}  // namespace
+}  // namespace affsched

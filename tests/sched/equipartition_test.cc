@@ -1,0 +1,103 @@
+#include "src/sched/equipartition.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/sched/fake_view.h"
+
+namespace affsched {
+namespace {
+
+TEST(EquipartitionTest, SplitsEvenlyAmongUnboundedJobs) {
+  FakeSchedView view(16);
+  const JobId a = view.AddJob({.max_parallelism = 32});
+  const JobId b = view.AddJob({.max_parallelism = 32});
+  const auto targets = Equipartition::ComputeTargets(view);
+  EXPECT_EQ(targets.at(a), 8u);
+  EXPECT_EQ(targets.at(b), 8u);
+}
+
+TEST(EquipartitionTest, JobAtMaxParallelismDropsOut) {
+  // The allocation-number algorithm: a job whose number reaches its maximum
+  // parallelism drops out, and the rest keeps being distributed.
+  FakeSchedView view(16);
+  const JobId small = view.AddJob({.max_parallelism = 3});
+  const JobId big = view.AddJob({.max_parallelism = 32});
+  const auto targets = Equipartition::ComputeTargets(view);
+  EXPECT_EQ(targets.at(small), 3u);
+  EXPECT_EQ(targets.at(big), 13u);
+}
+
+TEST(EquipartitionTest, LeftoverProcessorsUnassignedWhenAllCapped) {
+  FakeSchedView view(16);
+  const JobId a = view.AddJob({.max_parallelism = 2});
+  const JobId b = view.AddJob({.max_parallelism = 4});
+  const auto targets = Equipartition::ComputeTargets(view);
+  EXPECT_EQ(targets.at(a), 2u);
+  EXPECT_EQ(targets.at(b), 4u);
+}
+
+TEST(EquipartitionTest, UnevenRemainderGoesToEarlierArrivals) {
+  FakeSchedView view(16);
+  const JobId a = view.AddJob({.max_parallelism = 32});
+  const JobId b = view.AddJob({.max_parallelism = 32});
+  const JobId c = view.AddJob({.max_parallelism = 32});
+  const auto targets = Equipartition::ComputeTargets(view);
+  EXPECT_EQ(targets.at(a), 6u);
+  EXPECT_EQ(targets.at(b), 5u);
+  EXPECT_EQ(targets.at(c), 5u);
+}
+
+TEST(EquipartitionTest, SingleJobGetsUpToItsMax) {
+  FakeSchedView view(16);
+  const JobId a = view.AddJob({.max_parallelism = 10});
+  const auto targets = Equipartition::ComputeTargets(view);
+  EXPECT_EQ(targets.at(a), 10u);
+}
+
+TEST(EquipartitionTest, ArrivalAndDepartureRepartition) {
+  FakeSchedView view(16);
+  const JobId a = view.AddJob({.max_parallelism = 32});
+  Equipartition policy;
+  const PolicyDecision on_arrival = policy.OnJobArrival(view, a);
+  ASSERT_TRUE(on_arrival.targets.has_value());
+  EXPECT_EQ(on_arrival.targets->at(a), 16u);
+  const PolicyDecision on_departure = policy.OnJobDeparture(view, a);
+  EXPECT_TRUE(on_departure.targets.has_value());
+}
+
+TEST(EquipartitionTest, IgnoresYieldsAndRequests) {
+  // This is the policy's defining trade: no reallocation between arrivals,
+  // whatever the instantaneous demands are.
+  FakeSchedView view(16);
+  const JobId a = view.AddJob({.allocation = 8, .max_parallelism = 32, .demand = 8});
+  view.AddJob({.allocation = 8, .max_parallelism = 32});
+  view.procs[0].holder = 1;
+  view.procs[0].willing = true;
+  Equipartition policy;
+  EXPECT_TRUE(policy.OnProcessorAvailable(view, 0).assignments.empty());
+  EXPECT_FALSE(policy.OnProcessorAvailable(view, 0).targets.has_value());
+  EXPECT_TRUE(policy.OnRequest(view, a).assignments.empty());
+}
+
+TEST(EquipartitionTest, NoJobsMeansNoTargets) {
+  FakeSchedView view(16);
+  const auto targets = Equipartition::ComputeTargets(view);
+  EXPECT_TRUE(targets.empty());
+}
+
+TEST(EquipartitionTest, MoreJobsThanProcessors) {
+  FakeSchedView view(4);
+  for (int i = 0; i < 6; ++i) {
+    view.AddJob({.max_parallelism = 8});
+  }
+  const auto targets = Equipartition::ComputeTargets(view);
+  size_t total = 0;
+  for (const auto& [job, count] : targets) {
+    total += count;
+    EXPECT_LE(count, 1u);
+  }
+  EXPECT_EQ(total, 4u);
+}
+
+}  // namespace
+}  // namespace affsched

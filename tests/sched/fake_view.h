@@ -1,0 +1,78 @@
+// A hand-configurable SchedView for unit-testing policies in isolation.
+
+#ifndef TESTS_SCHED_FAKE_VIEW_H_
+#define TESTS_SCHED_FAKE_VIEW_H_
+
+#include <map>
+#include <vector>
+
+#include "src/sched/policy.h"
+
+namespace affsched {
+
+class FakeSchedView : public SchedView {
+ public:
+  struct JobInfo {
+    size_t allocation = 0;
+    size_t max_parallelism = 16;
+    size_t demand = 0;
+    double priority = 0.0;
+    size_t desired = kNoProcessor;
+  };
+
+  struct ProcInfo {
+    JobId holder = kInvalidJobId;
+    bool willing = false;
+    CacheOwner last_task = kNoOwner;
+  };
+
+  struct TaskInfo {
+    JobId job = kInvalidJobId;
+    bool runnable = false;
+  };
+
+  explicit FakeSchedView(size_t num_procs) : procs(num_procs) {}
+
+  JobId AddJob(JobInfo info) {
+    const JobId id = static_cast<JobId>(order.size());
+    order.push_back(id);
+    jobs[id] = info;
+    return id;
+  }
+
+  size_t NumProcessors() const override { return procs.size(); }
+  std::vector<JobId> ActiveJobs() const override { return order; }
+  size_t Allocation(JobId job) const override { return jobs.at(job).allocation; }
+  size_t EffectiveAllocation(JobId job) const override { return jobs.at(job).allocation; }
+  size_t MaxParallelism(JobId job) const override { return jobs.at(job).max_parallelism; }
+  size_t PendingDemand(JobId job) const override { return jobs.at(job).demand; }
+  JobId ProcessorJob(size_t proc) const override { return procs.at(proc).holder; }
+  bool WillingToYield(size_t proc) const override { return procs.at(proc).willing; }
+  bool ReassignmentPending(size_t /*proc*/) const override { return false; }
+  CacheOwner LastTaskOn(size_t proc) const override { return procs.at(proc).last_task; }
+  std::vector<CacheOwner> RecentTasksOn(size_t proc) const override {
+    if (procs.at(proc).last_task == kNoOwner) {
+      return {};
+    }
+    return {procs.at(proc).last_task};
+  }
+  bool TaskRunnable(CacheOwner task) const override {
+    auto it = tasks.find(task);
+    return it != tasks.end() && it->second.runnable;
+  }
+  JobId TaskJob(CacheOwner task) const override {
+    auto it = tasks.find(task);
+    return it == tasks.end() ? kInvalidJobId : it->second.job;
+  }
+  size_t DesiredProcessor(JobId job) const override { return jobs.at(job).desired; }
+  double Priority(JobId job) const override { return jobs.at(job).priority; }
+
+  std::vector<JobId> order;
+  std::map<JobId, JobInfo> jobs;
+  std::vector<ProcInfo> procs;
+  std::map<CacheOwner, TaskInfo> tasks;
+};
+
+}  // namespace affsched
+
+#endif  // TESTS_SCHED_FAKE_VIEW_H_

@@ -1,0 +1,113 @@
+#include "src/sched/timeshare.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/sched/fake_view.h"
+
+namespace affsched {
+namespace {
+
+TEST(TimeShareTest, QuantumMatchesDynix) {
+  TimeSharePolicy policy(TimeShareOptions{});
+  EXPECT_EQ(policy.Quantum(), Milliseconds(100));
+}
+
+TEST(TimeShareTest, QuantumExpiryRotatesToDemandingJob) {
+  FakeSchedView view(2);
+  const JobId a = view.AddJob({.allocation = 2, .max_parallelism = 8});
+  const JobId b = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 2});
+  view.procs[0].holder = a;
+  view.procs[1].holder = a;
+  TimeSharePolicy policy(TimeShareOptions{});
+  const auto decision = policy.OnQuantumExpiry(view, 0);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(decision.assignments[0].job, b);
+}
+
+TEST(TimeShareTest, NoRotationWithSingleJob) {
+  FakeSchedView view(2);
+  const JobId a = view.AddJob({.allocation = 2, .max_parallelism = 8});
+  view.procs[0].holder = a;
+  TimeSharePolicy policy(TimeShareOptions{});
+  EXPECT_TRUE(policy.OnQuantumExpiry(view, 0).assignments.empty());
+}
+
+TEST(TimeShareTest, NoRotationWhenNobodyElseWants) {
+  FakeSchedView view(2);
+  const JobId a = view.AddJob({.allocation = 2, .max_parallelism = 8});
+  view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 0});
+  view.procs[0].holder = a;
+  TimeSharePolicy policy(TimeShareOptions{});
+  EXPECT_TRUE(policy.OnQuantumExpiry(view, 0).assignments.empty());
+}
+
+TEST(TimeShareTest, RoundRobinCyclesThroughJobs) {
+  FakeSchedView view(1);
+  const JobId a = view.AddJob({.allocation = 1, .max_parallelism = 8, .demand = 1});
+  const JobId b = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1});
+  const JobId c = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1});
+  view.procs[0].holder = a;
+  TimeSharePolicy policy(TimeShareOptions{});
+  auto d1 = policy.OnQuantumExpiry(view, 0);
+  ASSERT_EQ(d1.assignments.size(), 1u);
+  const JobId first = d1.assignments[0].job;
+  view.procs[0].holder = first;
+  auto d2 = policy.OnQuantumExpiry(view, 0);
+  ASSERT_EQ(d2.assignments.size(), 1u);
+  EXPECT_NE(d2.assignments[0].job, first);
+  EXPECT_TRUE(d2.assignments[0].job == b || d2.assignments[0].job == c ||
+              d2.assignments[0].job == a);
+}
+
+TEST(TimeShareAffTest, RotatesLikePlainTimeSharing) {
+  // Quantum-driven fairness is preserved: the affinity variant still rotates.
+  FakeSchedView view(1);
+  const JobId a = view.AddJob({.allocation = 1, .max_parallelism = 8, .demand = 1});
+  const JobId b = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1});
+  view.procs[0].holder = a;
+  TimeSharePolicy policy(TimeShareOptions{.use_affinity = true});
+  const auto decision = policy.OnQuantumExpiry(view, 0);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(decision.assignments[0].job, b);
+}
+
+TEST(TimeShareAffTest, RotationCarriesAffineTaskHint) {
+  FakeSchedView view(1);
+  const JobId a = view.AddJob({.allocation = 1, .max_parallelism = 8, .demand = 1});
+  const JobId b = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1});
+  view.procs[0].holder = a;
+  view.procs[0].last_task = 9;
+  view.tasks[9] = {.job = b, .runnable = true};
+  TimeSharePolicy policy(TimeShareOptions{.use_affinity = true});
+  const auto decision = policy.OnQuantumExpiry(view, 0);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(decision.assignments[0].job, b);
+  EXPECT_EQ(decision.assignments[0].prefer_task, 9u);
+}
+
+TEST(TimeShareTest, RequestsOnlyClaimFreeProcessors) {
+  FakeSchedView view(2);
+  const JobId a = view.AddJob({.allocation = 1, .max_parallelism = 8, .demand = 1});
+  const JobId b = view.AddJob({.allocation = 1, .max_parallelism = 8});
+  view.procs[0].holder = a;
+  view.procs[1].holder = b;
+  TimeSharePolicy policy(TimeShareOptions{});
+  EXPECT_TRUE(policy.OnRequest(view, a).assignments.empty());
+  view.procs[1].holder = kInvalidJobId;
+  const auto decision = policy.OnRequest(view, a);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(decision.assignments[0].proc, 1u);
+}
+
+TEST(TimeShareTest, AvailableProcessorGoesToLargestDemand) {
+  FakeSchedView view(2);
+  view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1});
+  const JobId big = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 5});
+  TimeSharePolicy policy(TimeShareOptions{});
+  const auto decision = policy.OnProcessorAvailable(view, 0);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(decision.assignments[0].job, big);
+}
+
+}  // namespace
+}  // namespace affsched

@@ -1,0 +1,130 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace affsched {
+namespace {
+
+TEST(EventQueueTest, StartsEmptyAtTimeZero) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now(), 0);
+  EXPECT_EQ(q.PeekTime(), kTimeInfinite);
+  EXPECT_FALSE(q.RunNext());
+}
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(Milliseconds(30), [&] { order.push_back(3); });
+  q.ScheduleAt(Milliseconds(10), [&] { order.push_back(1); });
+  q.ScheduleAt(Milliseconds(20), [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), Milliseconds(30));
+}
+
+TEST(EventQueueTest, TiesRunInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(Milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  SimTime seen = -1;
+  q.ScheduleAt(Milliseconds(10), [&] {
+    q.ScheduleAfter(Milliseconds(5), [&] { seen = q.now(); });
+  });
+  q.RunAll();
+  EXPECT_EQ(seen, Milliseconds(15));
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.ScheduleAt(Milliseconds(1), [&] { ran = true; });
+  EXPECT_TRUE(q.IsPending(id));
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.IsPending(id));
+  EXPECT_FALSE(q.Cancel(id));  // double-cancel reports false
+  q.RunAll();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelledEventsDoNotBlockPeek) {
+  EventQueue q;
+  const EventId early = q.ScheduleAt(Milliseconds(1), [] {});
+  q.ScheduleAt(Milliseconds(7), [] {});
+  q.Cancel(early);
+  EXPECT_EQ(q.PeekTime(), Milliseconds(7));
+}
+
+TEST(EventQueueTest, HandlerMayScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) {
+      q.ScheduleAfter(Milliseconds(1), chain);
+    }
+  };
+  q.ScheduleAt(0, chain);
+  q.RunAll();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.now(), Milliseconds(4));
+}
+
+TEST(EventQueueTest, HandlerMayCancelAnotherPendingEvent) {
+  EventQueue q;
+  bool second_ran = false;
+  EventId second = kInvalidEventId;
+  q.ScheduleAt(Milliseconds(1), [&] { q.Cancel(second); });
+  second = q.ScheduleAt(Milliseconds(2), [&] { second_ran = true; });
+  q.RunAll();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int ran = 0;
+  for (int i = 1; i <= 10; ++i) {
+    q.ScheduleAt(Milliseconds(i), [&] { ++ran; });
+  }
+  EXPECT_EQ(q.RunUntil(Milliseconds(4)), 4u);
+  EXPECT_EQ(ran, 4);
+  EXPECT_EQ(q.now(), Milliseconds(4));
+  EXPECT_EQ(q.pending_count(), 6u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockToDeadlineWhenIdle) {
+  EventQueue q;
+  EXPECT_EQ(q.RunUntil(Milliseconds(100)), 0u);
+  EXPECT_EQ(q.now(), Milliseconds(100));
+}
+
+TEST(EventQueueTest, PendingCountTracksScheduleAndCancel) {
+  EventQueue q;
+  const EventId a = q.ScheduleAt(1, [] {});
+  q.ScheduleAt(2, [] {});
+  EXPECT_EQ(q.pending_count(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.pending_count(), 1u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastAborts) {
+  EventQueue q;
+  q.ScheduleAt(Milliseconds(10), [] {});
+  q.RunAll();
+  EXPECT_DEATH(q.ScheduleAt(Milliseconds(5), [] {}), "past");
+}
+
+}  // namespace
+}  // namespace affsched

@@ -1,0 +1,57 @@
+#include "src/stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace affsched {
+namespace {
+
+TEST(WeightedHistogramTest, EmptyHistogram) {
+  WeightedHistogram h(8);
+  EXPECT_DOUBLE_EQ(h.TotalWeight(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(WeightedHistogramTest, FractionsSumToOne) {
+  WeightedHistogram h(4);
+  h.Add(1, 2.0);
+  h.Add(2, 3.0);
+  h.Add(4, 5.0);
+  double total = 0;
+  for (size_t i = 0; i <= 4; ++i) {
+    total += h.Fraction(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(h.Fraction(2), 0.3);
+}
+
+TEST(WeightedHistogramTest, MeanIsWeighted) {
+  WeightedHistogram h(10);
+  h.Add(2, 1.0);
+  h.Add(8, 3.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), (2.0 * 1 + 8.0 * 3) / 4.0);
+}
+
+TEST(WeightedHistogramTest, ClampsAboveMax) {
+  WeightedHistogram h(4);
+  h.Add(100, 1.0);
+  EXPECT_DOUBLE_EQ(h.Fraction(4), 1.0);
+}
+
+TEST(WeightedHistogramTest, RenderMentionsLevelsAndMean) {
+  WeightedHistogram h(4);
+  h.Add(3, 1.0);
+  const std::string out = h.Render("MVA");
+  EXPECT_NE(out.find("MVA"), std::string::npos);
+  EXPECT_NE(out.find("parallelism  3"), std::string::npos);
+  EXPECT_NE(out.find("mean parallelism"), std::string::npos);
+}
+
+TEST(WeightedHistogramTest, OutOfRangeFractionIsZero) {
+  WeightedHistogram h(4);
+  h.Add(1, 1.0);
+  EXPECT_DOUBLE_EQ(h.Fraction(99), 0.0);
+}
+
+}  // namespace
+}  // namespace affsched

@@ -1,0 +1,134 @@
+#include "src/workload/graph_builders.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace affsched {
+namespace {
+
+TEST(GraphBuildersTest, ForkIsFlat) {
+  ThreadGraph g;
+  const auto nodes = AddFork(g, 5, ConstantWork(Milliseconds(10)));
+  g.Start();
+  EXPECT_EQ(nodes.size(), 5u);
+  EXPECT_EQ(g.initial_ready().size(), 5u);
+  EXPECT_EQ(g.TotalWork(), Milliseconds(50));
+}
+
+TEST(GraphBuildersTest, ChainIsSerial) {
+  ThreadGraph g;
+  const auto nodes = AddChain(g, 4, ConstantWork(Milliseconds(1)));
+  const auto widths = g.LevelWidths();
+  EXPECT_EQ(widths, (std::vector<size_t>{1, 1, 1, 1}));
+  g.Start();
+  ASSERT_EQ(g.initial_ready().size(), 1u);
+  EXPECT_EQ(g.initial_ready()[0], nodes[0]);
+}
+
+TEST(GraphBuildersTest, BarrierPhaseWaitsForAll) {
+  ThreadGraph g;
+  const auto phase1 = AddFork(g, 3, ConstantWork(1));
+  const auto phase2 = AddBarrierPhase(g, phase1, 2, ConstantWork(1));
+  g.Start();
+  EXPECT_TRUE(g.Complete(phase1[0]).empty());
+  EXPECT_TRUE(g.Complete(phase1[1]).empty());
+  const auto released = g.Complete(phase1[2]);
+  EXPECT_EQ(released.size(), 2u);
+  EXPECT_EQ(released[0], phase2[0]);
+}
+
+TEST(GraphBuildersTest, WavefrontMatchesAppShape) {
+  ThreadGraph g;
+  AddWavefront(g, 4, 4, ConstantWork(1));
+  const auto widths = g.LevelWidths();
+  EXPECT_EQ(widths, (std::vector<size_t>{1, 2, 3, 4, 3, 2, 1}));
+}
+
+TEST(GraphBuildersTest, RectangularWavefront) {
+  ThreadGraph g;
+  AddWavefront(g, 2, 5, ConstantWork(1));
+  const auto widths = g.LevelWidths();
+  // Diagonal widths of a 2x5 grid: 1,2,2,2,2,1.
+  EXPECT_EQ(widths, (std::vector<size_t>{1, 2, 2, 2, 2, 1}));
+}
+
+TEST(GraphBuildersTest, PipelineSteadyStateWidth) {
+  ThreadGraph g;
+  AddPipeline(g, 3, 6, ConstantWork(1));
+  const auto widths = g.LevelWidths();
+  // A (stages x items) pipeline levelises like a wavefront of that shape.
+  EXPECT_EQ(widths.size(), 3u + 6u - 1u);
+  size_t peak = 0;
+  for (size_t w : widths) {
+    peak = std::max(peak, w);
+  }
+  EXPECT_EQ(peak, 3u);  // bounded by stage count
+}
+
+TEST(GraphBuildersTest, PipelineOrdering) {
+  ThreadGraph g;
+  const auto nodes = AddPipeline(g, 2, 2, ConstantWork(1));
+  g.Start();
+  // Only (0,0) is initially ready.
+  ASSERT_EQ(g.initial_ready().size(), 1u);
+  EXPECT_EQ(g.initial_ready()[0], nodes[0]);
+  // Completing (0,0) readies (0,1) and (1,0).
+  EXPECT_EQ(g.Complete(nodes[0]).size(), 2u);
+}
+
+TEST(GraphBuildersTest, ReductionTreeHalvesParallelism) {
+  ThreadGraph g;
+  const auto nodes = AddReductionTree(g, 8, ConstantWork(1));
+  // 8 leaves + 4 + 2 + 1 = 15 nodes.
+  EXPECT_EQ(nodes.size(), 15u);
+  const auto widths = g.LevelWidths();
+  EXPECT_EQ(widths, (std::vector<size_t>{8, 4, 2, 1}));
+}
+
+TEST(GraphBuildersTest, ReductionTreeOddLeaves) {
+  ThreadGraph g;
+  const auto nodes = AddReductionTree(g, 5, ConstantWork(1));
+  // 5 -> 3 -> 2 -> 1: 11 nodes, executable to completion.
+  EXPECT_EQ(nodes.size(), 11u);
+  g.Start();
+  // Run it: complete everything in topological order via the ready set.
+  std::vector<size_t> ready(g.initial_ready().begin(), g.initial_ready().end());
+  size_t completed = 0;
+  while (!ready.empty()) {
+    const size_t node = ready.back();
+    ready.pop_back();
+    for (size_t n : g.Complete(node)) {
+      ready.push_back(n);
+    }
+    ++completed;
+  }
+  EXPECT_EQ(completed, 11u);
+  EXPECT_TRUE(g.Finished());
+}
+
+TEST(GraphBuildersTest, ComposedStructures) {
+  // A fork-join followed by a wavefront, glued with a barrier phase.
+  ThreadGraph g;
+  const auto fork = AddFork(g, 4, ConstantWork(1));
+  const auto join = AddBarrierPhase(g, fork, 1, ConstantWork(1));
+  const auto wave = AddWavefront(g, 3, 3, ConstantWork(1));
+  g.AddEdge(join[0], wave[0]);
+  g.Start();
+  EXPECT_EQ(g.num_nodes(), 4u + 1u + 9u);
+  // Initially ready: the fork (the wavefront corner waits on the join).
+  EXPECT_EQ(g.initial_ready().size(), 4u);
+}
+
+TEST(GraphBuildersTest, WorkFnReceivesIndices) {
+  ThreadGraph g;
+  std::vector<size_t> seen;
+  AddFork(g, 3, [&](size_t i) {
+    seen.push_back(i);
+    return Milliseconds(1);
+  });
+  EXPECT_EQ(seen, (std::vector<size_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace affsched

@@ -1,0 +1,129 @@
+#include "src/workload/job.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace affsched {
+namespace {
+
+AppProfile ChainProfile(size_t length, SimDuration work) {
+  AppProfile profile;
+  profile.name = "chain";
+  profile.max_parallelism = 1;
+  profile.build_graph = [length, work](Rng&) {
+    auto g = std::make_unique<ThreadGraph>();
+    size_t prev = SIZE_MAX;
+    for (size_t i = 0; i < length; ++i) {
+      const size_t n = g->AddNode(work);
+      if (prev != SIZE_MAX) {
+        g->AddEdge(prev, n);
+      }
+      prev = n;
+    }
+    return g;
+  };
+  return profile;
+}
+
+AppProfile ParallelProfile(size_t width, SimDuration work) {
+  AppProfile profile;
+  profile.name = "par";
+  profile.max_parallelism = width;
+  profile.build_graph = [width, work](Rng&) {
+    auto g = std::make_unique<ThreadGraph>();
+    for (size_t i = 0; i < width; ++i) {
+      g->AddNode(work);
+    }
+    return g;
+  };
+  return profile;
+}
+
+std::unique_ptr<Job> MakeJob(const AppProfile& profile, JobId id = 0) {
+  Rng rng(1);
+  return std::make_unique<Job>(id, profile, profile.build_graph(rng), 0);
+}
+
+TEST(JobTest, InitialReadyThreadsQueued) {
+  const AppProfile profile = ParallelProfile(4, Milliseconds(5));
+  auto job = MakeJob(profile);
+  EXPECT_TRUE(job->HasReadyThread());
+  EXPECT_EQ(job->ReadyCount(), 4u);
+}
+
+TEST(JobTest, PopReturnsThreadWithFullWork) {
+  const AppProfile profile = ParallelProfile(2, Milliseconds(5));
+  auto job = MakeJob(profile);
+  const ThreadRef t = job->PopReadyThread();
+  EXPECT_EQ(t.remaining, Milliseconds(5));
+  EXPECT_EQ(job->ReadyCount(), 1u);
+}
+
+TEST(JobTest, CompleteThreadEnablesSuccessors) {
+  const AppProfile profile = ChainProfile(3, Milliseconds(1));
+  auto job = MakeJob(profile);
+  EXPECT_EQ(job->ReadyCount(), 1u);
+  ThreadRef t = job->PopReadyThread();
+  EXPECT_EQ(job->CompleteThread(t.node), 1u);
+  EXPECT_EQ(job->ReadyCount(), 1u);
+  t = job->PopReadyThread();
+  job->CompleteThread(t.node);
+  t = job->PopReadyThread();
+  EXPECT_EQ(job->CompleteThread(t.node), 0u);
+  EXPECT_TRUE(job->Finished());
+}
+
+TEST(JobTest, PreemptedThreadResumesFirst) {
+  const AppProfile profile = ParallelProfile(3, Milliseconds(10));
+  auto job = MakeJob(profile);
+  ThreadRef t = job->PopReadyThread();
+  t.remaining = Milliseconds(4);  // partially executed
+  job->PushPreemptedThread(t);
+  const ThreadRef resumed = job->PopReadyThread();
+  EXPECT_EQ(resumed.node, t.node);
+  EXPECT_EQ(resumed.remaining, Milliseconds(4));
+}
+
+TEST(JobTest, StatsDeriveResponseAndAllocation) {
+  JobStats stats;
+  stats.arrival = Seconds(1);
+  stats.completion = Seconds(21);
+  stats.alloc_integral_s = 100.0;
+  EXPECT_DOUBLE_EQ(stats.ResponseSeconds(), 20.0);
+  EXPECT_DOUBLE_EQ(stats.AverageAllocation(), 5.0);
+}
+
+TEST(JobTest, StatsAffinityFraction) {
+  JobStats stats;
+  EXPECT_DOUBLE_EQ(stats.AffinityFraction(), 0.0);
+  stats.reallocations = 100;
+  stats.affinity_dispatches = 83;
+  EXPECT_DOUBLE_EQ(stats.AffinityFraction(), 0.83);
+}
+
+TEST(JobTest, ReallocationIntervalUsesAllocation) {
+  // Table 3 reports the per-processor interval: RT x avg-alloc / #reallocs.
+  JobStats stats;
+  stats.arrival = 0;
+  stats.completion = Seconds(87.5);
+  stats.alloc_integral_s = 87.5 * 8.27;
+  stats.reallocations = 2469;
+  EXPECT_NEAR(stats.ReallocationIntervalSeconds(), 0.293, 0.001);
+}
+
+TEST(JobStatsDeathTest, ResponseBeforeCompletionAborts) {
+  JobStats stats;
+  EXPECT_DEATH(stats.ResponseSeconds(), "not completed");
+}
+
+TEST(JobTest, NameComesFromProfile) {
+  const AppProfile profile = ParallelProfile(1, 1);
+  auto job = MakeJob(profile, 7);
+  EXPECT_EQ(job->name(), "par");
+  EXPECT_EQ(job->id(), 7u);
+  EXPECT_EQ(job->max_parallelism(), 1u);
+}
+
+}  // namespace
+}  // namespace affsched

@@ -1,0 +1,142 @@
+#include "src/workload/thread_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace affsched {
+namespace {
+
+TEST(ThreadGraphTest, IndependentNodesAllInitiallyReady) {
+  ThreadGraph g;
+  for (int i = 0; i < 5; ++i) {
+    g.AddNode(Milliseconds(10));
+  }
+  g.Start();
+  EXPECT_EQ(g.initial_ready().size(), 5u);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_FALSE(g.Finished());
+}
+
+TEST(ThreadGraphTest, ChainEnablesOneAtATime) {
+  ThreadGraph g;
+  const size_t a = g.AddNode(1);
+  const size_t b = g.AddNode(1);
+  const size_t c = g.AddNode(1);
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  g.Start();
+  ASSERT_EQ(g.initial_ready().size(), 1u);
+  EXPECT_EQ(g.initial_ready()[0], a);
+  auto ready = g.Complete(a);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], b);
+  ready = g.Complete(b);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], c);
+  EXPECT_TRUE(g.Complete(c).empty());
+  EXPECT_TRUE(g.Finished());
+}
+
+TEST(ThreadGraphTest, JoinWaitsForAllPredecessors) {
+  ThreadGraph g;
+  const size_t a = g.AddNode(1);
+  const size_t b = g.AddNode(1);
+  const size_t join = g.AddNode(1);
+  g.AddEdge(a, join);
+  g.AddEdge(b, join);
+  g.Start();
+  EXPECT_TRUE(g.Complete(a).empty());
+  const auto ready = g.Complete(b);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], join);
+}
+
+TEST(ThreadGraphTest, ForkEnablesAllDependents) {
+  ThreadGraph g;
+  const size_t root = g.AddNode(1);
+  for (int i = 0; i < 4; ++i) {
+    const size_t child = g.AddNode(1);
+    g.AddEdge(root, child);
+  }
+  g.Start();
+  EXPECT_EQ(g.Complete(root).size(), 4u);
+}
+
+TEST(ThreadGraphTest, TotalWorkSums) {
+  ThreadGraph g;
+  g.AddNode(Milliseconds(10));
+  g.AddNode(Milliseconds(20));
+  g.AddNode(Milliseconds(30));
+  EXPECT_EQ(g.TotalWork(), Milliseconds(60));
+}
+
+TEST(ThreadGraphTest, RemainingCountsDown) {
+  ThreadGraph g;
+  const size_t a = g.AddNode(1);
+  const size_t b = g.AddNode(1);
+  g.Start();
+  EXPECT_EQ(g.remaining(), 2u);
+  g.Complete(a);
+  EXPECT_EQ(g.remaining(), 1u);
+  g.Complete(b);
+  EXPECT_EQ(g.remaining(), 0u);
+  EXPECT_TRUE(g.Finished());
+}
+
+TEST(ThreadGraphTest, WavefrontLevelWidths) {
+  // 3x3 wavefront grid: widths along anti-diagonals are 1,2,3,2,1.
+  ThreadGraph g;
+  const size_t n = 3;
+  for (size_t i = 0; i < n * n; ++i) {
+    g.AddNode(1);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i + 1 < n) {
+        g.AddEdge(i * n + j, (i + 1) * n + j);
+      }
+      if (j + 1 < n) {
+        g.AddEdge(i * n + j, i * n + j + 1);
+      }
+    }
+  }
+  const auto widths = g.LevelWidths();
+  EXPECT_EQ(widths, (std::vector<size_t>{1, 2, 3, 2, 1}));
+}
+
+TEST(ThreadGraphTest, LevelWidthsCoverAllNodes) {
+  ThreadGraph g;
+  const size_t a = g.AddNode(1);
+  const size_t b = g.AddNode(1);
+  const size_t c = g.AddNode(1);
+  g.AddEdge(a, c);
+  g.AddEdge(b, c);
+  const auto widths = g.LevelWidths();
+  EXPECT_EQ(std::accumulate(widths.begin(), widths.end(), size_t{0}), 3u);
+}
+
+TEST(ThreadGraphDeathTest, DoubleCompleteAborts) {
+  ThreadGraph g;
+  const size_t a = g.AddNode(1);
+  g.Start();
+  g.Complete(a);
+  EXPECT_DEATH(g.Complete(a), "twice");
+}
+
+TEST(ThreadGraphDeathTest, SelfEdgeAborts) {
+  ThreadGraph g;
+  const size_t a = g.AddNode(1);
+  EXPECT_DEATH(g.AddEdge(a, a), "CHECK");
+}
+
+TEST(ThreadGraphDeathTest, EdgeAfterStartAborts) {
+  ThreadGraph g;
+  const size_t a = g.AddNode(1);
+  const size_t b = g.AddNode(1);
+  g.Start();
+  EXPECT_DEATH(g.AddEdge(a, b), "CHECK");
+}
+
+}  // namespace
+}  // namespace affsched
