@@ -4,16 +4,24 @@
 //
 //   ./build/examples/simctl --mix=5 --policy=dyn-aff --procs=16 --gantt
 //   ./build/examples/simctl --mix=2 --policy=equi --speed=16 --cache=16
+//   ./build/examples/simctl --mix=5 --metrics --chrome-trace=trace.json
 //   ./build/examples/simctl --help
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "src/apps/apps.h"
 #include "src/common/flags.h"
 #include "src/engine/engine.h"
 #include "src/measure/mixes.h"
 #include "src/measure/report.h"
+#include "src/sched/metered.h"
+#include "src/telemetry/chrome_trace.h"
+#include "src/telemetry/manifest.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/sampler.h"
 #include "src/trace/trace.h"
 
 using namespace affsched;
@@ -56,6 +64,11 @@ int main(int argc, char** argv) {
   flags.AddDouble("cache", 1.0, "cache size relative to the Symmetry");
   flags.AddBool("gantt", false, "render an ASCII Gantt chart");
   flags.AddBool("csv", false, "dump the event trace as CSV to stdout");
+  flags.AddBool("metrics", false, "print end-of-run metric totals and reconcile them");
+  flags.AddString("chrome-trace", "", "write a Chrome/Perfetto trace-event JSON file here");
+  flags.AddString("samples", "", "write the sampled time series as CSV here");
+  flags.AddDouble("sample-ms", 100.0, "sampling cadence in simulated milliseconds");
+  flags.AddString("manifest", "", "write a run manifest (JSON) here");
   if (!flags.Parse(argc, argv)) {
     std::printf("%s\n", flags.help_requested() ? flags.Help().c_str() : flags.error().c_str());
     return flags.help_requested() ? 0 : 1;
@@ -71,6 +84,10 @@ int main(int argc, char** argv) {
     std::printf("unknown --policy '%s'\n", flags.GetString("policy").c_str());
     return 1;
   }
+  if (flags.GetDouble("sample-ms") <= 0.0) {
+    std::printf("--sample-ms must be > 0\n");
+    return 1;
+  }
 
   MachineConfig machine;
   machine.num_processors = static_cast<size_t>(flags.GetInt("procs"));
@@ -82,10 +99,31 @@ int main(int argc, char** argv) {
               mix.Label().c_str(), PolicyKindName(kind).c_str(), machine.num_processors,
               machine.processor_speed, machine.cache_size_factor);
 
+  const std::string chrome_trace_path = flags.GetString("chrome-trace");
+  const std::string samples_path = flags.GetString("samples");
+  const std::string manifest_path = flags.GetString("manifest");
+  const bool want_metrics =
+      flags.GetBool("metrics") || !manifest_path.empty();
+
+  MetricsRegistry registry;
+  std::unique_ptr<Policy> policy = MakePolicy(kind);
+  if (want_metrics) {
+    auto metered = std::make_unique<MeteredPolicy>(std::move(policy));
+    metered->AttachMetrics(&registry);
+    policy = std::move(metered);
+  }
+
   RingTrace trace;
-  Engine engine(machine, MakePolicy(kind), static_cast<uint64_t>(flags.GetInt("seed")));
-  if (flags.GetBool("gantt") || flags.GetBool("csv")) {
+  Engine engine(machine, std::move(policy), static_cast<uint64_t>(flags.GetInt("seed")));
+  if (flags.GetBool("gantt") || flags.GetBool("csv") || !chrome_trace_path.empty()) {
     engine.SetTraceSink(&trace);
+  }
+  if (want_metrics) {
+    engine.SetMetrics(&registry);
+  }
+  Sampler sampler(Milliseconds(flags.GetDouble("sample-ms")));
+  if (!samples_path.empty()) {
+    engine.SetSampler(&sampler);
   }
   for (const AppProfile& job : mix.Expand(DefaultProfiles())) {
     engine.SubmitJob(job);
@@ -102,6 +140,51 @@ int main(int argc, char** argv) {
   }
   if (flags.GetBool("csv")) {
     std::printf("\n%s", trace.ToCsv().c_str());
+  }
+
+  if (flags.GetBool("metrics")) {
+    std::printf("\n%s", registry.RenderText().c_str());
+    const MetricsReconciliation rec = ReconcileEngineMetrics(engine, registry);
+    std::printf("\nreconciliation vs JobStats: %s\n%s", rec.ok ? "OK" : "MISMATCH",
+                rec.report.c_str());
+  }
+
+  std::vector<std::string> job_names;
+  job_names.reserve(engine.job_count());
+  for (JobId id = 0; id < engine.job_count(); ++id) {
+    job_names.push_back(engine.job_name(id));
+  }
+
+  if (!chrome_trace_path.empty()) {
+    ChromeTraceWriter writer;
+    writer.AddEvents(trace.Events());
+    if (writer.WriteJsonFile(chrome_trace_path, machine.num_processors, job_names)) {
+      std::printf("\nwrote %zu trace events to %s (load in chrome://tracing or Perfetto)\n",
+                  writer.size(), chrome_trace_path.c_str());
+      if (trace.dropped() > 0) {
+        std::printf("warning: ring buffer dropped %zu early events\n", trace.dropped());
+      }
+    }
+  }
+  if (!samples_path.empty() &&
+      Sampler::WriteFile(samples_path, sampler.ToCsv())) {
+    std::printf("\nwrote %zu samples x %zu probes to %s\n", sampler.num_samples(),
+                sampler.num_probes(), samples_path.c_str());
+  }
+  if (!manifest_path.empty()) {
+    RunManifest manifest;
+    manifest.SetString("tool", "simctl");
+    manifest.SetString("mix", mix.Label());
+    manifest.SetString("policy", PolicyKindName(kind));
+    manifest.SetNumber("procs", static_cast<double>(machine.num_processors));
+    manifest.SetNumber("speed", machine.processor_speed);
+    manifest.SetNumber("cache", machine.cache_size_factor);
+    manifest.SetNumber("seed", static_cast<double>(flags.GetInt("seed")));
+    manifest.SetNumber("makespan_s", ToSeconds(end));
+    manifest.AddMetrics(registry);
+    if (manifest.WriteFile(manifest_path)) {
+      std::printf("\nwrote run manifest to %s\n", manifest_path.c_str());
+    }
   }
   return 0;
 }

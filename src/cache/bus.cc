@@ -26,6 +26,9 @@ void SharedBus::RecordTraffic(SimTime now, double misses) {
   AFF_CHECK(misses >= 0.0);
   DecayTo(now);
   window_busy_seconds_ += misses * config_.transfer_seconds;
+  total_transfers_ += misses;
+  peak_utilization_ =
+      std::max(peak_utilization_, std::min(0.99, window_busy_seconds_ / config_.window_seconds));
 }
 
 double SharedBus::Utilization(SimTime now) {
@@ -33,6 +36,14 @@ double SharedBus::Utilization(SimTime now) {
   // Busy time accumulated over an exponential window of mean `window_seconds`
   // approximates (busy time)/(elapsed time) when divided by the window length.
   return std::min(0.99, window_busy_seconds_ / config_.window_seconds);
+}
+
+double SharedBus::UtilizationAt(SimTime now) const {
+  double busy = window_busy_seconds_;
+  if (now > last_update_) {
+    busy *= std::exp(-ToSeconds(now - last_update_) / config_.window_seconds);
+  }
+  return std::min(0.99, busy / config_.window_seconds);
 }
 
 double SharedBus::InflationFactor(SimTime now) {

@@ -34,10 +34,21 @@ class SharedBus {
   // Estimated bus utilisation in [0, 1).
   double Utilization(SimTime now);
 
+  // Read-only utilisation estimate at `now` (>= last update). Used by
+  // telemetry probes: unlike Utilization it does not advance the decay
+  // state, so sampling cannot perturb the simulated trajectory.
+  double UtilizationAt(SimTime now) const;
+
   // Multiplier applied to the uncontended miss service time.
   double InflationFactor(SimTime now);
 
   const Config& config() const { return config_; }
+
+  // Lifetime contention counters (never decayed): block transfers recorded,
+  // and the highest utilisation seen at any RecordTraffic call. Exported to
+  // the metrics registry by the engine at end of run.
+  double total_transfers() const { return total_transfers_; }
+  double peak_utilization() const { return peak_utilization_; }
 
  private:
   void DecayTo(SimTime now);
@@ -46,6 +57,8 @@ class SharedBus {
   SimTime last_update_ = 0;
   // Accumulated busy seconds, exponentially decayed with the window constant.
   double window_busy_seconds_ = 0.0;
+  double total_transfers_ = 0.0;
+  double peak_utilization_ = 0.0;
 };
 
 }  // namespace affsched

@@ -1,0 +1,68 @@
+#include "src/common/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace affsched {
+
+namespace {
+
+LogLevel ParseLevel(const char* text, LogLevel fallback) {
+  if (text == nullptr || *text == '\0') {
+    return fallback;
+  }
+  if (std::strcmp(text, "error") == 0 || std::strcmp(text, "0") == 0) {
+    return LogLevel::kError;
+  }
+  if (std::strcmp(text, "warn") == 0 || std::strcmp(text, "1") == 0) {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(text, "info") == 0 || std::strcmp(text, "2") == 0) {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(text, "debug") == 0 || std::strcmp(text, "3") == 0) {
+    return LogLevel::kDebug;
+  }
+  return fallback;
+}
+
+LogLevel& MutableLevel() {
+  static LogLevel level = ParseLevel(std::getenv("AFFSCHED_LOG_LEVEL"), LogLevel::kWarn);
+  return level;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GlobalLogLevel() { return MutableLevel(); }
+
+void SetGlobalLogLevel(LogLevel level) { MutableLevel() = level; }
+
+void Logf(LogLevel level, const char* fmt, ...) {
+  if (!LogEnabled(level)) {
+    return;
+  }
+  std::fprintf(stderr, "[affsched %s] ", LevelName(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace affsched

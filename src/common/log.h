@@ -1,0 +1,41 @@
+// A small leveled logger for diagnostics that should be switchable at run
+// time rather than compile time.
+//
+// The level comes from the AFFSCHED_LOG_LEVEL environment variable ("error",
+// "warn", "info", "debug", or 0-3), read once on first use; tests and tools
+// may override it with SetGlobalLogLevel(). Output goes to stderr with a
+// "[affsched <level>]" prefix so it never contaminates the stdout tables and
+// CSV the benches emit. Default level is warn: pre-abort diagnostics (engine
+// state dumps) stay visible out of the box, while per-decision debug chatter
+// costs one integer compare unless enabled.
+
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+namespace affsched {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+// Current level: messages at a level numerically above it are dropped.
+LogLevel GlobalLogLevel();
+void SetGlobalLogLevel(LogLevel level);
+
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(GlobalLogLevel());
+}
+
+// printf-style message to stderr, prefixed with the level; a newline is
+// appended. No-op when the level is disabled.
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void Logf(LogLevel level, const char* fmt, ...);
+
+}  // namespace affsched
+
+#endif  // SRC_COMMON_LOG_H_

@@ -1,10 +1,10 @@
 #include "src/engine/engine.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/common/log.h"
 
 namespace affsched {
 
@@ -37,6 +37,10 @@ JobId Engine::SubmitJob(const AppProfile& profile, SimTime arrival) {
 SimTime Engine::Run() {
   AFF_CHECK(!running_);
   running_ = true;
+  ResolveJobMetrics();
+  if (sampler_ != nullptr) {
+    StartSampling();
+  }
   SimTime last_completion = 0;
   while (jobs_remaining_ > 0) {
     if (!queue_.RunNext()) {
@@ -44,10 +48,116 @@ SimTime Engine::Run() {
       AFF_CHECK_MSG(false, "simulation stalled with jobs outstanding");
     }
   }
+  FinalizeMetrics();
   for (const JobState& js : jobs_) {
     last_completion = std::max(last_completion, js.job->stats().completion);
   }
   return last_completion;
+}
+
+// --- Telemetry ---------------------------------------------------------------
+
+void Engine::SetMetrics(MetricsRegistry* registry) {
+  AFF_CHECK_MSG(!running_, "SetMetrics must be called before Run()");
+  metrics_ = registry;
+  m_ = MetricHandles{};
+  if (registry == nullptr) {
+    return;
+  }
+  m_.job_arrivals = registry->FindOrCreateCounter("engine.job_arrivals");
+  m_.job_completions = registry->FindOrCreateCounter("engine.job_completions");
+  m_.dispatches = registry->FindOrCreateCounter("engine.dispatches");
+  m_.dispatches_affine = registry->FindOrCreateCounter("engine.dispatches_affine");
+  m_.resumes = registry->FindOrCreateCounter("engine.resumes");
+  m_.preempts = registry->FindOrCreateCounter("engine.preempts");
+  m_.switches = registry->FindOrCreateCounter("engine.switches");
+  m_.switch_time_ns = registry->FindOrCreateCounter("engine.switch_time_ns");
+  m_.holds = registry->FindOrCreateCounter("engine.holds");
+  m_.yields = registry->FindOrCreateCounter("engine.yields");
+  m_.releases = registry->FindOrCreateCounter("engine.releases");
+  m_.thread_completions = registry->FindOrCreateCounter("engine.thread_completions");
+  m_.chunks = registry->FindOrCreateCounter("engine.chunks");
+  m_.reload_stall_ns = registry->FindOrCreateCounter("engine.reload_stall_ns");
+  m_.steady_stall_ns = registry->FindOrCreateCounter("engine.steady_stall_ns");
+  m_.waste_ns = registry->FindOrCreateCounter("engine.waste_ns");
+  m_.active_jobs = registry->FindOrCreateGauge("engine.active_jobs");
+  m_.reload_stall_us =
+      registry->FindOrCreateHistogram("engine.reload_stall_us", DefaultLatencyBucketsUs());
+  m_.chunk_wall_us =
+      registry->FindOrCreateHistogram("engine.chunk_wall_us", DefaultLatencyBucketsUs());
+}
+
+void Engine::SetSampler(Sampler* sampler) {
+  AFF_CHECK_MSG(!running_, "SetSampler must be called before Run()");
+  sampler_ = sampler;
+}
+
+void Engine::ResolveJobMetrics() {
+  if (metrics_ == nullptr) {
+    return;
+  }
+  for (JobId id = 0; id < jobs_.size(); ++id) {
+    JobState& js = jobs_[id];
+    const std::string prefix = "engine.job." + js.job->name() + "#" + std::to_string(id);
+    js.metric_reallocations = metrics_->FindOrCreateCounter(prefix + ".reallocations");
+    js.metric_reload_stall_ns = metrics_->FindOrCreateCounter(prefix + ".reload_stall_ns");
+  }
+}
+
+void Engine::FinalizeMetrics() {
+  if (metrics_ == nullptr) {
+    return;
+  }
+  metrics_->FindOrCreateCounter("bus.transfers")->Add(machine_.bus().total_transfers());
+  metrics_->FindOrCreateGauge("bus.peak_utilization")->Set(machine_.bus().peak_utilization());
+  metrics_->FindOrCreateGauge("bus.utilization")->Set(machine_.bus().UtilizationAt(queue_.now()));
+}
+
+void Engine::StartSampling() {
+  // Standard machine-wide probes, then three per job. User probes registered
+  // before Run() keep their earlier columns.
+  sampler_->AddProbe("active_jobs", [this] { return static_cast<double>(active_jobs_.size()); });
+  sampler_->AddProbe("bus_util", [this] { return machine_.bus().UtilizationAt(queue_.now()); });
+  sampler_->AddProbe("runnable_demand", [this] {
+    size_t demand = 0;
+    for (JobId id : active_jobs_) {
+      demand += PendingDemand(id);
+    }
+    return static_cast<double>(demand);
+  });
+  for (JobId id = 0; id < jobs_.size(); ++id) {
+    const std::string label = jobs_[id].job->name() + "#" + std::to_string(id);
+    sampler_->AddProbe("alloc." + label, [this, id] {
+      return static_cast<double>(jobs_[id].allocation);
+    });
+    sampler_->AddProbe("demand." + label, [this, id] {
+      return static_cast<double>(PendingDemand(id));
+    });
+    // Rolling %affinity: the affine fraction of the dispatches that happened
+    // since the previous sample (0 when the window saw none).
+    sampler_->AddProbe("affinity_win." + label,
+                       [this, id, last = std::pair<uint64_t, uint64_t>{0, 0}]() mutable {
+                         const JobStats& st = jobs_[id].job->stats();
+                         const uint64_t dispatches = st.reallocations - last.first;
+                         const uint64_t affine = st.affinity_dispatches - last.second;
+                         last = {st.reallocations, st.affinity_dispatches};
+                         return dispatches > 0 ? static_cast<double>(affine) /
+                                                     static_cast<double>(dispatches)
+                                               : 0.0;
+                       });
+  }
+  SamplerTick();
+}
+
+void Engine::SamplerTick() {
+  sampler_->Sample(queue_.now());
+  // Reschedule only while the simulation still has real events: if the queue
+  // is empty here the run is either finished or stalled, and in the stalled
+  // case the deadlock diagnostics in Run() must fire rather than the sampler
+  // ticking forever.
+  if (jobs_remaining_ > 0 && !queue_.empty()) {
+    queue_.ScheduleAfter(sampler_->cadence(), [this] { SamplerTick(); });
+  }
 }
 
 const Job& Engine::job(JobId id) const {
@@ -435,6 +545,8 @@ void Engine::ReleaseFromHolder(size_t proc) {
   Worker& w = worker(ps.holding);
   ParkWorker(js, w);
   Emit(TraceEventKind::kRelease, proc, ps.holder, w.id);
+  Bump(m_.releases);
+  Bump(m_.waste_ns, static_cast<double>(queue_.now() - ps.hold_start));
   ChangeAllocation(ps.holder, -1);
   ps.holder = kInvalidJobId;
   ps.holding = kNoOwner;
@@ -456,6 +568,8 @@ void Engine::StartSwitch(size_t proc, JobId to_job, CacheOwner prefer) {
   ChangeAllocation(to_job, +1);
   js.job->stats().switch_s += ToSeconds(machine_.config().SwitchCost());
   Emit(TraceEventKind::kSwitchStart, proc, to_job);
+  Bump(m_.switches);
+  Bump(m_.switch_time_ns, static_cast<double>(machine_.config().SwitchCost()));
   queue_.ScheduleAfter(machine_.config().SwitchCost(), [this, proc] { OnSwitchDone(proc); });
 }
 
@@ -512,7 +626,10 @@ void Engine::DispatchWorker(size_t proc) {
   const bool affine = w.HasAffinityFor(proc);
   if (affine) {
     st.affinity_dispatches++;
+    Bump(m_.dispatches_affine);
   }
+  Bump(m_.dispatches);
+  Bump(js.metric_reallocations);
   Emit(TraceEventKind::kDispatch, proc, id, wid, affine);
   machine_.processor(proc).RecordDispatch(wid);
   w.processor = proc;
@@ -588,6 +705,17 @@ void Engine::OnChunkDone(size_t proc, SimDuration work_done, SimDuration reload_
   st.useful_work_s += ToSeconds(machine_.config().ComputeTime(work_done));
   st.reload_stall_s += ToSeconds(reload_stall);
   st.steady_stall_s += ToSeconds(steady_stall);
+  Bump(m_.chunks);
+  Bump(m_.reload_stall_ns, static_cast<double>(reload_stall));
+  Bump(m_.steady_stall_ns, static_cast<double>(steady_stall));
+  Bump(js.metric_reload_stall_ns, static_cast<double>(reload_stall));
+  if (m_.chunk_wall_us != nullptr) {
+    m_.chunk_wall_us->Observe(
+        ToMicroseconds(machine_.config().ComputeTime(work_done) + reload_stall + steady_stall));
+    if (reload_stall > 0) {
+      m_.reload_stall_us->Observe(ToMicroseconds(reload_stall));
+    }
+  }
 
   AFF_CHECK(w.current.has_value());
   w.current->remaining -= work_done;
@@ -603,6 +731,7 @@ void Engine::OnChunkDone(size_t proc, SimDuration work_done, SimDuration reload_
     const size_t node = w.current->node;
     w.current.reset();
     Emit(TraceEventKind::kThreadComplete, proc, id, w.id);
+    Bump(m_.thread_completions);
     newly_ready = js.job->CompleteThread(node);
     // The worker's next thread reuses only part of its cache footprint.
     machine_.processor(proc).cache().ReplaceOwnerData(w.id, js.profile->thread_overlap);
@@ -614,6 +743,7 @@ void Engine::OnChunkDone(size_t proc, SimDuration work_done, SimDuration reload_
       js.job->PushPreemptedThread(*w.current);
     }
     Emit(TraceEventKind::kPreempt, proc, id, w.id);
+    Bump(m_.preempts);
     SetRunningWorkers(id, -1);
     ParkWorker(js, w);
     ps.running = kNoOwner;
@@ -679,6 +809,7 @@ void Engine::EnterHolding(size_t proc, CacheOwner worker_id) {
   w.state = Worker::State::kHolding;
   w.current.reset();
   Emit(TraceEventKind::kHold, proc, ps.holder, worker_id);
+  Bump(m_.holds);
   const SimDuration delay = policy_->YieldDelay();
   if (delay <= 0) {
     OnYieldTimer(proc);
@@ -695,6 +826,7 @@ void Engine::OnYieldTimer(size_t proc) {
   }
   ps.willing = true;
   Emit(TraceEventKind::kYield, proc, ps.holder, ps.holding);
+  Bump(m_.yields);
   ApplyDecision(policy_->OnProcessorAvailable(*this, proc));
 }
 
@@ -721,6 +853,10 @@ void Engine::OnJobArrival(JobId id) {
   js.par_update = queue_.now();
   active_jobs_.push_back(id);
   Emit(TraceEventKind::kJobArrival, SIZE_MAX, id);
+  Bump(m_.job_arrivals);
+  if (m_.active_jobs != nullptr) {
+    m_.active_jobs->Set(static_cast<double>(active_jobs_.size()));
+  }
   ApplyDecision(policy_->OnJobArrival(*this, id));
   RequestLoop(id);
 }
@@ -735,6 +871,10 @@ void Engine::HandleJobCompletion(JobId id, size_t completing_proc) {
   auto it = std::find(active_jobs_.begin(), active_jobs_.end(), id);
   AFF_CHECK(it != active_jobs_.end());
   active_jobs_.erase(it);
+  Bump(m_.job_completions);
+  if (m_.active_jobs != nullptr) {
+    m_.active_jobs->Set(static_cast<double>(active_jobs_.size()));
+  }
   AFF_CHECK(jobs_remaining_ > 0);
   --jobs_remaining_;
 
@@ -784,6 +924,7 @@ void Engine::NotifyNewWork(JobId id) {
       continue;
     }
     js.job->stats().waste_s += ToSeconds(queue_.now() - ps.hold_start);
+    Bump(m_.waste_ns, static_cast<double>(queue_.now() - ps.hold_start));
     if (ps.yield_timer != kInvalidEventId) {
       queue_.Cancel(ps.yield_timer);
       ps.yield_timer = kInvalidEventId;
@@ -796,6 +937,7 @@ void Engine::NotifyNewWork(JobId id) {
     w.current = js.job->PopReadyThread();
     SetRunningWorkers(id, +1);
     Emit(TraceEventKind::kResume, p, id, w.id);
+    Bump(m_.resumes);
     StartChunk(p);
   }
   RequestLoop(id);
@@ -817,28 +959,33 @@ void Engine::RequestLoop(JobId id) {
 }
 
 void Engine::DumpState() const {
-  std::fprintf(stderr, "=== engine state at t=%lld ns ===\n",
-               static_cast<long long>(queue_.now()));
+  // Deadlock diagnostics go through the leveled logger: visible by default
+  // (warn), and available on demand via AFFSCHED_LOG_LEVEL=debug from other
+  // call sites without recompiling.
+  const LogLevel level = LogLevel::kWarn;
+  if (!LogEnabled(level)) {
+    return;
+  }
+  Logf(level, "=== engine state at t=%lld ns ===", static_cast<long long>(queue_.now()));
   for (size_t p = 0; p < procs_.size(); ++p) {
     const ProcState& ps = procs_[p];
-    std::fprintf(stderr,
-                 "proc %zu: holder=%d running=%llu holding=%llu switching=%d willing=%d "
-                 "pending=%d->%d\n",
-                 p, ps.holder == kInvalidJobId ? -1 : static_cast<int>(ps.holder),
-                 static_cast<unsigned long long>(ps.running),
-                 static_cast<unsigned long long>(ps.holding), ps.switching ? 1 : 0,
-                 ps.willing ? 1 : 0, ps.pending_valid ? 1 : 0,
-                 ps.pending_valid ? static_cast<int>(ps.pending_job) : -1);
+    Logf(level,
+         "proc %zu: holder=%d running=%llu holding=%llu switching=%d willing=%d "
+         "pending=%d->%d",
+         p, ps.holder == kInvalidJobId ? -1 : static_cast<int>(ps.holder),
+         static_cast<unsigned long long>(ps.running),
+         static_cast<unsigned long long>(ps.holding), ps.switching ? 1 : 0, ps.willing ? 1 : 0,
+         ps.pending_valid ? 1 : 0, ps.pending_valid ? static_cast<int>(ps.pending_job) : -1);
   }
   for (size_t j = 0; j < jobs_.size(); ++j) {
     const JobState& js = jobs_[j];
-    std::fprintf(stderr,
-                 "job %zu (%s): active=%d ready=%zu alloc=%zu in=%zu out=%zu switching_in=%zu "
-                 "demand=%zu remaining=%zu idle_workers=%zu\n",
-                 j, js.job->name().c_str(), js.active ? 1 : 0, js.job->ReadyCount(),
-                 js.allocation, js.pending_incoming, js.pending_outgoing, js.switching_in,
-                 PendingDemand(static_cast<JobId>(j)), js.job->graph().remaining(),
-                 js.idle_workers.size());
+    Logf(level,
+         "job %zu (%s): active=%d ready=%zu alloc=%zu in=%zu out=%zu switching_in=%zu "
+         "demand=%zu remaining=%zu idle_workers=%zu",
+         j, js.job->name().c_str(), js.active ? 1 : 0, js.job->ReadyCount(), js.allocation,
+         js.pending_incoming, js.pending_outgoing, js.switching_in,
+         PendingDemand(static_cast<JobId>(j)), js.job->graph().remaining(),
+         js.idle_workers.size());
   }
 }
 

@@ -28,6 +28,8 @@
 #include "src/sched/policy.h"
 #include "src/sim/event_queue.h"
 #include "src/stats/histogram.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/sampler.h"
 #include "src/trace/trace.h"
 #include "src/workload/app_profile.h"
 #include "src/workload/job.h"
@@ -66,6 +68,20 @@ class Engine : public SchedView {
   // Streams scheduling events to `sink` (nullptr disables tracing). The sink
   // must outlive the engine.
   void SetTraceSink(TraceSink* sink) { trace_ = sink; }
+
+  // Attaches a metrics registry (nullptr detaches). The engine registers its
+  // counters/gauges/histograms under "engine.*" and "bus.*" and updates them
+  // as the run proceeds; per-job counters are created when Run() starts.
+  // When detached (the default) every instrumentation site costs one null
+  // check. The registry must outlive the engine. Call before Run().
+  void SetMetrics(MetricsRegistry* registry);
+
+  // Attaches a time-series sampler (nullptr detaches). Run() installs the
+  // standard probes — per-job allocation and runnable demand, a rolling
+  // %affinity window, active jobs, bus utilisation — then samples on the
+  // sampler's cadence for as long as jobs remain. Callers may add their own
+  // probes before Run(). The sampler must outlive the engine.
+  void SetSampler(Sampler* sampler);
 
   // --- Results ---------------------------------------------------------------
 
@@ -142,6 +158,33 @@ class Engine : public SchedView {
     SimTime alloc_update = 0;
     std::unique_ptr<WeightedHistogram> par_hist;
     SimTime par_update = 0;
+    // Per-job metric handles (nullptr while metrics are detached).
+    Counter* metric_reallocations = nullptr;
+    Counter* metric_reload_stall_ns = nullptr;
+  };
+
+  // Global metric handles, resolved once by SetMetrics. All nullptr while
+  // metrics are detached, making every Bump() a single-branch no-op.
+  struct MetricHandles {
+    Counter* job_arrivals = nullptr;
+    Counter* job_completions = nullptr;
+    Counter* dispatches = nullptr;
+    Counter* dispatches_affine = nullptr;
+    Counter* resumes = nullptr;
+    Counter* preempts = nullptr;
+    Counter* switches = nullptr;
+    Counter* switch_time_ns = nullptr;
+    Counter* holds = nullptr;
+    Counter* yields = nullptr;
+    Counter* releases = nullptr;
+    Counter* thread_completions = nullptr;
+    Counter* chunks = nullptr;
+    Counter* reload_stall_ns = nullptr;
+    Counter* steady_stall_ns = nullptr;
+    Counter* waste_ns = nullptr;
+    Gauge* active_jobs = nullptr;
+    FixedHistogram* reload_stall_us = nullptr;
+    FixedHistogram* chunk_wall_us = nullptr;
   };
 
   // --- Event handlers --------------------------------------------------------
@@ -196,6 +239,22 @@ class Engine : public SchedView {
   void Emit(TraceEventKind kind, size_t proc, JobId job, CacheOwner worker = kNoOwner,
             bool affine = false);
 
+  // --- Telemetry -------------------------------------------------------------
+
+  static void Bump(Counter* counter, double delta = 1.0) {
+    if (counter != nullptr) {
+      counter->Add(delta);
+    }
+  }
+  // Creates the per-job counters (Run() start, when all jobs are known).
+  void ResolveJobMetrics();
+  // End-of-run totals that are cheaper to read once than to stream: bus
+  // transfer and peak-utilisation counters.
+  void FinalizeMetrics();
+  // Registers the standard probes and starts the recurring sampling event.
+  void StartSampling();
+  void SamplerTick();
+
   Options options_;
   EventQueue queue_;
   Machine machine_;
@@ -210,6 +269,9 @@ class Engine : public SchedView {
   size_t jobs_remaining_ = 0;
   bool running_ = false;
   TraceSink* trace_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  MetricHandles m_;
+  Sampler* sampler_ = nullptr;
 };
 
 }  // namespace affsched

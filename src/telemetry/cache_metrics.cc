@@ -1,0 +1,26 @@
+#include "src/telemetry/cache_metrics.h"
+
+namespace affsched {
+
+void ExportExactCacheMetrics(MetricsRegistry& registry, const std::string& prefix,
+                             const ExactCache& cache) {
+  registry.FindOrCreateCounter(prefix + ".hits")->Add(static_cast<double>(cache.hits()));
+  registry.FindOrCreateCounter(prefix + ".misses")->Add(static_cast<double>(cache.misses()));
+  registry.FindOrCreateCounter(prefix + ".invalidated_lines")
+      ->Add(static_cast<double>(cache.invalidated_lines()));
+}
+
+void ExportCoherentCachesMetrics(MetricsRegistry& registry, const std::string& prefix,
+                                 const CoherentCaches& caches) {
+  for (size_t i = 0; i < caches.num_caches(); ++i) {
+    ExportExactCacheMetrics(registry, prefix + ".cache" + std::to_string(i), caches.cache(i));
+  }
+  registry.FindOrCreateCounter(prefix + ".invalidations")
+      ->Add(static_cast<double>(caches.total_invalidations()));
+  registry.FindOrCreateCounter(prefix + ".dirty_supplies")
+      ->Add(static_cast<double>(caches.total_dirty_supplies()));
+  registry.FindOrCreateCounter(prefix + ".bus_transfers")
+      ->Add(static_cast<double>(caches.total_bus_transfers()));
+}
+
+}  // namespace affsched

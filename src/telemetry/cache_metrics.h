@@ -1,0 +1,28 @@
+// Exports the exact-cache layer's counters (hits, misses, invalidation
+// traffic) into a MetricsRegistry. Lives in telemetry rather than cache to
+// keep the dependency arrow pointing one way: the cache models stay free of
+// observability concerns and just maintain cheap integer counters.
+
+#ifndef SRC_TELEMETRY_CACHE_METRICS_H_
+#define SRC_TELEMETRY_CACHE_METRICS_H_
+
+#include <string>
+
+#include "src/cache/coherent_caches.h"
+#include "src/cache/exact_cache.h"
+#include "src/telemetry/metrics.h"
+
+namespace affsched {
+
+// Sets "<prefix>.hits", "<prefix>.misses", "<prefix>.invalidated_lines".
+void ExportExactCacheMetrics(MetricsRegistry& registry, const std::string& prefix,
+                             const ExactCache& cache);
+
+// Per-cache exact counters plus protocol totals: "<prefix>.invalidations",
+// "<prefix>.dirty_supplies", "<prefix>.bus_transfers".
+void ExportCoherentCachesMetrics(MetricsRegistry& registry, const std::string& prefix,
+                                 const CoherentCaches& caches);
+
+}  // namespace affsched
+
+#endif  // SRC_TELEMETRY_CACHE_METRICS_H_

@@ -1,0 +1,230 @@
+#include "src/telemetry/chrome_trace.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "src/telemetry/json.h"
+#include "src/telemetry/sampler.h"
+
+namespace affsched {
+
+namespace {
+
+constexpr int kProcessorsPid = 1;
+constexpr int kJobsPid = 2;
+
+std::string NameForJob(JobId job, const std::vector<std::string>& job_names) {
+  if (job == kInvalidJobId) {
+    return "?";
+  }
+  std::string label = job < job_names.size() ? job_names[job] : "job";
+  label += "#" + std::to_string(job);
+  return label;
+}
+
+// Serialises trace events one JSON object at a time, tracking the open span
+// per processor track so every "B" gets a matching "E".
+class Emitter {
+ public:
+  Emitter(std::ostringstream& out, const std::vector<std::string>& job_names)
+      : out_(out), job_names_(job_names) {}
+
+  void Meta(int pid, const std::string& process_name) {
+    Comma();
+    out_ << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"tid\":0,\"args\":{\"name\":\"" << JsonEscape(process_name) << "\"}}";
+  }
+
+  void ThreadMeta(int pid, int tid, const std::string& thread_name) {
+    Comma();
+    out_ << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+         << ",\"args\":{\"name\":\"" << JsonEscape(thread_name) << "\"}}";
+  }
+
+  void Begin(int pid, int tid, SimTime ts, const std::string& name, const std::string& cat) {
+    Comma();
+    out_ << "{\"name\":\"" << JsonEscape(name) << "\",\"cat\":\"" << cat
+         << "\",\"ph\":\"B\",\"ts\":" << JsonNumber(ToMicroseconds(ts)) << ",\"pid\":" << pid
+         << ",\"tid\":" << tid << "}";
+  }
+
+  void End(int pid, int tid, SimTime ts) {
+    Comma();
+    out_ << "{\"ph\":\"E\",\"ts\":" << JsonNumber(ToMicroseconds(ts)) << ",\"pid\":" << pid
+         << ",\"tid\":" << tid << "}";
+  }
+
+  void Instant(int pid, int tid, SimTime ts, const std::string& name, const std::string& cat) {
+    Comma();
+    out_ << "{\"name\":\"" << JsonEscape(name) << "\",\"cat\":\"" << cat
+         << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << JsonNumber(ToMicroseconds(ts))
+         << ",\"pid\":" << pid << ",\"tid\":" << tid << "}";
+  }
+
+  void Count(int pid, int tid, SimTime ts, const std::string& name, double value) {
+    Comma();
+    out_ << "{\"name\":\"" << JsonEscape(name) << "\",\"ph\":\"C\",\"ts\":"
+         << JsonNumber(ToMicroseconds(ts)) << ",\"pid\":" << pid << ",\"tid\":" << tid
+         << ",\"args\":{\"procs\":" << JsonNumber(value) << "}}";
+  }
+
+  const std::string& JobName(JobId job) {
+    auto it = name_cache_.find(job);
+    if (it == name_cache_.end()) {
+      it = name_cache_.emplace(job, NameForJob(job, job_names_)).first;
+    }
+    return it->second;
+  }
+
+ private:
+  void Comma() {
+    if (!first_) {
+      out_ << ",";
+    }
+    first_ = false;
+  }
+
+  std::ostringstream& out_;
+  const std::vector<std::string>& job_names_;
+  std::map<JobId, std::string> name_cache_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void ChromeTraceWriter::Record(const TraceEvent& event) { events_.push_back(event); }
+
+void ChromeTraceWriter::AddEvents(const std::vector<TraceEvent>& events) {
+  events_.insert(events_.end(), events.begin(), events.end());
+}
+
+std::string ChromeTraceWriter::ToJson(size_t num_procs,
+                                      const std::vector<std::string>& job_names) const {
+  std::vector<TraceEvent> events = events_;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.when < b.when; });
+  const SimTime final_ts = events.empty() ? 0 : events.back().when;
+
+  std::ostringstream body;
+  Emitter emit(body, job_names);
+
+  emit.Meta(kProcessorsPid, "processors");
+  for (size_t p = 0; p < num_procs; ++p) {
+    emit.ThreadMeta(kProcessorsPid, static_cast<int>(p), "cpu" + std::to_string(p));
+  }
+  emit.Meta(kJobsPid, "jobs");
+
+  // Per-processor open span: what the track is currently showing.
+  enum class Open { kNone, kSwitch, kRun, kHold };
+  std::vector<Open> open(num_procs, Open::kNone);
+  // Per-job replay state.
+  std::map<JobId, int> allocation;
+  std::map<JobId, bool> job_span_open;
+
+  auto close_proc = [&](size_t p, SimTime ts) {
+    if (open[p] != Open::kNone) {
+      emit.End(kProcessorsPid, static_cast<int>(p), ts);
+      open[p] = Open::kNone;
+    }
+  };
+  auto begin_proc = [&](size_t p, SimTime ts, Open kind, const std::string& name,
+                        const std::string& cat) {
+    close_proc(p, ts);
+    emit.Begin(kProcessorsPid, static_cast<int>(p), ts, name, cat);
+    open[p] = kind;
+  };
+  auto count_alloc = [&](JobId job, SimTime ts, int delta) {
+    if (job == kInvalidJobId) {
+      return;
+    }
+    allocation[job] += delta;
+    emit.Count(kJobsPid, static_cast<int>(job), ts, "alloc " + emit.JobName(job),
+               allocation[job]);
+  };
+
+  for (const TraceEvent& e : events) {
+    const bool on_proc = e.proc < num_procs;
+    switch (e.kind) {
+      case TraceEventKind::kJobArrival:
+        if (e.job != kInvalidJobId && !job_span_open[e.job]) {
+          emit.ThreadMeta(kJobsPid, static_cast<int>(e.job), emit.JobName(e.job));
+          emit.Begin(kJobsPid, static_cast<int>(e.job), e.when, emit.JobName(e.job), "job");
+          job_span_open[e.job] = true;
+          count_alloc(e.job, e.when, 0);
+        }
+        break;
+      case TraceEventKind::kJobCompletion:
+        if (e.job != kInvalidJobId && job_span_open[e.job]) {
+          emit.End(kJobsPid, static_cast<int>(e.job), e.when);
+          job_span_open[e.job] = false;
+          allocation[e.job] = 0;
+          emit.Count(kJobsPid, static_cast<int>(e.job), e.when, "alloc " + emit.JobName(e.job),
+                     0);
+        }
+        break;
+      case TraceEventKind::kSwitchStart:
+        if (on_proc) {
+          begin_proc(e.proc, e.when, Open::kSwitch, "switch", "switch");
+        }
+        count_alloc(e.job, e.when, +1);
+        break;
+      case TraceEventKind::kDispatch:
+      case TraceEventKind::kResume:
+        if (on_proc) {
+          begin_proc(e.proc, e.when, Open::kRun,
+                     emit.JobName(e.job) + (e.affine ? " (affine)" : ""), "run");
+        }
+        break;
+      case TraceEventKind::kHold:
+        if (on_proc) {
+          begin_proc(e.proc, e.when, Open::kHold, "hold " + emit.JobName(e.job), "hold");
+        }
+        break;
+      case TraceEventKind::kYield:
+        if (on_proc) {
+          emit.Instant(kProcessorsPid, static_cast<int>(e.proc), e.when, "yield", "yield");
+        }
+        break;
+      case TraceEventKind::kPreempt:
+        if (on_proc) {
+          close_proc(e.proc, e.when);
+        }
+        count_alloc(e.job, e.when, -1);
+        break;
+      case TraceEventKind::kRelease:
+        if (on_proc) {
+          close_proc(e.proc, e.when);
+        }
+        count_alloc(e.job, e.when, -1);
+        break;
+      case TraceEventKind::kThreadComplete:
+        if (on_proc) {
+          emit.Instant(kProcessorsPid, static_cast<int>(e.proc), e.when,
+                       "thread done " + emit.JobName(e.job), "thread");
+        }
+        break;
+    }
+  }
+
+  // Close anything still open so begin/end events balance.
+  for (size_t p = 0; p < num_procs; ++p) {
+    close_proc(p, final_ts);
+  }
+  for (const auto& [job, is_open] : job_span_open) {
+    if (is_open) {
+      emit.End(kJobsPid, static_cast<int>(job), final_ts);
+    }
+  }
+
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[" << body.str() << "]}";
+  return out.str();
+}
+
+bool ChromeTraceWriter::WriteJsonFile(const std::string& path, size_t num_procs,
+                                      const std::vector<std::string>& job_names) const {
+  return Sampler::WriteFile(path, ToJson(num_procs, job_names));
+}
+
+}  // namespace affsched

@@ -1,0 +1,60 @@
+// Chrome trace-event export: converts the engine's scheduling event stream
+// into the JSON format chrome://tracing and Perfetto load natively.
+//
+// The writer is itself a TraceSink, so it can be attached to the engine
+// directly, or fed after the fact from any recorded event list (e.g.
+// RingTrace::Events()). The ASCII Gantt remains the quick-look tool; this is
+// the deep-zoom one.
+//
+// Track layout:
+//   * pid 1 "processors": one thread per processor. Begin/end ("B"/"E")
+//     spans show what occupies the processor — a named job chunk, the
+//     reallocation path-length cost ("switch"), or an idle hold ("hold").
+//     Thread completions appear as instant events.
+//   * pid 2 "jobs": one thread per job, spanning arrival to completion, plus
+//     a per-job "allocation" counter track ("C" events) replaying processors
+//     held over time.
+//
+// Every "B" is closed by a matching "E" on the same track — spans left open
+// by the end of the recorded window (or by a silent processor release) are
+// closed at the final event timestamp, so the output always validates.
+
+#ifndef SRC_TELEMETRY_CHROME_TRACE_H_
+#define SRC_TELEMETRY_CHROME_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace affsched {
+
+class ChromeTraceWriter : public TraceSink {
+ public:
+  ChromeTraceWriter() = default;
+
+  // TraceSink: appends one event to the stream.
+  void Record(const TraceEvent& event) override;
+
+  // Bulk append (e.g. from RingTrace::Events()).
+  void AddEvents(const std::vector<TraceEvent>& events);
+
+  size_t size() const { return events_.size(); }
+
+  // Renders the accumulated stream. `num_procs` fixes the processor track
+  // count; `job_names[id]` labels job tracks and spans (ids beyond the vector
+  // fall back to "job<id>"). Events are replayed in timestamp order.
+  std::string ToJson(size_t num_procs, const std::vector<std::string>& job_names) const;
+
+  // Convenience: render and write to `path`; false (with a warning logged) on
+  // I/O failure.
+  bool WriteJsonFile(const std::string& path, size_t num_procs,
+                     const std::vector<std::string>& job_names) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace affsched
+
+#endif  // SRC_TELEMETRY_CHROME_TRACE_H_

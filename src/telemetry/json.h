@@ -1,0 +1,28 @@
+// Minimal JSON utilities for the telemetry exporters: string escaping, number
+// formatting that always yields valid JSON (no "nan"/"inf" literals), and a
+// dependency-free validity checker used by tests and by the exporters' own
+// self-checks. This is a writer's toolkit, not a parser — nothing here builds
+// a DOM.
+
+#ifndef SRC_TELEMETRY_JSON_H_
+#define SRC_TELEMETRY_JSON_H_
+
+#include <string>
+
+namespace affsched {
+
+// Escapes `s` for inclusion inside a JSON string literal (quotes not added).
+std::string JsonEscape(const std::string& s);
+
+// Formats a double as a JSON number. Non-finite values (which JSON cannot
+// represent) become null. Integral values print without a fraction so counter
+// totals stay exactly comparable across runs.
+std::string JsonNumber(double value);
+
+// True if `text` is one complete, syntactically valid JSON value (object,
+// array, string, number, true/false/null) with no trailing garbage.
+bool IsValidJson(const std::string& text);
+
+}  // namespace affsched
+
+#endif  // SRC_TELEMETRY_JSON_H_

@@ -1,0 +1,76 @@
+#include "src/telemetry/manifest.h"
+
+#include <sstream>
+
+#include "src/telemetry/json.h"
+#include "src/telemetry/sampler.h"
+
+namespace affsched {
+
+namespace {
+
+#ifndef AFFSCHED_GIT_SHA
+#define AFFSCHED_GIT_SHA "unknown"
+#endif
+#ifndef AFFSCHED_BUILD_TYPE
+#define AFFSCHED_BUILD_TYPE "unknown"
+#endif
+
+const char* CompilerId() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+const char* RunManifest::GitSha() { return AFFSCHED_GIT_SHA; }
+
+RunManifest::RunManifest() {
+  SetString("git_sha", GitSha());
+  SetString("build_type", AFFSCHED_BUILD_TYPE);
+  SetString("compiler", CompilerId());
+}
+
+void RunManifest::SetString(const std::string& key, const std::string& value) {
+  members_[key] = "\"" + JsonEscape(value) + "\"";
+}
+
+void RunManifest::SetNumber(const std::string& key, double value) {
+  members_[key] = JsonNumber(value);
+}
+
+void RunManifest::SetJson(const std::string& key, const std::string& json) {
+  members_[key] = json;
+}
+
+void RunManifest::AddMetrics(const MetricsRegistry& registry) {
+  SetJson("metrics", registry.ToJson());
+}
+
+void RunManifest::AddProfile(const Profiler& profiler) { SetJson("profile", profiler.ToJson()); }
+
+std::string RunManifest::ToJson() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [key, value] : members_) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"" << JsonEscape(key) << "\":" << value;
+  }
+  out << "}";
+  return out.str();
+}
+
+bool RunManifest::WriteFile(const std::string& path) const {
+  return Sampler::WriteFile(path, ToJson() + "\n");
+}
+
+}  // namespace affsched

@@ -1,0 +1,47 @@
+// Run manifests: a machine-readable record of one benchmark or simulation
+// run — seed, configuration, build/git metadata, end-of-run metric totals,
+// and optionally a wall-clock profile — written as a single JSON object.
+// CI benches archive these next to their output so any number in a report
+// can be traced back to the exact build and parameters that produced it.
+
+#ifndef SRC_TELEMETRY_MANIFEST_H_
+#define SRC_TELEMETRY_MANIFEST_H_
+
+#include <map>
+#include <string>
+
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/profile.h"
+
+namespace affsched {
+
+class RunManifest {
+ public:
+  // Pre-populates build metadata: git_sha, git_dirty, build_type, compiler.
+  RunManifest();
+
+  void SetString(const std::string& key, const std::string& value);
+  void SetNumber(const std::string& key, double value);
+  // Attaches a pre-rendered JSON value (object/array) under `key`.
+  void SetJson(const std::string& key, const std::string& json);
+
+  // Embeds the registry's totals as the "metrics" member.
+  void AddMetrics(const MetricsRegistry& registry);
+  // Embeds the profiler's sections as the "profile" member.
+  void AddProfile(const Profiler& profiler);
+
+  // One JSON object, keys sorted.
+  std::string ToJson() const;
+  bool WriteFile(const std::string& path) const;
+
+  // Commit this binary was built from ("unknown" outside a git checkout).
+  static const char* GitSha();
+
+ private:
+  // Values stored pre-rendered as JSON text.
+  std::map<std::string, std::string> members_;
+};
+
+}  // namespace affsched
+
+#endif  // SRC_TELEMETRY_MANIFEST_H_

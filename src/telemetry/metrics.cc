@@ -1,0 +1,156 @@
+#include "src/telemetry/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/telemetry/json.h"
+
+namespace affsched {
+
+FixedHistogram::FixedHistogram(std::vector<double> bucket_bounds)
+    : bounds_(std::move(bucket_bounds)), counts_(bounds_.size() + 1, 0) {
+  AFF_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bucket bounds must be sorted");
+}
+
+void FixedHistogram::Observe(double value) {
+  size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) {
+    ++i;
+  }
+  ++counts_[i];
+  ++count_;
+  sum_ += value;
+}
+
+std::vector<double> DefaultLatencyBucketsUs() {
+  return {1,    2,    5,     10,    20,    50,    100,   200,    500,
+          1000, 2000, 5000,  10000, 20000, 50000, 100000};
+}
+
+Counter* MetricsRegistry::FindOrCreateCounter(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    AFF_CHECK_MSG(it->second.kind == Kind::kCounter, "metric re-registered as another kind");
+    return it->second.counter;
+  }
+  counters_.emplace_back();
+  Entry e;
+  e.kind = Kind::kCounter;
+  e.counter = &counters_.back();
+  entries_.emplace(name, e);
+  return e.counter;
+}
+
+Gauge* MetricsRegistry::FindOrCreateGauge(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    AFF_CHECK_MSG(it->second.kind == Kind::kGauge, "metric re-registered as another kind");
+    return it->second.gauge;
+  }
+  gauges_.emplace_back();
+  Entry e;
+  e.kind = Kind::kGauge;
+  e.gauge = &gauges_.back();
+  entries_.emplace(name, e);
+  return e.gauge;
+}
+
+FixedHistogram* MetricsRegistry::FindOrCreateHistogram(const std::string& name,
+                                                       std::vector<double> bucket_bounds) {
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    AFF_CHECK_MSG(it->second.kind == Kind::kHistogram, "metric re-registered as another kind");
+    return it->second.histogram;
+  }
+  histograms_.emplace_back(std::move(bucket_bounds));
+  Entry e;
+  e.kind = Kind::kHistogram;
+  e.histogram = &histograms_.back();
+  entries_.emplace(name, e);
+  return e.histogram;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it != entries_.end() && it->second.kind == Kind::kCounter ? it->second.counter : nullptr;
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it != entries_.end() && it->second.kind == Kind::kGauge ? it->second.gauge : nullptr;
+}
+
+const FixedHistogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it != entries_.end() && it->second.kind == Kind::kHistogram ? it->second.histogram
+                                                                    : nullptr;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::Snapshot() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        out.emplace_back(name, e.counter->value());
+        break;
+      case Kind::kGauge:
+        out.emplace_back(name, e.gauge->value());
+        break;
+      case Kind::kHistogram:
+        out.emplace_back(name + ".count", static_cast<double>(e.histogram->count()));
+        out.emplace_back(name + ".mean", e.histogram->Mean());
+        out.emplace_back(name + ".sum", e.histogram->sum());
+        break;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : Snapshot()) {
+    out << name << " " << JsonNumber(value) << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+  };
+  for (const auto& [name, value] : Snapshot()) {
+    comma();
+    out << "\"" << JsonEscape(name) << "\":" << JsonNumber(value);
+  }
+  for (const auto& [name, e] : entries_) {
+    if (e.kind != Kind::kHistogram) {
+      continue;
+    }
+    comma();
+    out << "\"" << JsonEscape(name) << ".buckets\":[";
+    const auto& bounds = e.histogram->bounds();
+    const auto& counts = e.histogram->counts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) {
+        out << ",";
+      }
+      const std::string bound =
+          i < bounds.size() ? JsonNumber(bounds[i]) : std::string("null");  // +inf bucket
+      out << "[" << bound << "," << counts[i] << "]";
+    }
+    out << "]";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace affsched

@@ -1,0 +1,64 @@
+#include "src/telemetry/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "src/telemetry/json.h"
+
+namespace affsched {
+
+ProfileSection* Profiler::Section(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    return it->second;
+  }
+  sections_.emplace_back();
+  ProfileSection* s = &sections_.back();
+  by_name_.emplace(name, s);
+  return s;
+}
+
+std::string Profiler::Report() const {
+  std::vector<std::pair<std::string, const ProfileSection*>> rows(by_name_.begin(),
+                                                                  by_name_.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second->total_ns() > b.second->total_ns();
+  });
+  uint64_t grand_total = 0;
+  for (const auto& [name, s] : rows) {
+    grand_total += s->total_ns();
+  }
+  std::ostringstream out;
+  out << "profile (wall clock):\n";
+  for (const auto& [name, s] : rows) {
+    const double share = grand_total > 0 ? 100.0 * static_cast<double>(s->total_ns()) /
+                                               static_cast<double>(grand_total)
+                                         : 0.0;
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %-24s %10.3f ms  x%-10llu %8.2f us/call  %5.1f%%\n",
+                  name.c_str(), static_cast<double>(s->total_ns()) / 1e6,
+                  static_cast<unsigned long long>(s->count()), s->MeanNs() / 1e3, share);
+    out << line;
+  }
+  return out.str();
+}
+
+std::string Profiler::ToJson() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [name, s] : by_name_) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":{\"total_ns\":" << s->total_ns()
+        << ",\"count\":" << s->count() << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace affsched

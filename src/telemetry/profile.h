@@ -1,0 +1,87 @@
+// Lightweight wall-clock self-profiling: attribute where the *simulator*
+// (not the simulated machine) spends its time — event-queue churn vs. cache
+// model vs. policy decisions — so bench_sim_microbench can report a
+// breakdown instead of a single end-to-end number.
+//
+// A Profiler owns named ProfileSections; a ScopedTimer accumulates the
+// wall-clock duration of its scope into one section (steady_clock, ~20 ns per
+// start/stop pair). Sections nest freely but are independent accumulators —
+// no call-tree is built.
+
+#ifndef SRC_TELEMETRY_PROFILE_H_
+#define SRC_TELEMETRY_PROFILE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+namespace affsched {
+
+class ProfileSection {
+ public:
+  void Add(uint64_t nanos) {
+    total_ns_ += nanos;
+    ++count_;
+  }
+
+  uint64_t total_ns() const { return total_ns_; }
+  uint64_t count() const { return count_; }
+  double MeanNs() const {
+    return count_ > 0 ? static_cast<double>(total_ns_) / static_cast<double>(count_) : 0.0;
+  }
+
+ private:
+  uint64_t total_ns_ = 0;
+  uint64_t count_ = 0;
+};
+
+class Profiler {
+ public:
+  Profiler() = default;
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  // Stable for the profiler's lifetime.
+  ProfileSection* Section(const std::string& name);
+
+  // "section total_ms count mean_us share" rows, sorted by total descending.
+  std::string Report() const;
+
+  // {"<section>": {"total_ns":..., "count":...}, ...}
+  std::string ToJson() const;
+
+ private:
+  std::map<std::string, ProfileSection*> by_name_;
+  std::deque<ProfileSection> sections_;
+};
+
+// Accumulates the lifetime of the scope into `section`. A null section makes
+// the timer a no-op, so call sites need no branches of their own.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(ProfileSection* section)
+      : section_(section),
+        start_(section ? std::chrono::steady_clock::now()
+                       : std::chrono::steady_clock::time_point{}) {}
+
+  ~ScopedTimer() {
+    if (section_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      section_->Add(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  ProfileSection* section_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace affsched
+
+#endif  // SRC_TELEMETRY_PROFILE_H_

@@ -1,0 +1,78 @@
+#include "src/telemetry/sampler.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+#include "src/telemetry/json.h"
+
+namespace affsched {
+
+Sampler::Sampler(SimDuration cadence) : cadence_(cadence) { AFF_CHECK(cadence_ > 0); }
+
+void Sampler::AddProbe(const std::string& name, std::function<double()> probe) {
+  AFF_CHECK_MSG(!started_, "probes must be registered before the first sample");
+  AFF_CHECK(probe != nullptr);
+  probes_.push_back(Probe{name, std::move(probe)});
+}
+
+void Sampler::Sample(SimTime now) {
+  started_ = true;
+  times_.push_back(now);
+  std::vector<double> row;
+  row.reserve(probes_.size());
+  for (const Probe& p : probes_) {
+    row.push_back(p.fn());
+  }
+  values_.push_back(std::move(row));
+}
+
+std::string Sampler::ToCsv() const {
+  std::ostringstream out;
+  out << "t_us";
+  for (const Probe& p : probes_) {
+    out << "," << p.name;
+  }
+  out << "\n";
+  for (size_t i = 0; i < times_.size(); ++i) {
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "%.3f", ToMicroseconds(times_[i]));
+    out << stamp;
+    for (const double v : values_[i]) {
+      char cell[32];
+      std::snprintf(cell, sizeof(cell), "%.6g", v);
+      out << "," << cell;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string Sampler::ToJsonl() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < times_.size(); ++i) {
+    out << "{\"t_us\":" << JsonNumber(ToMicroseconds(times_[i]));
+    for (size_t j = 0; j < probes_.size(); ++j) {
+      out << ",\"" << JsonEscape(probes_[j].name) << "\":" << JsonNumber(values_[i][j]);
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+bool Sampler::WriteFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    Logf(LogLevel::kWarn, "cannot open %s for writing", path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == text.size();
+  if (!ok) {
+    Logf(LogLevel::kWarn, "short write to %s", path.c_str());
+  }
+  return ok;
+}
+
+}  // namespace affsched

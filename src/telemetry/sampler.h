@@ -1,0 +1,70 @@
+// Time-series sampling of simulator state on a fixed sim-time cadence.
+//
+// A Sampler holds named probes — closures returning the current value of some
+// quantity (a job's allocation, bus utilisation, a rolling %affinity window).
+// The engine drives Sample() from a recurring event while the simulation
+// runs; each call evaluates every probe once and appends one row. Rows are
+// in-memory until exported as CSV (one column per probe) or JSONL (one object
+// per sample), the two formats CI benches diff and plotting scripts ingest.
+//
+// Probes run in registration order within a row, and sampling happens at
+// deterministic sim times, so a given seed produces byte-identical exports.
+
+#ifndef SRC_TELEMETRY_SAMPLER_H_
+#define SRC_TELEMETRY_SAMPLER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace affsched {
+
+class Sampler {
+ public:
+  // `cadence` is the sim-time interval between samples (> 0).
+  explicit Sampler(SimDuration cadence);
+
+  // Registers a probe. Must be called before the first Sample(); the column
+  // set is fixed once sampling starts.
+  void AddProbe(const std::string& name, std::function<double()> probe);
+
+  // Evaluates every probe and appends a row stamped `now`. Called by the
+  // engine's sampling event; safe to call manually in tests.
+  void Sample(SimTime now);
+
+  SimDuration cadence() const { return cadence_; }
+  size_t num_probes() const { return probes_.size(); }
+  size_t num_samples() const { return times_.size(); }
+
+  const std::vector<SimTime>& times() const { return times_; }
+  // Row-major sample matrix: values()[row][probe].
+  const std::vector<std::vector<double>>& values() const { return values_; }
+
+  // "t_us,<probe>,<probe>,...\n" header plus one row per sample.
+  std::string ToCsv() const;
+
+  // One JSON object per line: {"t_us":..., "<probe>":..., ...}.
+  std::string ToJsonl() const;
+
+  // Writes `text` produced by an exporter to `path`. Returns false (and logs
+  // at warn level) on I/O failure.
+  static bool WriteFile(const std::string& path, const std::string& text);
+
+ private:
+  struct Probe {
+    std::string name;
+    std::function<double()> fn;
+  };
+
+  SimDuration cadence_;
+  std::vector<Probe> probes_;
+  std::vector<SimTime> times_;
+  std::vector<std::vector<double>> values_;
+  bool started_ = false;
+};
+
+}  // namespace affsched
+
+#endif  // SRC_TELEMETRY_SAMPLER_H_

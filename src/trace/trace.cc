@@ -34,6 +34,17 @@ const char* TraceEventKindName(TraceEventKind kind) {
   return "unknown";
 }
 
+bool TraceEventKindFromName(const std::string& name, TraceEventKind* kind) {
+  for (size_t i = 0; i < kNumTraceEventKinds; ++i) {
+    const TraceEventKind candidate = static_cast<TraceEventKind>(i);
+    if (name == TraceEventKindName(candidate)) {
+      *kind = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
 RingTrace::RingTrace(size_t capacity) : capacity_(capacity) {
   AFF_CHECK(capacity_ > 0);
   ring_.reserve(std::min<size_t>(capacity_, 4096));
@@ -72,6 +83,10 @@ std::string RingTrace::ToCsv() const {
                   e.job == kInvalidJobId ? -1LL : static_cast<long long>(e.job),
                   static_cast<unsigned long long>(e.worker), e.affine ? 1 : 0);
     out << line;
+  }
+  if (dropped() > 0) {
+    // Trailing comment so downstream consumers can detect a truncated trace.
+    out << "# dropped=" << dropped() << "\n";
   }
   return out.str();
 }

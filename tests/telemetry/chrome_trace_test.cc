@@ -1,0 +1,129 @@
+#include "src/telemetry/chrome_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/apps/apps.h"
+#include "src/engine/engine.h"
+#include "src/sched/factory.h"
+#include "src/telemetry/json.h"
+
+namespace affsched {
+namespace {
+
+// Counts occurrences of `needle` in `haystack`.
+size_t CountOf(const std::string& haystack, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+std::vector<TraceEvent> TinyFixtureTrace() {
+  return {
+      {0, TraceEventKind::kJobArrival, SIZE_MAX, 0, kNoOwner, false},
+      {Microseconds(10), TraceEventKind::kSwitchStart, 0, 0, 1, false},
+      {Microseconds(760), TraceEventKind::kDispatch, 0, 0, 1, false},
+      {Microseconds(2000), TraceEventKind::kThreadComplete, 0, 0, 1, false},
+      {Microseconds(2000), TraceEventKind::kRelease, 0, 0, 1, false},
+      {Microseconds(2000), TraceEventKind::kJobCompletion, SIZE_MAX, 0, kNoOwner, false},
+  };
+}
+
+// Golden file for the tiny fixture: pins the exact serialisation (metadata
+// tracks, span begin/end, allocation counter replay). Any intentional format
+// change must update this string.
+constexpr const char* kTinyFixtureGolden =
+    R"({"displayTimeUnit":"ms","traceEvents":[)"
+    R"({"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"processors"}},)"
+    R"({"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"cpu0"}},)"
+    R"({"name":"process_name","ph":"M","pid":2,"tid":0,"args":{"name":"jobs"}},)"
+    R"({"name":"thread_name","ph":"M","pid":2,"tid":0,"args":{"name":"solo#0"}},)"
+    R"({"name":"solo#0","cat":"job","ph":"B","ts":0,"pid":2,"tid":0},)"
+    R"({"name":"alloc solo#0","ph":"C","ts":0,"pid":2,"tid":0,"args":{"procs":0}},)"
+    R"({"name":"switch","cat":"switch","ph":"B","ts":10,"pid":1,"tid":0},)"
+    R"({"name":"alloc solo#0","ph":"C","ts":10,"pid":2,"tid":0,"args":{"procs":1}},)"
+    R"({"ph":"E","ts":760,"pid":1,"tid":0},)"
+    R"({"name":"solo#0","cat":"run","ph":"B","ts":760,"pid":1,"tid":0},)"
+    R"({"name":"thread done solo#0","cat":"thread","ph":"i","s":"t","ts":2000,"pid":1,"tid":0},)"
+    R"({"ph":"E","ts":2000,"pid":1,"tid":0},)"
+    R"({"name":"alloc solo#0","ph":"C","ts":2000,"pid":2,"tid":0,"args":{"procs":0}},)"
+    R"({"ph":"E","ts":2000,"pid":2,"tid":0},)"
+    R"({"name":"alloc solo#0","ph":"C","ts":2000,"pid":2,"tid":0,"args":{"procs":0}}]})";
+
+TEST(ChromeTraceWriter, TinyFixtureMatchesGolden) {
+  ChromeTraceWriter writer;
+  writer.AddEvents(TinyFixtureTrace());
+  EXPECT_EQ(writer.ToJson(1, {"solo"}), kTinyFixtureGolden);
+}
+
+TEST(ChromeTraceWriter, GoldenIsValidJson) {
+  EXPECT_TRUE(IsValidJson(kTinyFixtureGolden));
+}
+
+TEST(ChromeTraceWriter, EmptyTraceIsValidJson) {
+  ChromeTraceWriter writer;
+  const std::string json = writer.ToJson(2, {});
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  // Metadata for processor tracks is still present.
+  EXPECT_NE(json.find("\"processors\""), std::string::npos);
+}
+
+TEST(ChromeTraceWriter, FullEngineRunProducesBalancedSpans) {
+  MachineConfig machine;
+  machine.num_processors = 4;
+  ChromeTraceWriter writer;
+  Engine engine(machine, MakePolicy(PolicyKind::kDynAff), 42);
+  engine.SetTraceSink(&writer);
+  engine.SubmitJob(MakeSmallMvaProfile());
+  engine.SubmitJob(MakeSmallGravityProfile());
+  engine.Run();
+
+  std::vector<std::string> names;
+  for (JobId id = 0; id < engine.job_count(); ++id) {
+    names.push_back(engine.job_name(id));
+  }
+  const std::string json = writer.ToJson(machine.num_processors, names);
+  EXPECT_TRUE(IsValidJson(json)) << "chrome trace output is not valid JSON";
+  // Every "B" needs a matching "E"; the writer closes dangling spans itself.
+  EXPECT_EQ(CountOf(json, "\"ph\":\"B\""), CountOf(json, "\"ph\":\"E\""));
+  // Both process groups and at least one span per kind of track exist.
+  EXPECT_GT(CountOf(json, "\"pid\":1"), 0u);
+  EXPECT_GT(CountOf(json, "\"pid\":2"), 0u);
+  EXPECT_GT(CountOf(json, "\"cat\":\"run\""), 0u);
+  EXPECT_GT(CountOf(json, "\"cat\":\"switch\""), 0u);
+}
+
+TEST(ChromeTraceWriter, RecordAndAddEventsAgree) {
+  ChromeTraceWriter recorded;
+  ChromeTraceWriter bulk;
+  const std::vector<TraceEvent> events = TinyFixtureTrace();
+  for (const TraceEvent& e : events) {
+    recorded.Record(e);
+  }
+  bulk.AddEvents(events);
+  EXPECT_EQ(recorded.size(), bulk.size());
+  EXPECT_EQ(recorded.ToJson(1, {"solo"}), bulk.ToJson(1, {"solo"}));
+}
+
+TEST(ChromeTraceWriter, WriteJsonFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/chrome_trace_test_out.json";
+  ChromeTraceWriter writer;
+  writer.AddEvents(TinyFixtureTrace());
+  ASSERT_TRUE(writer.WriteJsonFile(path, 1, {"solo"}));
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), writer.ToJson(1, {"solo"}));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace affsched

@@ -1,0 +1,116 @@
+#include "src/telemetry/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/telemetry/json.h"
+#include "src/telemetry/profile.h"
+
+namespace affsched {
+namespace {
+
+TEST(Json, EscapeHandlesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+}
+
+TEST(Json, NumberFormatsIntegralsWithoutFraction) {
+  EXPECT_EQ(JsonNumber(42.0), "42");
+  EXPECT_EQ(JsonNumber(-3.0), "-3");
+  EXPECT_EQ(JsonNumber(0.0), "0");
+}
+
+TEST(Json, NumberNeverEmitsNonFiniteLiterals) {
+  EXPECT_EQ(JsonNumber(NAN), "null");
+  EXPECT_EQ(JsonNumber(INFINITY), "null");
+  EXPECT_EQ(JsonNumber(-INFINITY), "null");
+  EXPECT_TRUE(IsValidJson(JsonNumber(0.1)));
+}
+
+TEST(Json, ValidityChecker) {
+  EXPECT_TRUE(IsValidJson("{}"));
+  EXPECT_TRUE(IsValidJson("[1, 2.5, \"x\", true, null]"));
+  EXPECT_TRUE(IsValidJson("{\"a\": {\"b\": [1]}}"));
+  EXPECT_FALSE(IsValidJson(""));
+  EXPECT_FALSE(IsValidJson("{"));
+  EXPECT_FALSE(IsValidJson("{} extra"));
+  EXPECT_FALSE(IsValidJson("{'single': 1}"));
+  EXPECT_FALSE(IsValidJson("[1,]"));
+  EXPECT_FALSE(IsValidJson("nan"));
+}
+
+TEST(Profiler, SectionsAccumulate) {
+  Profiler profiler;
+  ProfileSection* a = profiler.Section("alpha");
+  EXPECT_EQ(profiler.Section("alpha"), a);
+  a->Add(100);
+  a->Add(300);
+  EXPECT_EQ(a->total_ns(), 400u);
+  EXPECT_EQ(a->count(), 2u);
+  EXPECT_DOUBLE_EQ(a->MeanNs(), 200.0);
+  EXPECT_TRUE(IsValidJson(profiler.ToJson()));
+  EXPECT_NE(profiler.Report().find("alpha"), std::string::npos);
+}
+
+TEST(ScopedTimer, AccumulatesIntoSectionAndToleratesNull) {
+  Profiler profiler;
+  ProfileSection* s = profiler.Section("timed");
+  {
+    ScopedTimer t(s);
+  }
+  EXPECT_EQ(s->count(), 1u);
+  {
+    ScopedTimer t(nullptr);  // must be a no-op, not a crash
+  }
+}
+
+TEST(RunManifest, IncludesBuildMetadataAndIsValidJson) {
+  RunManifest manifest;
+  const std::string json = manifest.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(json.find("\"build_type\""), std::string::npos);
+  EXPECT_NE(json.find("\"compiler\""), std::string::npos);
+  EXPECT_STRNE(RunManifest::GitSha(), "");
+}
+
+TEST(RunManifest, MembersAndMetricsEmbed) {
+  RunManifest manifest;
+  manifest.SetString("tool", "test \"quoted\"");
+  manifest.SetNumber("seed", 42.0);
+  MetricsRegistry registry;
+  registry.FindOrCreateCounter("engine.dispatches")->Add(7.0);
+  manifest.AddMetrics(registry);
+  Profiler profiler;
+  profiler.Section("run")->Add(1000);
+  manifest.AddProfile(profiler);
+
+  const std::string json = manifest.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"seed\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"profile\""), std::string::npos);
+  EXPECT_NE(json.find("engine.dispatches"), std::string::npos);
+}
+
+TEST(RunManifest, WriteFileProducesParseableFile) {
+  const std::string path = ::testing::TempDir() + "/manifest_test_out.json";
+  RunManifest manifest;
+  manifest.SetString("tool", "manifest_test");
+  ASSERT_TRUE(manifest.WriteFile(path));
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(IsValidJson(buffer.str()));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace affsched

@@ -49,6 +49,40 @@ TEST(RingTraceTest, CsvHasHeaderAndRows) {
   const std::string csv = trace.ToCsv();
   EXPECT_NE(csv.find("time_us,kind,proc,job,worker,affine"), std::string::npos);
   EXPECT_NE(csv.find("750.000,switch_start,3,1"), std::string::npos);
+  // No events were dropped, so no truncation marker.
+  EXPECT_EQ(csv.find("# dropped="), std::string::npos);
+}
+
+TEST(RingTraceTest, CsvMarksDroppedEventsOnOverflow) {
+  RingTrace trace(4);
+  for (SimTime t = 0; t < 10; ++t) {
+    trace.Record(Ev(t, TraceEventKind::kDispatch));
+  }
+  const std::string csv = trace.ToCsv();
+  // Header first, truncation marker as the final line.
+  EXPECT_EQ(csv.rfind("time_us,kind,proc,job,worker,affine\n", 0), 0u);
+  const std::string tail = "# dropped=6\n";
+  ASSERT_GE(csv.size(), tail.size());
+  EXPECT_EQ(csv.substr(csv.size() - tail.size()), tail);
+}
+
+TEST(RingTraceTest, KindNamesRoundTripThroughFromName) {
+  for (size_t i = 0; i < kNumTraceEventKinds; ++i) {
+    const TraceEventKind kind = static_cast<TraceEventKind>(i);
+    const char* name = TraceEventKindName(kind);
+    ASSERT_STRNE(name, "unknown") << "kind " << i << " has no name";
+    TraceEventKind parsed = TraceEventKind::kDispatch;
+    ASSERT_TRUE(TraceEventKindFromName(name, &parsed)) << name;
+    EXPECT_EQ(parsed, kind) << name;
+  }
+}
+
+TEST(RingTraceTest, FromNameRejectsUnknownAndLeavesOutputUntouched) {
+  TraceEventKind kind = TraceEventKind::kYield;
+  EXPECT_FALSE(TraceEventKindFromName("not_a_kind", &kind));
+  EXPECT_EQ(kind, TraceEventKind::kYield);
+  EXPECT_FALSE(TraceEventKindFromName("", &kind));
+  EXPECT_FALSE(TraceEventKindFromName("Dispatch", &kind));  // case-sensitive
 }
 
 TEST(RingTraceTest, GanttShowsOccupancy) {
@@ -58,6 +92,38 @@ TEST(RingTraceTest, GanttShowsOccupancy) {
   const std::string gantt = trace.RenderGantt(2, 0, Milliseconds(100), 10);
   // Processor 0 runs job 1 for the first half, then goes free.
   EXPECT_NE(gantt.find("p00 11111....."), std::string::npos);
+  EXPECT_NE(gantt.find("p01 .........."), std::string::npos);
+}
+
+TEST(RingTraceTest, GanttOnEmptyTraceShowsAllFree) {
+  RingTrace trace(8);
+  const std::string gantt = trace.RenderGantt(2, 0, Milliseconds(10), 10);
+  EXPECT_NE(gantt.find("p00 .........."), std::string::npos);
+  EXPECT_NE(gantt.find("p01 .........."), std::string::npos);
+}
+
+TEST(RingTraceTest, GanttWithSingleEventFillsToWindowEnd) {
+  RingTrace trace(8);
+  trace.Record(Ev(0, TraceEventKind::kDispatch, 0, 2));
+  const std::string gantt = trace.RenderGantt(1, 0, Milliseconds(10), 10);
+  EXPECT_NE(gantt.find("p00 2222222222"), std::string::npos);
+}
+
+TEST(RingTraceTest, GanttWindowOutsideRecordedRangeIsAllFree) {
+  RingTrace trace(8);
+  trace.Record(Ev(Milliseconds(1), TraceEventKind::kDispatch, 0, 1));
+  trace.Record(Ev(Milliseconds(2), TraceEventKind::kPreempt, 0, 1));
+  // Window entirely after the recorded events: events before `start` are
+  // skipped and the processor renders as free.
+  const std::string gantt = trace.RenderGantt(1, Milliseconds(50), Milliseconds(60), 10);
+  EXPECT_NE(gantt.find("p00 .........."), std::string::npos);
+}
+
+TEST(RingTraceTest, GanttIgnoresProcessorsBeyondRowCount) {
+  RingTrace trace(8);
+  trace.Record(Ev(0, TraceEventKind::kDispatch, 7, 1));  // proc outside grid
+  const std::string gantt = trace.RenderGantt(2, 0, Milliseconds(10), 10);
+  EXPECT_NE(gantt.find("p00 .........."), std::string::npos);
   EXPECT_NE(gantt.find("p01 .........."), std::string::npos);
 }
 
