@@ -14,34 +14,61 @@
 //   * Dynamic (oblivious) degrades relative to Dyn-Aff as the product grows
 //     (visible most clearly for workload 1);
 //   * Dyn-Aff-Delay separates from Dyn-Aff at high products (workload 5).
+//
+// All current-technology simulations — the expensive part — run as one grid
+// on the parallel sweep runner; the model extrapolation and the crossover
+// table below both reuse those results instead of re-simulating.
 
 #include <cstdio>
 
 #include "src/apps/apps.h"
+#include "src/common/flags.h"
 #include "src/common/table.h"
 #include "src/model/crossover.h"
 #include "src/model/future_sweep.h"
+#include "src/runner/runner.h"
+#include "src/runner/sweep.h"
 
 using namespace affsched;
 
-int main() {
-  const MachineConfig machine = PaperMachineConfig();
-  const std::vector<AppProfile> apps = DefaultProfiles();
-  const PenaltyTable penalties = PaperPenaltyTable();
+int main(int argc, char** argv) {
+  FlagSet flags("Regenerates Figures 8-13 of Vaswani & Zahorjan 1991.");
+  flags.AddInt("seed", 8000, "root random seed (per-cell seeds are derived)");
+  flags.AddInt("jobs", 0, "worker threads (0 = hardware concurrency)");
+  flags.AddString("out", "", "write sweep results JSON here");
+  if (!flags.Parse(argc, argv)) {
+    std::printf("%s\n", flags.help_requested() ? flags.Help().c_str() : flags.error().c_str());
+    return flags.help_requested() ? 0 : 1;
+  }
 
+  const PenaltyTable penalties = PaperPenaltyTable();
   FutureSweepOptions options;
   options.products = {1, 4, 16, 64, 256, 1024, 4096, 16384};
-  options.replication.min_replications = 3;
-  options.replication.max_replications = 4;
+
+  SweepSpec spec = FutureSpec();
+  spec.root_seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  options.replication = spec.replication;
+
+  SweepRunnerOptions runner_options;
+  runner_options.jobs = static_cast<size_t>(flags.GetInt("jobs"));
+  SweepRunner runner(runner_options);
+  const SweepResult grid = runner.Run(spec);
 
   std::printf("=== Figures 8-13: relative response times on future machines ===\n");
   std::printf("(X axis: processor-speed x cache-size product; values are\n");
-  std::printf(" policy RT / Equipartition RT from the Figure-7 model)\n\n");
+  std::printf(" policy RT / Equipartition RT from the Figure-7 model)\n");
+  std::printf("(current-technology grid: %zu experiments in %.2fs wall)\n\n",
+              grid.experiments.size(), grid.wall_seconds);
 
-  for (const WorkloadMix& mix : PaperMixes()) {
+  for (const WorkloadMix& mix : spec.mixes) {
     std::printf("--- Figure %d: workload %s ---\n", 7 + mix.number, mix.Label().c_str());
-    const FutureSweepResult result =
-        SweepFutureMachines(machine, mix, apps, penalties, 8000 + mix.number, options);
+    const ReplicatedResult& equi =
+        grid.Find(PolicyKind::kEquipartition, mix.number)->replicated;
+    std::vector<std::pair<PolicyKind, const ReplicatedResult*>> runs;
+    for (PolicyKind policy : options.policies) {
+      runs.emplace_back(policy, &grid.Find(policy, mix.number)->replicated);
+    }
+    const FutureSweepResult result = FutureSweepFromRuns(equi, runs, penalties, options);
 
     TextTable table;
     std::vector<std::string> header = {"policy", "job"};
@@ -62,20 +89,16 @@ int main() {
 
   // Crossover quantification: the product at which each policy's model curve
   // reaches Equipartition (the paper: "the crossover point is quite far in
-  // the future").
+  // the future"). Reuses the grid's replicated results directly.
   std::printf("--- crossover products (policy RT reaches Equipartition RT) ---\n");
   TextTable crossover_table;
   crossover_table.SetHeader({"mix", "policy", "job", "crossover product"});
-  FutureSweepOptions cross_options = options;
-  cross_options.products = {1};  // current-tech run only; model handles the sweep
-  for (const WorkloadMix& mix : PaperMixes()) {
-    const std::vector<AppProfile> jobs = mix.Expand(apps);
-    const ReplicatedResult equi = RunReplicated(machine, PolicyKind::kEquipartition, jobs,
-                                                8000 + mix.number, options.replication);
+  for (const WorkloadMix& mix : spec.mixes) {
+    const ReplicatedResult& equi =
+        grid.Find(PolicyKind::kEquipartition, mix.number)->replicated;
     for (PolicyKind policy : options.policies) {
-      const ReplicatedResult run =
-          RunReplicated(machine, policy, jobs, 8000 + mix.number, options.replication);
-      for (size_t j = 0; j < jobs.size(); ++j) {
+      const ReplicatedResult& run = grid.Find(policy, mix.number)->replicated;
+      for (size_t j = 0; j < run.app.size(); ++j) {
         const ModelParams params = ExtractModelParams(run.mean_stats[j],
                                                       penalties.pa_us.at(run.app[j]),
                                                       penalties.pna_us.at(run.app[j]));
@@ -102,5 +125,9 @@ int main() {
       "while Dyn-Aff / Dyn-Aff-Delay stay flat or rise much more slowly; the\n"
       "dynamic family remains at or below Equipartition until far-future\n"
       "machines (crossovers orders of magnitude beyond current technology).\n");
+
+  if (!flags.GetString("out").empty() && grid.WriteJsonFile(flags.GetString("out"))) {
+    std::printf("wrote sweep results to %s\n", flags.GetString("out").c_str());
+  }
   return 0;
 }

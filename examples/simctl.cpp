@@ -5,6 +5,7 @@
 //   ./build/examples/simctl --mix=5 --policy=dyn-aff --procs=16 --gantt
 //   ./build/examples/simctl --mix=2 --policy=equi --speed=16 --cache=16
 //   ./build/examples/simctl --mix=5 --metrics --chrome-trace=trace.json
+//   ./build/examples/simctl --sweep=smoke --jobs=8 --out=BENCH.json
 //   ./build/examples/simctl --help
 
 #include <cstdio>
@@ -14,9 +15,13 @@
 
 #include "src/apps/apps.h"
 #include "src/common/flags.h"
+#include "src/common/table.h"
 #include "src/engine/engine.h"
 #include "src/measure/mixes.h"
 #include "src/measure/report.h"
+#include "src/runner/runner.h"
+#include "src/runner/sweep.h"
+#include "src/runner/worker_pool.h"
 #include "src/sched/metered.h"
 #include "src/telemetry/chrome_trace.h"
 #include "src/telemetry/manifest.h"
@@ -28,25 +33,54 @@ using namespace affsched;
 
 namespace {
 
-bool PolicyFromName(const std::string& name, PolicyKind* kind) {
-  if (name == "equi") {
-    *kind = PolicyKind::kEquipartition;
-  } else if (name == "dynamic") {
-    *kind = PolicyKind::kDynamic;
-  } else if (name == "dyn-aff") {
-    *kind = PolicyKind::kDynAff;
-  } else if (name == "dyn-aff-nopri") {
-    *kind = PolicyKind::kDynAffNoPri;
-  } else if (name == "dyn-aff-delay") {
-    *kind = PolicyKind::kDynAffDelay;
-  } else if (name == "timeshare") {
-    *kind = PolicyKind::kTimeShare;
-  } else if (name == "timeshare-aff") {
-    *kind = PolicyKind::kTimeShareAff;
-  } else {
-    return false;
+// Runs a whole experiment grid on a worker pool (--sweep mode). Consults
+// only --sweep, --jobs and --out; the spec string carries everything else.
+int RunSweepMode(const std::string& spec_text, size_t jobs, const std::string& out_path) {
+  SweepSpec spec;
+  std::string error;
+  if (!ParseSweepSpec(spec_text, &spec, &error)) {
+    std::printf("bad --sweep: %s\n", error.c_str());
+    return 1;
   }
-  return true;
+
+  SweepRunnerOptions options;
+  options.jobs = jobs;
+  options.progress = [](size_t completed, size_t scheduled) {
+    std::fprintf(stderr, "sweep: %zu/%zu cells\n", completed, scheduled);
+  };
+  SweepRunner runner(options);
+  const SweepResult result = runner.Run(spec);
+
+  std::printf("sweep '%s': %zu experiments on %zu worker(s), %.2fs wall\n\n", spec.name.c_str(),
+              result.experiments.size(),
+              jobs == 0 ? WorkerPool::DefaultThreadCount() : jobs, result.wall_seconds);
+  TextTable table;
+  table.SetHeader({"mix", "policy", "job", "reps", "mean RT (s)", "vs equi"});
+  for (const ExperimentResult& experiment : result.experiments) {
+    const ExperimentResult* equi =
+        result.Find(PolicyKind::kEquipartition, experiment.mix.number);
+    for (size_t j = 0; j < experiment.replicated.app.size(); ++j) {
+      std::string ratio = "-";
+      if (equi != nullptr && experiment.policy != PolicyKind::kEquipartition) {
+        ratio = FormatDouble(
+            experiment.replicated.MeanResponse(j) / equi->replicated.MeanResponse(j), 3);
+      }
+      table.AddRow({experiment.mix.Label(), PolicyKindCliName(experiment.policy),
+                    experiment.replicated.app[j] + " (" + std::to_string(j) + ")",
+                    std::to_string(experiment.replicated.replications),
+                    FormatDouble(experiment.replicated.MeanResponse(j), 2), ratio});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  if (!out_path.empty()) {
+    if (!result.WriteJsonFile(out_path)) {
+      std::printf("failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote sweep results to %s\n", out_path.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -69,9 +103,19 @@ int main(int argc, char** argv) {
   flags.AddString("samples", "", "write the sampled time series as CSV here");
   flags.AddDouble("sample-ms", 100.0, "sampling cadence in simulated milliseconds");
   flags.AddString("manifest", "", "write a run manifest (JSON) here");
+  flags.AddString("sweep", "",
+                  "run an experiment grid instead of one simulation: a preset "
+                  "(fig5, table3, future, smoke) or key=value spec; see README");
+  flags.AddInt("jobs", 0, "sweep worker threads (0 = hardware concurrency)");
+  flags.AddString("out", "", "write sweep results JSON here");
   if (!flags.Parse(argc, argv)) {
     std::printf("%s\n", flags.help_requested() ? flags.Help().c_str() : flags.error().c_str());
     return flags.help_requested() ? 0 : 1;
+  }
+
+  if (!flags.GetString("sweep").empty()) {
+    return RunSweepMode(flags.GetString("sweep"), static_cast<size_t>(flags.GetInt("jobs")),
+                        flags.GetString("out"));
   }
 
   const int mix_number = static_cast<int>(flags.GetInt("mix"));
@@ -80,7 +124,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   PolicyKind kind;
-  if (!PolicyFromName(flags.GetString("policy"), &kind)) {
+  if (!PolicyKindFromName(flags.GetString("policy"), &kind)) {
     std::printf("unknown --policy '%s'\n", flags.GetString("policy").c_str());
     return 1;
   }
@@ -179,7 +223,9 @@ int main(int argc, char** argv) {
     manifest.SetNumber("procs", static_cast<double>(machine.num_processors));
     manifest.SetNumber("speed", machine.processor_speed);
     manifest.SetNumber("cache", machine.cache_size_factor);
-    manifest.SetNumber("seed", static_cast<double>(flags.GetInt("seed")));
+    // As an exact decimal, not SetNumber: 64-bit seeds above 2^53 would be
+    // silently rounded through double and fail to round-trip.
+    manifest.SetUint("seed", static_cast<uint64_t>(flags.GetInt("seed")));
     manifest.SetNumber("makespan_s", ToSeconds(end));
     manifest.AddMetrics(registry);
     if (manifest.WriteFile(manifest_path)) {

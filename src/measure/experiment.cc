@@ -26,61 +26,58 @@ RunResult RunOnce(const MachineConfig& machine, PolicyKind policy_kind,
   return result;
 }
 
-ReplicatedResult RunReplicated(const MachineConfig& machine, PolicyKind policy_kind,
-                               const std::vector<AppProfile>& jobs, uint64_t base_seed,
-                               const ReplicationOptions& rep_options,
-                               const Engine::Options& engine_options) {
-  ReplicatedResult result;
-  const size_t n = jobs.size();
-  result.response.resize(n);
-  result.mean_stats.resize(n);
-  std::vector<JobStats> accum(n);
+ReplicationFolder::ReplicationFolder(size_t num_jobs) : num_jobs_(num_jobs) {
+  result_.response.resize(num_jobs_);
+  result_.mean_stats.resize(num_jobs_);
+  accum_.resize(num_jobs_);
+}
 
-  size_t reps = 0;
-  while (true) {
-    const RunResult run = RunOnce(machine, policy_kind, jobs, base_seed + reps, engine_options);
-    AFF_CHECK(run.jobs.size() == n);
-    if (reps == 0) {
-      for (size_t j = 0; j < n; ++j) {
-        result.app.push_back(run.jobs[j].app);
-      }
-    }
-    for (size_t j = 0; j < n; ++j) {
-      result.response[j].Add(run.jobs[j].stats.ResponseSeconds());
-      const JobStats& x = run.jobs[j].stats;
-      JobStats& acc = accum[j];
-      acc.useful_work_s += x.useful_work_s;
-      acc.reload_stall_s += x.reload_stall_s;
-      acc.steady_stall_s += x.steady_stall_s;
-      acc.switch_s += x.switch_s;
-      acc.waste_s += x.waste_s;
-      acc.alloc_integral_s += x.alloc_integral_s;
-      acc.reallocations += x.reallocations;
-      acc.affinity_dispatches += x.affinity_dispatches;
-      acc.completion += x.completion - x.arrival;
-    }
-    ++reps;
-
-    if (reps >= rep_options.min_replications) {
-      bool all_precise = true;
-      for (size_t j = 0; j < n; ++j) {
-        const Summary& s = result.response[j];
-        if (s.ConfidenceHalfWidth(rep_options.confidence) >
-            rep_options.relative_precision * s.mean()) {
-          all_precise = false;
-          break;
-        }
-      }
-      if (all_precise || reps >= rep_options.max_replications) {
-        break;
-      }
+void ReplicationFolder::Fold(const RunResult& run) {
+  AFF_CHECK(run.jobs.size() == num_jobs_);
+  if (reps_ == 0) {
+    for (size_t j = 0; j < num_jobs_; ++j) {
+      result_.app.push_back(run.jobs[j].app);
     }
   }
+  for (size_t j = 0; j < num_jobs_; ++j) {
+    result_.response[j].Add(run.jobs[j].stats.ResponseSeconds());
+    const JobStats& x = run.jobs[j].stats;
+    JobStats& acc = accum_[j];
+    acc.useful_work_s += x.useful_work_s;
+    acc.reload_stall_s += x.reload_stall_s;
+    acc.steady_stall_s += x.steady_stall_s;
+    acc.switch_s += x.switch_s;
+    acc.waste_s += x.waste_s;
+    acc.alloc_integral_s += x.alloc_integral_s;
+    acc.reallocations += x.reallocations;
+    acc.affinity_dispatches += x.affinity_dispatches;
+    acc.completion += x.completion - x.arrival;
+  }
+  ++reps_;
+}
 
-  result.replications = reps;
-  const double r = static_cast<double>(reps);
-  for (size_t j = 0; j < n; ++j) {
-    JobStats mean = accum[j];
+bool ReplicationFolder::Precise(const ReplicationOptions& options) const {
+  for (size_t j = 0; j < num_jobs_; ++j) {
+    const Summary& s = result_.response[j];
+    if (s.ConfidenceHalfWidth(options.confidence) > options.relative_precision * s.mean()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ReplicationFolder::Done(const ReplicationOptions& options) const {
+  return reps_ >= options.min_replications &&
+         (Precise(options) || reps_ >= options.max_replications);
+}
+
+ReplicatedResult ReplicationFolder::Finish() const {
+  AFF_CHECK_MSG(reps_ > 0, "Finish() before any Fold()");
+  ReplicatedResult result = result_;
+  result.replications = reps_;
+  const double r = static_cast<double>(reps_);
+  for (size_t j = 0; j < num_jobs_; ++j) {
+    JobStats mean = accum_[j];
     mean.useful_work_s /= r;
     mean.reload_stall_s /= r;
     mean.steady_stall_s /= r;
@@ -91,10 +88,25 @@ ReplicatedResult RunReplicated(const MachineConfig& machine, PolicyKind policy_k
     mean.affinity_dispatches =
         static_cast<uint64_t>(static_cast<double>(mean.affinity_dispatches) / r);
     mean.arrival = 0;
-    mean.completion = static_cast<SimTime>(static_cast<double>(accum[j].completion) / r);
+    mean.completion = static_cast<SimTime>(static_cast<double>(accum_[j].completion) / r);
     result.mean_stats[j] = mean;
   }
   return result;
+}
+
+ReplicatedResult RunReplicated(const MachineConfig& machine, PolicyKind policy_kind,
+                               const std::vector<AppProfile>& jobs, uint64_t base_seed,
+                               const ReplicationOptions& rep_options,
+                               const Engine::Options& engine_options) {
+  ReplicationFolder folder(jobs.size());
+  while (true) {
+    folder.Fold(
+        RunOnce(machine, policy_kind, jobs, base_seed + folder.replications(), engine_options));
+    if (folder.Done(rep_options)) {
+      break;
+    }
+  }
+  return folder.Finish();
 }
 
 }  // namespace affsched

@@ -52,6 +52,38 @@ struct ReplicatedResult {
   double MeanResponse(size_t job) const { return response[job].mean(); }
 };
 
+// Incrementally folds per-replication RunResults into a ReplicatedResult.
+// Shared by the serial RunReplicated loop and the parallel sweep runner so
+// that both aggregate bit-identically: Fold() must be called in replication
+// order, and Finish() computes the same means the serial path always has.
+class ReplicationFolder {
+ public:
+  explicit ReplicationFolder(size_t num_jobs);
+
+  // Folds one replication's results (call in replication order).
+  void Fold(const RunResult& run);
+
+  size_t replications() const { return reps_; }
+
+  // True once every job's response-time CI meets the precision bound.
+  // Meaningless before the first Fold().
+  bool Precise(const ReplicationOptions& options) const;
+
+  // True when the serial stopping rule would stop: the minimum replication
+  // count has been reached and either the precision bound holds or the cap
+  // has been hit.
+  bool Done(const ReplicationOptions& options) const;
+
+  // Finalizes per-job means. May be called repeatedly as folds accumulate.
+  ReplicatedResult Finish() const;
+
+ private:
+  size_t num_jobs_;
+  size_t reps_ = 0;
+  ReplicatedResult result_;
+  std::vector<JobStats> accum_;
+};
+
 // Replicates RunOnce with seeds base_seed, base_seed+1, ... until every job's
 // response-time CI satisfies the precision bound (or the cap is reached).
 ReplicatedResult RunReplicated(const MachineConfig& machine, PolicyKind policy_kind,

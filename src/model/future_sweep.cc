@@ -25,18 +25,14 @@ double LookupOrDie(const std::map<std::string, double>& table, const std::string
 
 }  // namespace
 
-FutureSweepResult SweepFutureMachines(const MachineConfig& machine, const WorkloadMix& mix,
-                                      const std::vector<AppProfile>& apps,
-                                      const PenaltyTable& penalties, uint64_t seed,
-                                      const FutureSweepOptions& options) {
-  const std::vector<AppProfile> jobs = mix.Expand(apps);
-  AFF_CHECK(!jobs.empty());
-
-  // Current-technology runs: Equipartition plus each candidate policy.
-  const ReplicatedResult equi = RunReplicated(machine, PolicyKind::kEquipartition, jobs, seed,
-                                              options.replication);
+FutureSweepResult FutureSweepFromRuns(
+    const ReplicatedResult& equi,
+    const std::vector<std::pair<PolicyKind, const ReplicatedResult*>>& runs,
+    const PenaltyTable& penalties, const FutureSweepOptions& options) {
+  const size_t num_jobs = equi.app.size();
+  AFF_CHECK(num_jobs > 0);
   std::vector<ModelParams> equi_params;
-  for (size_t j = 0; j < jobs.size(); ++j) {
+  for (size_t j = 0; j < num_jobs; ++j) {
     equi_params.push_back(ExtractModelParams(equi.mean_stats[j],
                                              LookupOrDie(penalties.pa_us, equi.app[j]),
                                              LookupOrDie(penalties.pna_us, equi.app[j])));
@@ -45,9 +41,10 @@ FutureSweepResult SweepFutureMachines(const MachineConfig& machine, const Worklo
   FutureSweepResult result;
   result.products = options.products;
 
-  for (PolicyKind policy : options.policies) {
-    const ReplicatedResult run = RunReplicated(machine, policy, jobs, seed, options.replication);
-    for (size_t j = 0; j < jobs.size(); ++j) {
+  for (const auto& [policy, run_ptr] : runs) {
+    const ReplicatedResult& run = *run_ptr;
+    AFF_CHECK(run.app.size() == num_jobs);
+    for (size_t j = 0; j < num_jobs; ++j) {
       const ModelParams params = ExtractModelParams(run.mean_stats[j],
                                                     LookupOrDie(penalties.pa_us, run.app[j]),
                                                     LookupOrDie(penalties.pna_us, run.app[j]));
@@ -67,6 +64,28 @@ FutureSweepResult SweepFutureMachines(const MachineConfig& machine, const Worklo
     }
   }
   return result;
+}
+
+FutureSweepResult SweepFutureMachines(const MachineConfig& machine, const WorkloadMix& mix,
+                                      const std::vector<AppProfile>& apps,
+                                      const PenaltyTable& penalties, uint64_t seed,
+                                      const FutureSweepOptions& options) {
+  const std::vector<AppProfile> jobs = mix.Expand(apps);
+  AFF_CHECK(!jobs.empty());
+
+  // Current-technology runs: Equipartition plus each candidate policy.
+  const ReplicatedResult equi = RunReplicated(machine, PolicyKind::kEquipartition, jobs, seed,
+                                              options.replication);
+  std::vector<ReplicatedResult> policy_runs;
+  policy_runs.reserve(options.policies.size());
+  for (PolicyKind policy : options.policies) {
+    policy_runs.push_back(RunReplicated(machine, policy, jobs, seed, options.replication));
+  }
+  std::vector<std::pair<PolicyKind, const ReplicatedResult*>> runs;
+  for (size_t i = 0; i < options.policies.size(); ++i) {
+    runs.emplace_back(options.policies[i], &policy_runs[i]);
+  }
+  return FutureSweepFromRuns(equi, runs, penalties, options);
 }
 
 }  // namespace affsched

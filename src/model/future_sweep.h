@@ -8,6 +8,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/measure/experiment.h"
@@ -59,6 +60,15 @@ FutureSweepResult SweepFutureMachines(const MachineConfig& machine, const Worklo
                                       const std::vector<AppProfile>& apps,
                                       const PenaltyTable& penalties, uint64_t seed,
                                       const FutureSweepOptions& options = {});
+
+// The extrapolation half of SweepFutureMachines: takes already-replicated
+// current-technology results (e.g. produced in parallel by the sweep runner)
+// and evaluates the Figure-7 model across `options.products`. `runs` pairs
+// each policy with its replicated result for the same mix/seed as `equi`.
+FutureSweepResult FutureSweepFromRuns(
+    const ReplicatedResult& equi,
+    const std::vector<std::pair<PolicyKind, const ReplicatedResult*>>& runs,
+    const PenaltyTable& penalties, const FutureSweepOptions& options = {});
 
 }  // namespace affsched
 

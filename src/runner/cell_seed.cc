@@ -1,0 +1,24 @@
+#include "src/runner/cell_seed.h"
+
+#include "src/common/rng.h"
+
+namespace affsched {
+
+uint64_t DeriveSeed(uint64_t root_seed, std::initializer_list<uint64_t> coordinates) {
+  // SplitMix64 each input before combining so that nearby roots/coordinates
+  // (seed 1000 vs 1001, rep 0 vs 1) land in unrelated regions of seed space.
+  uint64_t state = root_seed;
+  uint64_t h = SplitMix64(state);
+  for (uint64_t coordinate : coordinates) {
+    uint64_t c = coordinate;
+    h ^= SplitMix64(c) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return SplitMix64(h);
+}
+
+uint64_t DeriveCellSeed(uint64_t root_seed, int mix_number, std::size_t replication) {
+  return DeriveSeed(root_seed, {static_cast<uint64_t>(mix_number),
+                                static_cast<uint64_t>(replication)});
+}
+
+}  // namespace affsched

@@ -1,0 +1,36 @@
+// Deterministic per-cell seed derivation for sweep grids.
+//
+// Every cell of an experiment grid gets its engine seed from a SplitMix64
+// hash of (root seed, cell coordinates), never from "whichever seed the
+// previous run left behind". Two consequences the runner depends on:
+//
+//   * results are bit-identical regardless of worker count or the order in
+//     which a thread pool happens to execute cells;
+//   * adding a policy or widening the replication axis never shifts the
+//     seeds of existing cells, so baselines stay comparable across grids.
+//
+// The policy is deliberately NOT a coordinate: the paper compares policies
+// under common random numbers (the same workload draws), so every policy
+// sees the same seed for a given (mix, replication) cell.
+
+#ifndef SRC_RUNNER_CELL_SEED_H_
+#define SRC_RUNNER_CELL_SEED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+
+namespace affsched {
+
+// Hashes the root seed and an ordered coordinate list into a seed. The
+// result is sensitive to coordinate order and count ((1,2) != (2,1) and
+// (1) != (1,0)).
+uint64_t DeriveSeed(uint64_t root_seed, std::initializer_list<uint64_t> coordinates);
+
+// The sweep grid's cell-seed convention: coordinates are (mix number,
+// replication index) — policy excluded, see above.
+uint64_t DeriveCellSeed(uint64_t root_seed, int mix_number, std::size_t replication);
+
+}  // namespace affsched
+
+#endif  // SRC_RUNNER_CELL_SEED_H_

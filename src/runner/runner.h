@@ -1,0 +1,62 @@
+// SweepRunner: executes a SweepSpec's grid on a WorkerPool.
+//
+// Scheduling model: the grid expands into (policy, mix) experiments whose
+// replications are the unit of parallelism. Replications are scheduled in
+// rounds — every experiment's next needed replication is submitted to the
+// pool, the round drains, results fold in (mix-major, policy, replication)
+// order, and experiments whose confidence bound is unmet (and cap unreached)
+// get one more replication next round. This reproduces the serial
+// RunReplicated stopping rule exactly, so the replication counts, the
+// aggregates, and the serialized JSON are bit-identical at any worker count.
+//
+// Thread-safety of the simulation stack (audited for this runner; guarded by
+// the TSan CI job): an Engine owns every piece of mutable state it touches —
+// event queue, machine, caches, policy, RNG, per-job accounting — and the
+// library's only statics are immutable tables and the lazily-initialized log
+// level (thread-safe magic static, read-only afterwards). AppProfile's
+// build_graph closures capture parameters by value. Concurrent engines
+// therefore share nothing, and cells need no locking.
+
+#ifndef SRC_RUNNER_RUNNER_H_
+#define SRC_RUNNER_RUNNER_H_
+
+#include <functional>
+
+#include "src/runner/sweep.h"
+
+namespace affsched {
+
+struct SweepRunnerOptions {
+  // Worker threads; 0 means WorkerPool::DefaultThreadCount().
+  size_t jobs = 0;
+  // Keep per-cell rows in the result (and its JSON). Aggregates are always
+  // kept.
+  bool record_cells = true;
+  // Called on the orchestration thread after each round with (cells
+  // completed, cells currently known to be needed). Totals can grow between
+  // calls as adaptive replication schedules more work.
+  std::function<void(size_t completed, size_t scheduled)> progress;
+  // Replaces the per-cell simulation (testing/instrumentation). Defaults to
+  // measure's RunOnce. Must be thread-safe.
+  std::function<RunResult(const MachineConfig& machine, PolicyKind policy,
+                          const std::vector<AppProfile>& jobs, uint64_t seed,
+                          const EngineOptions& options)>
+      run_cell;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(const SweepRunnerOptions& options = {});
+
+  // Executes the grid. If a cell throws, every in-flight cell completes, the
+  // pool shuts down cleanly, and the first (lowest-indexed) exception is
+  // rethrown.
+  SweepResult Run(const SweepSpec& spec) const;
+
+ private:
+  SweepRunnerOptions options_;
+};
+
+}  // namespace affsched
+
+#endif  // SRC_RUNNER_RUNNER_H_

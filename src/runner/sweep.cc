@@ -1,0 +1,326 @@
+#include "src/runner/sweep.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/apps/apps.h"
+#include "src/common/time.h"
+#include "src/telemetry/json.h"
+
+namespace affsched {
+
+size_t SweepSpec::MinCells() const {
+  return policies.size() * mixes.size() * replication.min_replications;
+}
+
+namespace {
+
+SweepSpec BaseSpec() {
+  SweepSpec spec;
+  spec.machine = PaperMachineConfig();
+  spec.apps = DefaultProfiles();
+  return spec;
+}
+
+std::vector<PolicyKind> EquiPlusDynamicFamily() {
+  std::vector<PolicyKind> policies = {PolicyKind::kEquipartition};
+  for (PolicyKind kind : DynamicFamily()) {
+    policies.push_back(kind);
+  }
+  return policies;
+}
+
+std::vector<WorkloadMix> AllMixes() {
+  const auto mixes = PaperMixes();
+  return std::vector<WorkloadMix>(mixes.begin(), mixes.end());
+}
+
+std::vector<std::string> SplitOn(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream in(text);
+  while (std::getline(in, part, sep)) {
+    parts.push_back(part);
+  }
+  return parts;
+}
+
+}  // namespace
+
+SweepSpec Fig5Spec() {
+  SweepSpec spec = BaseSpec();
+  spec.name = "fig5";
+  spec.policies = EquiPlusDynamicFamily();
+  spec.mixes = AllMixes();
+  spec.replication.min_replications = 3;
+  spec.replication.max_replications = 5;
+  spec.root_seed = 1000;
+  return spec;
+}
+
+SweepSpec Table3Spec() {
+  SweepSpec spec = BaseSpec();
+  spec.name = "table3";
+  spec.policies = DynamicFamily();
+  spec.mixes = {PaperMixes()[4]};  // workload #5: 1 MATRIX + 1 GRAVITY
+  spec.replication.min_replications = 3;
+  spec.replication.max_replications = 5;
+  spec.root_seed = 555;
+  return spec;
+}
+
+SweepSpec FutureSpec() {
+  SweepSpec spec = BaseSpec();
+  spec.name = "future";
+  spec.policies = EquiPlusDynamicFamily();
+  spec.mixes = AllMixes();
+  spec.replication.min_replications = 3;
+  spec.replication.max_replications = 4;
+  spec.root_seed = 8000;
+  return spec;
+}
+
+SweepSpec SmokeSpec() {
+  SweepSpec spec = BaseSpec();
+  spec.name = "smoke";
+  spec.policies = {PolicyKind::kEquipartition, PolicyKind::kDynamic, PolicyKind::kDynAff};
+  spec.mixes = {PaperMixes()[0], PaperMixes()[4]};
+  spec.replication.min_replications = 2;
+  spec.replication.max_replications = 2;
+  spec.root_seed = 1000;
+  return spec;
+}
+
+bool ParseSweepSpec(const std::string& text, SweepSpec* spec, std::string* error) {
+  if (text.empty()) {
+    *error = "empty sweep spec";
+    return false;
+  }
+  const std::vector<std::string> tokens = SplitOn(text, ';');
+  size_t first_override = 0;
+  if (tokens[0].find('=') == std::string::npos) {
+    const std::string& preset = tokens[0];
+    if (preset == "fig5") {
+      *spec = Fig5Spec();
+    } else if (preset == "table3") {
+      *spec = Table3Spec();
+    } else if (preset == "future") {
+      *spec = FutureSpec();
+    } else if (preset == "smoke") {
+      *spec = SmokeSpec();
+    } else {
+      *error = "unknown sweep preset '" + preset + "'";
+      return false;
+    }
+    first_override = 1;
+  } else {
+    *spec = Fig5Spec();  // custom specs start from the full grid
+    spec->name = "custom";
+  }
+  if (first_override < tokens.size()) {
+    spec->name = text;  // overrides applied: record full provenance
+  }
+
+  for (size_t i = first_override; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token.empty()) {
+      continue;
+    }
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      *error = "expected key=value, got '" + token + "'";
+      return false;
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "policies") {
+      spec->policies.clear();
+      for (const std::string& name : SplitOn(value, ',')) {
+        PolicyKind kind;
+        if (!PolicyKindFromName(name, &kind)) {
+          *error = "unknown policy '" + name + "'";
+          return false;
+        }
+        spec->policies.push_back(kind);
+      }
+    } else if (key == "mixes") {
+      spec->mixes.clear();
+      for (const std::string& number : SplitOn(value, ',')) {
+        const int n = std::atoi(number.c_str());
+        if (n < 1 || n > 6) {
+          *error = "mix number '" + number + "' out of range 1-6";
+          return false;
+        }
+        spec->mixes.push_back(PaperMixes()[static_cast<size_t>(n - 1)]);
+      }
+    } else if (key == "reps") {
+      const size_t dash = value.find('-');
+      if (dash == std::string::npos) {
+        const int n = std::atoi(value.c_str());
+        if (n < 1) {
+          *error = "reps must be >= 1";
+          return false;
+        }
+        spec->replication.min_replications = static_cast<size_t>(n);
+        spec->replication.max_replications = static_cast<size_t>(n);
+      } else {
+        const int lo = std::atoi(value.substr(0, dash).c_str());
+        const int hi = std::atoi(value.substr(dash + 1).c_str());
+        if (lo < 1 || hi < lo) {
+          *error = "bad reps range '" + value + "'";
+          return false;
+        }
+        spec->replication.min_replications = static_cast<size_t>(lo);
+        spec->replication.max_replications = static_cast<size_t>(hi);
+      }
+    } else if (key == "precision") {
+      spec->replication.relative_precision = std::atof(value.c_str());
+    } else if (key == "seed") {
+      spec->root_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "procs") {
+      const int n = std::atoi(value.c_str());
+      if (n < 1) {
+        *error = "procs must be >= 1";
+        return false;
+      }
+      spec->machine.num_processors = static_cast<size_t>(n);
+    } else if (key == "speed") {
+      spec->machine.processor_speed = std::atof(value.c_str());
+    } else if (key == "cache") {
+      spec->machine.cache_size_factor = std::atof(value.c_str());
+    } else {
+      *error = "unknown sweep spec key '" + key + "'";
+      return false;
+    }
+  }
+  if (spec->policies.empty() || spec->mixes.empty()) {
+    *error = "sweep spec needs at least one policy and one mix";
+    return false;
+  }
+  return true;
+}
+
+const ExperimentResult* SweepResult::Find(PolicyKind policy, int mix_number) const {
+  for (const ExperimentResult& experiment : experiments) {
+    if (experiment.policy == policy && experiment.mix.number == mix_number) {
+      return &experiment;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::string StatsJson(const JobStats& stats) {
+  std::ostringstream o;
+  o << "{\"useful_work_s\":" << JsonNumber(stats.useful_work_s)
+    << ",\"reload_stall_s\":" << JsonNumber(stats.reload_stall_s)
+    << ",\"steady_stall_s\":" << JsonNumber(stats.steady_stall_s)
+    << ",\"switch_s\":" << JsonNumber(stats.switch_s)
+    << ",\"waste_s\":" << JsonNumber(stats.waste_s)
+    << ",\"alloc_integral_s\":" << JsonNumber(stats.alloc_integral_s)
+    << ",\"reallocations\":" << stats.reallocations
+    << ",\"affinity_dispatches\":" << stats.affinity_dispatches
+    << ",\"affinity_fraction\":" << JsonNumber(stats.AffinityFraction())
+    << ",\"realloc_interval_s\":" << JsonNumber(stats.ReallocationIntervalSeconds())
+    << ",\"avg_alloc\":" << JsonNumber(stats.AverageAllocation()) << "}";
+  return o.str();
+}
+
+}  // namespace
+
+std::string SweepResult::ToJson() const {
+  std::ostringstream o;
+  o << "{\"schema_version\":1,\"tool\":\"sweep_runner\"";
+
+  o << ",\"spec\":{\"name\":\"" << JsonEscape(spec.name) << "\""
+    << ",\"root_seed\":" << spec.root_seed << ",\"machine\":{\"procs\":"
+    << spec.machine.num_processors << ",\"speed\":" << JsonNumber(spec.machine.processor_speed)
+    << ",\"cache\":" << JsonNumber(spec.machine.cache_size_factor) << "}";
+  o << ",\"policies\":[";
+  for (size_t i = 0; i < spec.policies.size(); ++i) {
+    o << (i > 0 ? "," : "") << "\"" << PolicyKindCliName(spec.policies[i]) << "\"";
+  }
+  o << "],\"mixes\":[";
+  for (size_t i = 0; i < spec.mixes.size(); ++i) {
+    o << (i > 0 ? "," : "") << spec.mixes[i].number;
+  }
+  o << "],\"replications\":{\"min\":" << spec.replication.min_replications
+    << ",\"max\":" << spec.replication.max_replications
+    << ",\"precision\":" << JsonNumber(spec.replication.relative_precision)
+    << ",\"confidence\":" << JsonNumber(spec.replication.confidence) << "}}";
+
+  o << ",\"experiments\":[";
+  for (size_t e = 0; e < experiments.size(); ++e) {
+    const ExperimentResult& experiment = experiments[e];
+    const ReplicatedResult& rep = experiment.replicated;
+    o << (e > 0 ? "," : "") << "{\"policy\":\"" << PolicyKindCliName(experiment.policy) << "\""
+      << ",\"mix\":" << experiment.mix.number << ",\"replications\":" << rep.replications;
+    o << ",\"jobs\":[";
+    for (size_t j = 0; j < rep.app.size(); ++j) {
+      o << (j > 0 ? "," : "") << "{\"index\":" << j << ",\"app\":\"" << JsonEscape(rep.app[j])
+        << "\",\"mean_response_s\":" << JsonNumber(rep.MeanResponse(j)) << ",\"ci_half_width_s\":"
+        << JsonNumber(rep.response[j].ConfidenceHalfWidth(spec.replication.confidence))
+        << ",\"mean_stats\":" << StatsJson(rep.mean_stats[j]) << "}";
+    }
+    o << "],\"cells\":[";
+    for (size_t c = 0; c < experiment.cells.size(); ++c) {
+      const CellResult& cell = experiment.cells[c];
+      o << (c > 0 ? "," : "") << "{\"rep\":" << cell.replication << ",\"seed\":" << cell.seed
+        << ",\"makespan_s\":" << JsonNumber(ToSeconds(cell.run.makespan)) << ",\"response_s\":[";
+      for (size_t j = 0; j < cell.run.jobs.size(); ++j) {
+        o << (j > 0 ? "," : "") << JsonNumber(cell.run.jobs[j].stats.ResponseSeconds());
+      }
+      o << "]}";
+    }
+    o << "]}";
+  }
+  o << "]";
+
+  // Relative response times vs Equipartition (the Figure 5 quantities) —
+  // emitted when the grid includes Equipartition, so CI can gate on the
+  // paper's headline ratios without recomputing them.
+  bool first_ratio = true;
+  std::ostringstream ratios;
+  for (const WorkloadMix& mix : spec.mixes) {
+    const ExperimentResult* equi = Find(PolicyKind::kEquipartition, mix.number);
+    if (equi == nullptr) {
+      continue;
+    }
+    for (PolicyKind policy : spec.policies) {
+      if (policy == PolicyKind::kEquipartition) {
+        continue;
+      }
+      const ExperimentResult* run = Find(policy, mix.number);
+      if (run == nullptr) {
+        continue;
+      }
+      for (size_t j = 0; j < run->replicated.app.size(); ++j) {
+        ratios << (first_ratio ? "" : ",") << "{\"mix\":" << mix.number << ",\"policy\":\""
+               << PolicyKindCliName(policy) << "\",\"job\":" << j << ",\"app\":\""
+               << JsonEscape(run->replicated.app[j]) << "\",\"ratio\":"
+               << JsonNumber(run->replicated.MeanResponse(j) / equi->replicated.MeanResponse(j))
+               << "}";
+        first_ratio = false;
+      }
+    }
+  }
+  const std::string ratio_text = ratios.str();
+  if (!ratio_text.empty()) {
+    o << ",\"relative_response\":[" << ratio_text << "]";
+  }
+  o << "}";
+  return o.str();
+}
+
+bool SweepResult::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return false;
+  }
+  out << ToJson() << "\n";
+  return out.good();
+}
+
+}  // namespace affsched

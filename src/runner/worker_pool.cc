@@ -1,0 +1,79 @@
+#include "src/runner/worker_pool.h"
+
+#include <utility>
+
+namespace affsched {
+
+WorkerPool::WorkerPool(size_t num_threads) {
+  const size_t n = num_threads == 0 ? 1 : num_threads;
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+std::future<void> WorkerPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void WorkerPool::ParallelFor(size_t count, const std::function<void(size_t)>& body) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    futures.push_back(Submit([&body, i] { body(i); }));
+  }
+  std::exception_ptr first_error;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (first_error == nullptr) {
+        first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error != nullptr) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+size_t WorkerPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+void WorkerPool::WorkerMain() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and nothing left to drain
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // a throwing task lands in its future, not on this thread
+  }
+}
+
+}  // namespace affsched

@@ -1,0 +1,64 @@
+// A fixed-size thread pool draining one shared FIFO queue.
+//
+// Deliberately work-stealing-free: sweep cells are coarse (one whole
+// simulation each, milliseconds to seconds), so a single mutex-protected
+// queue is nowhere near contended and keeps execution order irrelevant to
+// results — determinism comes from per-cell seeds, not from scheduling.
+//
+// Exception safety: a task that throws does not kill its worker thread or
+// the pool. The exception is captured in the task's future and rethrown to
+// whoever calls get(); ParallelFor waits for ALL iterations to finish before
+// rethrowing the lowest-index exception, so the pool is always quiescent
+// (and destructible) when the caller regains control.
+
+#ifndef SRC_RUNNER_WORKER_POOL_H_
+#define SRC_RUNNER_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace affsched {
+
+class WorkerPool {
+ public:
+  // Spawns `num_threads` workers (clamped to at least 1).
+  explicit WorkerPool(size_t num_threads);
+
+  // Completes every already-submitted task, then joins the workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  size_t size() const { return threads_.size(); }
+
+  // Enqueues a task. The future resolves when the task finishes and rethrows
+  // anything the task threw.
+  std::future<void> Submit(std::function<void()> task);
+
+  // Runs body(0) ... body(count-1) on the pool and blocks until every
+  // iteration has finished. If any iterations threw, rethrows the exception
+  // of the lowest index (deterministic regardless of execution order).
+  void ParallelFor(size_t count, const std::function<void(size_t)>& body);
+
+  // std::thread::hardware_concurrency with a floor of 1.
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerMain();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace affsched
+
+#endif  // SRC_RUNNER_WORKER_POOL_H_

@@ -31,6 +31,39 @@ std::unique_ptr<Policy> MakePolicy(PolicyKind kind) {
 
 std::string PolicyKindName(PolicyKind kind) { return MakePolicy(kind)->name(); }
 
+std::string PolicyKindCliName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kEquipartition:
+      return "equi";
+    case PolicyKind::kDynamic:
+      return "dynamic";
+    case PolicyKind::kDynAff:
+      return "dyn-aff";
+    case PolicyKind::kDynAffNoPri:
+      return "dyn-aff-nopri";
+    case PolicyKind::kDynAffDelay:
+      return "dyn-aff-delay";
+    case PolicyKind::kTimeShare:
+      return "timeshare";
+    case PolicyKind::kTimeShareAff:
+      return "timeshare-aff";
+  }
+  AFF_CHECK_MSG(false, "unknown policy kind");
+}
+
+bool PolicyKindFromName(const std::string& name, PolicyKind* kind) {
+  for (PolicyKind candidate :
+       {PolicyKind::kEquipartition, PolicyKind::kDynamic, PolicyKind::kDynAff,
+        PolicyKind::kDynAffNoPri, PolicyKind::kDynAffDelay, PolicyKind::kTimeShare,
+        PolicyKind::kTimeShareAff}) {
+    if (name == PolicyKindCliName(candidate)) {
+      *kind = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::vector<PolicyKind> DynamicFamily() {
   return {PolicyKind::kDynamic, PolicyKind::kDynAff, PolicyKind::kDynAffDelay};
 }

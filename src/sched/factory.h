@@ -28,6 +28,15 @@ std::unique_ptr<Policy> MakePolicy(PolicyKind kind);
 
 std::string PolicyKindName(PolicyKind kind);
 
+// Stable lowercase identifier for command lines, sweep specs and JSON keys
+// ("equi", "dyn-aff", ...), as opposed to the display name above.
+std::string PolicyKindCliName(PolicyKind kind);
+
+// Parses the short command-line names used by simctl and the sweep specs
+// ("equi", "dynamic", "dyn-aff", "dyn-aff-nopri", "dyn-aff-delay",
+// "timeshare", "timeshare-aff"). Returns false on an unknown name.
+bool PolicyKindFromName(const std::string& name, PolicyKind* kind);
+
 // The policies Figure 5 compares against Equipartition, in paper order.
 std::vector<PolicyKind> DynamicFamily();
 

@@ -44,6 +44,10 @@ void RunManifest::SetNumber(const std::string& key, double value) {
   members_[key] = JsonNumber(value);
 }
 
+void RunManifest::SetUint(const std::string& key, uint64_t value) {
+  members_[key] = std::to_string(value);
+}
+
 void RunManifest::SetJson(const std::string& key, const std::string& json) {
   members_[key] = json;
 }

@@ -7,6 +7,7 @@
 #ifndef SRC_TELEMETRY_MANIFEST_H_
 #define SRC_TELEMETRY_MANIFEST_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -22,6 +23,10 @@ class RunManifest {
 
   void SetString(const std::string& key, const std::string& value);
   void SetNumber(const std::string& key, double value);
+  // Emits the exact decimal digits. Use for 64-bit seeds and counters:
+  // SetNumber would round-trip them through double and corrupt anything
+  // above 2^53.
+  void SetUint(const std::string& key, uint64_t value);
   // Attaches a pre-rendered JSON value (object/array) under `key`.
   void SetJson(const std::string& key, const std::string& json);
 

@@ -1,0 +1,112 @@
+#include "src/runner/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace affsched {
+namespace {
+
+TEST(WorkerPoolTest, RunsEverySubmittedTask) {
+  WorkerPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&count] { count.fetch_add(1); }));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(WorkerPoolTest, ZeroThreadsClampsToOne) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(WorkerPoolTest, ParallelForCoversEveryIndexOnce) {
+  WorkerPool pool(8);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(WorkerPoolTest, ParallelForWithManyMoreTasksThanThreads) {
+  WorkerPool pool(2);
+  std::atomic<long> sum{0};
+  pool.ParallelFor(1000, [&sum](size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  EXPECT_EQ(sum.load(), 999L * 1000L / 2);
+}
+
+TEST(WorkerPoolTest, TaskExceptionLandsInFutureNotOnWorker) {
+  WorkerPool pool(2);
+  auto future = pool.Submit([] { throw std::runtime_error("cell failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The worker survived; the pool still executes work.
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(WorkerPoolTest, ParallelForFinishesAllWorkBeforeRethrowing) {
+  WorkerPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    pool.ParallelFor(64, [&completed](size_t i) {
+      if (i == 13) {
+        throw std::runtime_error("boom");
+      }
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  // Every non-throwing iteration ran to completion before the rethrow: no
+  // cancelled stragglers, pool quiescent.
+  EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(WorkerPoolTest, RethrowsLowestIndexException) {
+  WorkerPool pool(4);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    try {
+      pool.ParallelFor(32, [](size_t i) {
+        if (i == 5) {
+          throw std::runtime_error("five");
+        }
+        if (i == 20) {
+          throw std::logic_error("twenty");
+        }
+      });
+      FAIL() << "expected ParallelFor to rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "five");  // deterministic pick regardless of timing
+    } catch (const std::logic_error&) {
+      FAIL() << "rethrew the higher-index exception";
+    }
+  }
+}
+
+TEST(WorkerPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    WorkerPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    // Destructor must complete all 50 before joining.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+}  // namespace
+}  // namespace affsched

@@ -99,6 +99,17 @@ TEST(RunManifest, MembersAndMetricsEmbed) {
   EXPECT_NE(json.find("engine.dispatches"), std::string::npos);
 }
 
+TEST(RunManifest, SetUintRoundTripsFull64BitRange) {
+  // SetNumber goes through double, which silently rounds above 2^53; seeds
+  // must survive exactly, so they go in as decimal integer text.
+  RunManifest manifest;
+  const uint64_t seed = 9223372036854775815ull;  // 2^63 + 7
+  manifest.SetUint("seed", seed);
+  const std::string json = manifest.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"seed\":9223372036854775815"), std::string::npos) << json;
+}
+
 TEST(RunManifest, WriteFileProducesParseableFile) {
   const std::string path = ::testing::TempDir() + "/manifest_test_out.json";
   RunManifest manifest;

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare a sweep-runner BENCH json against the committed baseline.
+
+Usage: tools/bench_compare.py CURRENT.json BASELINE.json [--tolerance 0.10]
+
+Both files are `simctl --sweep` output (schema_version 1). The gate fails if:
+  * the two files were produced from different grids (spec mismatch),
+  * any relative_response ratio drifts more than --tolerance (relative)
+    from the baseline ratio,
+  * any per-job mean_response_s drifts more than --tolerance, or
+  * an affinity policy's ratio exceeds the sanity bound (--max-ratio,
+    default 1.10): affinity scheduling must never be grossly worse than
+    Equipartition, the paper's central claim.
+
+With a deterministic sweep (fixed replication count, derived per-cell
+seeds) the expected drift is exactly zero, so any nonzero delta means the
+simulation changed; the tolerance only forgives intentional, reviewed
+model changes that come with a baseline refresh.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != 1:
+        sys.exit(f"{path}: unsupported schema_version {doc.get('schema_version')!r}")
+    return doc
+
+
+def spec_key(doc):
+    spec = doc["spec"]
+    return (
+        spec["name"].split(";")[0],
+        spec["root_seed"],
+        tuple(spec["policies"]),
+        tuple(spec["mixes"]),
+        spec["machine"]["procs"],
+    )
+
+
+def ratio_map(doc):
+    return {
+        (r["mix"], r["policy"], r["job"]): r["ratio"]
+        for r in doc.get("relative_response", [])
+    }
+
+
+def response_map(doc):
+    out = {}
+    for exp in doc["experiments"]:
+        for job in exp["jobs"]:
+            out[(exp["mix"], exp["policy"], job["index"])] = job["mean_response_s"]
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="max allowed relative drift (default 0.10)")
+    parser.add_argument("--max-ratio", type=float, default=1.10,
+                        help="sanity bound on policy-vs-equi response ratios")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    failures = []
+    if spec_key(current) != spec_key(baseline):
+        failures.append(
+            f"spec mismatch: current {spec_key(current)} vs baseline {spec_key(baseline)}")
+
+    cur_ratios, base_ratios = ratio_map(current), ratio_map(baseline)
+    for key in sorted(base_ratios):
+        if key not in cur_ratios:
+            failures.append(f"ratio missing from current run: {key}")
+            continue
+        base, cur = base_ratios[key], cur_ratios[key]
+        drift = abs(cur - base) / abs(base) if base else abs(cur)
+        mark = "" if drift <= args.tolerance else "  <-- DRIFT"
+        if mark:
+            failures.append(
+                f"ratio {key}: {base:.4f} -> {cur:.4f} ({drift:+.1%} drift)")
+        print(f"ratio mix={key[0]} policy={key[1]:<8} job={key[2]}: "
+              f"baseline {base:.4f} current {cur:.4f}{mark}")
+        if cur > args.max_ratio:
+            failures.append(
+                f"ratio {key}: {cur:.4f} exceeds sanity bound {args.max_ratio}")
+
+    cur_resp, base_resp = response_map(current), response_map(baseline)
+    for key in sorted(base_resp):
+        if key not in cur_resp:
+            failures.append(f"experiment missing from current run: {key}")
+            continue
+        base, cur = base_resp[key], cur_resp[key]
+        drift = abs(cur - base) / base
+        if drift > args.tolerance:
+            failures.append(
+                f"mean_response_s {key}: {base:.3f}s -> {cur:.3f}s ({drift:+.1%} drift)")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s) vs {args.baseline}:",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(base_ratios)} ratios and {len(base_resp)} response times "
+          f"within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
