@@ -8,6 +8,7 @@
 //   ./build/examples/simctl --sweep=smoke --jobs=8 --out=BENCH.json
 //   ./build/examples/simctl --help
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -83,6 +84,32 @@ int RunSweepMode(const std::string& spec_text, size_t jobs, const std::string& o
   return 0;
 }
 
+// Prints the sweep preset grids (--list-presets): what --sweep=<name> runs.
+void ListPresets() {
+  TextTable table;
+  table.SetHeader({"preset", "seed", "policies", "mixes", "reps", "min cells"});
+  for (const SweepSpec& spec : {Fig5Spec(), Table3Spec(), FutureSpec(), SmokeSpec()}) {
+    std::string policies;
+    for (PolicyKind kind : spec.policies) {
+      policies += (policies.empty() ? "" : ",") + PolicyKindCliName(kind);
+    }
+    std::string mixes;
+    for (const WorkloadMix& mix : spec.mixes) {
+      mixes += (mixes.empty() ? "" : ",") + std::to_string(mix.number);
+    }
+    const std::string reps =
+        spec.replication.min_replications == spec.replication.max_replications
+            ? std::to_string(spec.replication.min_replications)
+            : std::to_string(spec.replication.min_replications) + "-" +
+                  std::to_string(spec.replication.max_replications);
+    table.AddRow({spec.name, std::to_string(spec.root_seed), policies, mixes, reps,
+                  std::to_string(spec.MinCells())});
+  }
+  std::printf("%s\nRun one with --sweep=<preset>; append ;key=value overrides "
+              "(e.g. --sweep=\"fig5;reps=2;procs=8\").\n",
+              table.Render().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -103,6 +130,9 @@ int main(int argc, char** argv) {
   flags.AddString("samples", "", "write the sampled time series as CSV here");
   flags.AddDouble("sample-ms", 100.0, "sampling cadence in simulated milliseconds");
   flags.AddString("manifest", "", "write a run manifest (JSON) here");
+  flags.AddBool("list-presets", false, "list the sweep preset grids and exit");
+  flags.AddBool("engine-stats", false,
+                "print event-core statistics (pool high-water mark, events/sec)");
   flags.AddString("sweep", "",
                   "run an experiment grid instead of one simulation: a preset "
                   "(fig5, table3, future, smoke) or key=value spec; see README");
@@ -111,6 +141,11 @@ int main(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) {
     std::printf("%s\n", flags.help_requested() ? flags.Help().c_str() : flags.error().c_str());
     return flags.help_requested() ? 0 : 1;
+  }
+
+  if (flags.GetBool("list-presets")) {
+    ListPresets();
+    return 0;
   }
 
   if (!flags.GetString("sweep").empty()) {
@@ -172,7 +207,11 @@ int main(int argc, char** argv) {
   for (const AppProfile& job : mix.Expand(DefaultProfiles())) {
     engine.SubmitJob(job);
   }
+  const auto run_start = std::chrono::steady_clock::now();
   const SimTime end = engine.Run();
+  const double run_wall_s = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - run_start)
+                                .count();
 
   TextTable table;
   table.SetHeader(JobReportHeader());
@@ -184,6 +223,18 @@ int main(int argc, char** argv) {
   }
   if (flags.GetBool("csv")) {
     std::printf("\n%s", trace.ToCsv().c_str());
+  }
+
+  if (flags.GetBool("engine-stats")) {
+    const EventQueue::Stats& stats = engine.event_queue_stats();
+    std::printf("\nevent core: %llu scheduled, %llu run, %llu cancelled\n"
+                "event pool high-water mark: %zu records\n"
+                "throughput: %.0f events/sec (%.3fs wall)\n",
+                static_cast<unsigned long long>(stats.scheduled),
+                static_cast<unsigned long long>(stats.run),
+                static_cast<unsigned long long>(stats.cancelled), stats.pool_high_water,
+                run_wall_s > 0.0 ? static_cast<double>(stats.run) / run_wall_s : 0.0,
+                run_wall_s);
   }
 
   if (flags.GetBool("metrics")) {

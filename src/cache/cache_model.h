@@ -1,0 +1,100 @@
+// CacheModel: the seam between the simulated machine and its per-processor
+// cache substrate.
+//
+// The scheduling experiments only ever talk to a cache through this
+// interface: run a chunk of useful execution and report reload vs.
+// steady-state misses, query/erode a task's resident footprint, and model
+// thread turnover. Two interchangeable implementations exist:
+//
+//   * FootprintCache (footprint.h) — the analytic working-set model the
+//     paper-scale experiments run on (closed-form buildup/ejection, O(#owners)
+//     per chunk);
+//   * ExactCacheModel (exact_model.h) — the exact per-line set-associative
+//     simulation driven by synthetic reference streams, used to validate the
+//     analytic model end-to-end on the same machine plumbing.
+//
+// MachineConfig::cache_model selects the implementation per run.
+
+#ifndef SRC_CACHE_CACHE_MODEL_H_
+#define SRC_CACHE_CACHE_MODEL_H_
+
+#include <cstddef>
+
+#include "src/cache/exact_cache.h"
+
+namespace affsched {
+
+// Cache-behaviour parameters of one task (one worker of an application).
+struct WorkingSetParams {
+  // Maximum working set, in cache blocks.
+  double blocks = 0.0;
+  // Time constant (seconds) of working-set buildup: u(d) = W(1-exp(-d/theta)).
+  double buildup_tau_s = 0.05;
+  // Steady-state miss rate, misses per second of useful execution.
+  double steady_miss_per_s = 0.0;
+  // Writes per second to data shared with sibling workers of the same job.
+  // Under the Symmetry's invalidation-based coherency protocol each such
+  // write invalidates the line in every other cache holding it, eroding
+  // sibling workers' footprints (and later costing them reload misses).
+  double shared_write_per_s = 0.0;
+};
+
+// Misses incurred by one chunk of useful execution, split into the paper's
+// two categories: reload misses (rebuilding a footprint that was ejected or
+// left on another processor — the affinity penalty) and steady-state misses
+// (the application's own capacity/conflict/coherence misses).
+struct CacheChunkResult {
+  double reload_misses = 0.0;
+  double steady_misses = 0.0;
+  double TotalMisses() const { return reload_misses + steady_misses; }
+};
+
+// Expected maximum resident footprint of a working set of `blocks` distinct
+// blocks in a cache of `capacity_blocks` lines organised `ways`-associative:
+// with random set placement the number of the task's blocks mapping to one
+// set is ~Poisson(blocks/sets) and at most `ways` can be resident, so the cap
+// is sets x E[min(K, ways)]. Shared by both cache models.
+double ExpectedMaxResident(double capacity_blocks, size_t ways, double blocks);
+
+class CacheModel {
+ public:
+  virtual ~CacheModel() = default;
+
+  // Evolves the cache as `owner` executes for `seconds` of useful time.
+  virtual CacheChunkResult RunChunk(CacheOwner owner, const WorkingSetParams& ws,
+                                    double seconds) = 0;
+
+  // Current resident footprint of `owner`, in blocks.
+  virtual double Resident(CacheOwner owner) const = 0;
+
+  // Total resident blocks across owners.
+  virtual double Occupied() const = 0;
+
+  virtual double capacity() const = 0;
+
+  // Maximum resident footprint a working set of `blocks` can achieve here
+  // (set-associative self-conflict cap).
+  virtual double MaxResident(double blocks) const = 0;
+
+  // Invalidates the entire cache (the Section 4 "migrating" treatment).
+  virtual void Flush() = 0;
+
+  // Removes `fraction` (in [0,1]) of `owner`'s footprint.
+  virtual void EjectFraction(CacheOwner owner, double fraction) = 0;
+
+  // Removes up to `blocks` of `owner`'s footprint (coherence invalidations
+  // arriving from another processor's cache).
+  virtual void EjectBlocks(CacheOwner owner, double blocks) = 0;
+
+  // Models thread turnover within a worker: the next thread reuses only
+  // `keep_fraction` of the worker's current data; the rest is dead and its
+  // lines are released.
+  virtual void ReplaceOwnerData(CacheOwner owner, double keep_fraction) = 0;
+
+  // Removes all state for `owner` (task exit).
+  virtual void RemoveOwner(CacheOwner owner) = 0;
+};
+
+}  // namespace affsched
+
+#endif  // SRC_CACHE_CACHE_MODEL_H_

@@ -14,23 +14,7 @@ FootprintCache::FootprintCache(double capacity_blocks, size_t ways)
 }
 
 double FootprintCache::MaxResident(double blocks) const {
-  if (blocks <= 0.0) {
-    return 0.0;
-  }
-  const double sets = capacity_ / static_cast<double>(ways_);
-  const double lambda = blocks / sets;
-  // E[min(K, ways)] for K ~ Poisson(lambda):
-  //   sum_{k < ways} k p_k + ways * (1 - sum_{k < ways} p_k).
-  double p = std::exp(-lambda);  // P(K = 0)
-  double cdf = p;
-  double partial_mean = 0.0;
-  for (size_t k = 1; k < ways_; ++k) {
-    p *= lambda / static_cast<double>(k);
-    cdf += p;
-    partial_mean += static_cast<double>(k) * p;
-  }
-  const double expected = partial_mean + static_cast<double>(ways_) * (1.0 - cdf);
-  return std::min(blocks, sets * expected);
+  return ExpectedMaxResident(capacity_, ways_, blocks);
 }
 
 double FootprintCache::Resident(CacheOwner owner) const {

@@ -34,70 +34,52 @@
 
 #include <unordered_map>
 
-#include "src/cache/exact_cache.h"
+#include "src/cache/cache_model.h"
 
 namespace affsched {
 
-// Cache-behaviour parameters of one task (one worker of an application).
-struct WorkingSetParams {
-  // Maximum working set, in cache blocks.
-  double blocks = 0.0;
-  // Time constant (seconds) of working-set buildup: u(d) = W(1-exp(-d/theta)).
-  double buildup_tau_s = 0.05;
-  // Steady-state miss rate, misses per second of useful execution.
-  double steady_miss_per_s = 0.0;
-  // Writes per second to data shared with sibling workers of the same job.
-  // Under the Symmetry's invalidation-based coherency protocol each such
-  // write invalidates the line in every other cache holding it, eroding
-  // sibling workers' footprints (and later costing them reload misses).
-  double shared_write_per_s = 0.0;
-};
-
-class FootprintCache {
+class FootprintCache final : public CacheModel {
  public:
   explicit FootprintCache(double capacity_blocks, size_t ways = 2);
 
-  // Maximum resident footprint a working set of `blocks` distinct blocks can
-  // achieve in this cache: with random set placement the number of a task's
-  // blocks mapping to one set is ~Poisson(blocks/sets), and at most `ways` of
-  // them can be resident, so the cap is sets x E[min(K, ways)]. Matches the
-  // exact 2-way cache's self-conflict behaviour (validated in tests).
-  double MaxResident(double blocks) const;
+  // Compatibility alias: chunk results predate the CacheModel interface.
+  using ChunkResult = CacheChunkResult;
 
-  struct ChunkResult {
-    double reload_misses = 0.0;
-    double steady_misses = 0.0;
-    double TotalMisses() const { return reload_misses + steady_misses; }
-  };
+  // Maximum resident footprint a working set of `blocks` distinct blocks can
+  // achieve in this cache (ExpectedMaxResident: Poisson set occupancy).
+  // Matches the exact 2-way cache's self-conflict behaviour (validated in
+  // tests).
+  double MaxResident(double blocks) const override;
 
   // Evolves the cache as `owner` executes for `seconds` of useful time.
-  ChunkResult RunChunk(CacheOwner owner, const WorkingSetParams& ws, double seconds);
+  CacheChunkResult RunChunk(CacheOwner owner, const WorkingSetParams& ws,
+                            double seconds) override;
 
   // Current resident footprint of `owner`, in blocks.
-  double Resident(CacheOwner owner) const;
+  double Resident(CacheOwner owner) const override;
 
   // Total resident blocks across owners.
-  double Occupied() const { return occupied_; }
+  double Occupied() const override { return occupied_; }
 
-  double capacity() const { return capacity_; }
+  double capacity() const override { return capacity_; }
 
   // Invalidates the entire cache (the Section 4 "migrating" treatment).
-  void Flush();
+  void Flush() override;
 
   // Removes `fraction` (in [0,1]) of `owner`'s footprint.
-  void EjectFraction(CacheOwner owner, double fraction);
+  void EjectFraction(CacheOwner owner, double fraction) override;
 
   // Removes up to `blocks` of `owner`'s footprint (coherence invalidations
   // arriving from another processor's cache).
-  void EjectBlocks(CacheOwner owner, double blocks);
+  void EjectBlocks(CacheOwner owner, double blocks) override;
 
   // Models thread turnover within a worker: the next thread reuses only
   // `keep_fraction` of the worker's current data; the rest is dead and its
   // lines are released.
-  void ReplaceOwnerData(CacheOwner owner, double keep_fraction);
+  void ReplaceOwnerData(CacheOwner owner, double keep_fraction) override;
 
   // Removes all state for `owner` (task exit).
-  void RemoveOwner(CacheOwner owner);
+  void RemoveOwner(CacheOwner owner) override;
 
   // Test hook: force a resident footprint.
   void SetResident(CacheOwner owner, double blocks);

@@ -1,0 +1,146 @@
+#include "src/engine/accounting.h"
+
+#include <string>
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+void Accounting::SetMetrics(MetricsRegistry* registry) {
+  AFF_CHECK_MSG(!core_.running, "SetMetrics must be called before Run()");
+  metrics_ = registry;
+  m = MetricHandles{};
+  if (registry == nullptr) {
+    return;
+  }
+  m.job_arrivals = registry->FindOrCreateCounter("engine.job_arrivals");
+  m.job_completions = registry->FindOrCreateCounter("engine.job_completions");
+  m.dispatches = registry->FindOrCreateCounter("engine.dispatches");
+  m.dispatches_affine = registry->FindOrCreateCounter("engine.dispatches_affine");
+  m.resumes = registry->FindOrCreateCounter("engine.resumes");
+  m.preempts = registry->FindOrCreateCounter("engine.preempts");
+  m.switches = registry->FindOrCreateCounter("engine.switches");
+  m.switch_time_ns = registry->FindOrCreateCounter("engine.switch_time_ns");
+  m.holds = registry->FindOrCreateCounter("engine.holds");
+  m.yields = registry->FindOrCreateCounter("engine.yields");
+  m.releases = registry->FindOrCreateCounter("engine.releases");
+  m.thread_completions = registry->FindOrCreateCounter("engine.thread_completions");
+  m.chunks = registry->FindOrCreateCounter("engine.chunks");
+  m.reload_stall_ns = registry->FindOrCreateCounter("engine.reload_stall_ns");
+  m.steady_stall_ns = registry->FindOrCreateCounter("engine.steady_stall_ns");
+  m.waste_ns = registry->FindOrCreateCounter("engine.waste_ns");
+  m.active_jobs = registry->FindOrCreateGauge("engine.active_jobs");
+  m.reload_stall_us =
+      registry->FindOrCreateHistogram("engine.reload_stall_us", DefaultLatencyBucketsUs());
+  m.chunk_wall_us =
+      registry->FindOrCreateHistogram("engine.chunk_wall_us", DefaultLatencyBucketsUs());
+}
+
+void Accounting::ResolveJobMetrics() {
+  if (metrics_ == nullptr) {
+    return;
+  }
+  for (JobId id = 0; id < core_.jobs.size(); ++id) {
+    JobState& js = core_.jobs[id];
+    const std::string prefix = "engine.job." + js.job->name() + "#" + std::to_string(id);
+    js.metric_reallocations = metrics_->FindOrCreateCounter(prefix + ".reallocations");
+    js.metric_reload_stall_ns = metrics_->FindOrCreateCounter(prefix + ".reload_stall_ns");
+  }
+}
+
+void Accounting::FinalizeMetrics() {
+  if (metrics_ == nullptr) {
+    return;
+  }
+  metrics_->FindOrCreateCounter("bus.transfers")->Add(core_.machine.bus().total_transfers());
+  metrics_->FindOrCreateGauge("bus.peak_utilization")
+      ->Set(core_.machine.bus().peak_utilization());
+  metrics_->FindOrCreateGauge("bus.utilization")
+      ->Set(core_.machine.bus().UtilizationAt(core_.queue.now()));
+}
+
+void Accounting::ChargeChunk(JobState& js, SimDuration work_done, SimDuration reload_stall,
+                             SimDuration steady_stall) {
+  JobStats& st = js.job->stats();
+  st.useful_work_s += ToSeconds(core_.machine.config().ComputeTime(work_done));
+  st.reload_stall_s += ToSeconds(reload_stall);
+  st.steady_stall_s += ToSeconds(steady_stall);
+  Bump(m.chunks);
+  Bump(m.reload_stall_ns, static_cast<double>(reload_stall));
+  Bump(m.steady_stall_ns, static_cast<double>(steady_stall));
+  Bump(js.metric_reload_stall_ns, static_cast<double>(reload_stall));
+  if (m.chunk_wall_us != nullptr) {
+    m.chunk_wall_us->Observe(ToMicroseconds(core_.machine.config().ComputeTime(work_done) +
+                                            reload_stall + steady_stall));
+    if (reload_stall > 0) {
+      m.reload_stall_us->Observe(ToMicroseconds(reload_stall));
+    }
+  }
+}
+
+void Accounting::ChargeSwitch(JobState& js) {
+  js.job->stats().switch_s += ToSeconds(core_.machine.config().SwitchCost());
+  Bump(m.switches);
+  Bump(m.switch_time_ns, static_cast<double>(core_.machine.config().SwitchCost()));
+}
+
+void Accounting::ChargeWaste(JobState& js, SimDuration held) {
+  js.job->stats().waste_s += ToSeconds(held);
+  Bump(m.waste_ns, static_cast<double>(held));
+}
+
+void Accounting::RecordDispatch(JobState& js, bool affine) {
+  JobStats& st = js.job->stats();
+  st.reallocations++;
+  if (affine) {
+    st.affinity_dispatches++;
+    Bump(m.dispatches_affine);
+  }
+  Bump(m.dispatches);
+  Bump(js.metric_reallocations);
+}
+
+void Accounting::UpdateAllocIntegral(JobId id) {
+  JobState& js = core_.job_state(id);
+  if (js.job->stats().completion >= 0) {
+    return;  // frozen at completion
+  }
+  const double dt = ToSeconds(core_.queue.now() - js.alloc_update);
+  js.job->stats().alloc_integral_s += static_cast<double>(js.allocation) * dt;
+  js.alloc_update = core_.queue.now();
+}
+
+void Accounting::UpdateCredit(JobId id) {
+  JobState& js = core_.job_state(id);
+  js.credit = core_.Priority(id);
+  js.credit_update = core_.queue.now();
+}
+
+void Accounting::ChangeAllocation(JobId id, int delta) {
+  JobState& js = core_.job_state(id);
+  UpdateCredit(id);
+  UpdateAllocIntegral(id);
+  AFF_CHECK(delta >= 0 || js.allocation >= static_cast<size_t>(-delta));
+  js.allocation = static_cast<size_t>(static_cast<long>(js.allocation) + delta);
+}
+
+void Accounting::RecordParallelism(JobId id) {
+  JobState& js = core_.job_state(id);
+  if (js.par_hist == nullptr) {
+    return;
+  }
+  const double dt = ToSeconds(core_.queue.now() - js.par_update);
+  if (dt > 0.0) {
+    js.par_hist->Add(js.running_workers, dt);
+  }
+  js.par_update = core_.queue.now();
+}
+
+void Accounting::SetRunningWorkers(JobId id, int delta) {
+  JobState& js = core_.job_state(id);
+  RecordParallelism(id);
+  AFF_CHECK(delta >= 0 || js.running_workers >= static_cast<size_t>(-delta));
+  js.running_workers = static_cast<size_t>(static_cast<long>(js.running_workers) + delta);
+}
+
+}  // namespace affsched

@@ -1,0 +1,96 @@
+// Accounting: the one component that writes response-time-model terms and
+// telemetry.
+//
+// Every term of the paper's response-time model — useful work, waste,
+// #reallocations, %affinity, switch time, reload/steady stalls, the
+// allocation integral — is charged through this class, so Engine, measure/
+// and the telemetry exporters all read numbers with a single producer.
+// It also owns the usage-credit priority state updates and the metric
+// registry wiring (per-run and per-job counter handles).
+
+#ifndef SRC_ENGINE_ACCOUNTING_H_
+#define SRC_ENGINE_ACCOUNTING_H_
+
+#include "src/engine/engine_core.h"
+#include "src/telemetry/metrics.h"
+
+namespace affsched {
+
+// Global metric handles, resolved once by SetMetrics. All nullptr while
+// metrics are detached, making every Bump() a single-branch no-op.
+struct MetricHandles {
+  Counter* job_arrivals = nullptr;
+  Counter* job_completions = nullptr;
+  Counter* dispatches = nullptr;
+  Counter* dispatches_affine = nullptr;
+  Counter* resumes = nullptr;
+  Counter* preempts = nullptr;
+  Counter* switches = nullptr;
+  Counter* switch_time_ns = nullptr;
+  Counter* holds = nullptr;
+  Counter* yields = nullptr;
+  Counter* releases = nullptr;
+  Counter* thread_completions = nullptr;
+  Counter* chunks = nullptr;
+  Counter* reload_stall_ns = nullptr;
+  Counter* steady_stall_ns = nullptr;
+  Counter* waste_ns = nullptr;
+  Gauge* active_jobs = nullptr;
+  FixedHistogram* reload_stall_us = nullptr;
+  FixedHistogram* chunk_wall_us = nullptr;
+};
+
+inline void Bump(Counter* counter, double delta = 1.0) {
+  if (counter != nullptr) {
+    counter->Add(delta);
+  }
+}
+
+class Accounting {
+ public:
+  explicit Accounting(EngineCore& core) : core_(core) {}
+
+  // --- Registry wiring -------------------------------------------------------
+
+  // Attaches a metrics registry (nullptr detaches) and resolves the global
+  // handles. Must not be called mid-run.
+  void SetMetrics(MetricsRegistry* registry);
+  MetricsRegistry* metrics() const { return metrics_; }
+  // Creates the per-job counters (Run() start, when all jobs are known).
+  void ResolveJobMetrics();
+  // End-of-run totals that are cheaper to read once than to stream: bus
+  // transfer and peak-utilisation counters.
+  void FinalizeMetrics();
+
+  // --- Response-time-model charges -------------------------------------------
+
+  // One chunk of useful execution: work and the stall split.
+  void ChargeChunk(JobState& js, SimDuration work_done, SimDuration reload_stall,
+                   SimDuration steady_stall);
+  // One reallocation path-length cost (kernel switch) charged to the job.
+  void ChargeSwitch(JobState& js);
+  // A completed holding period of `held` that produced no work.
+  void ChargeWaste(JobState& js, SimDuration held);
+  // One reallocation the job experienced, affine or not.
+  void RecordDispatch(JobState& js, bool affine);
+
+  // --- Allocation/credit/parallelism bookkeeping -----------------------------
+
+  void UpdateAllocIntegral(JobId id);
+  void UpdateCredit(JobId id);
+  void ChangeAllocation(JobId id, int delta);
+  void RecordParallelism(JobId id);
+  void SetRunningWorkers(JobId id, int delta);
+
+  // Handles for the event-count bumps that live with protocol/dispatch flow
+  // (holds, yields, releases, preempts, resumes, arrivals, completions...).
+  MetricHandles m;
+
+ private:
+  EngineCore& core_;
+  MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace affsched
+
+#endif  // SRC_ENGINE_ACCOUNTING_H_

@@ -1,7 +1,7 @@
 #include "src/engine/engine.h"
 
 #include <algorithm>
-#include <cmath>
+#include <utility>
 
 #include "src/common/check.h"
 #include "src/common/log.h"
@@ -10,134 +10,105 @@ namespace affsched {
 
 Engine::Engine(const MachineConfig& machine_config, std::unique_ptr<Policy> policy, uint64_t seed,
                const Options& options)
-    : options_(options), machine_(machine_config), policy_(std::move(policy)), rng_(seed) {
-  AFF_CHECK(policy_ != nullptr);
-  AFF_CHECK(options_.chunk_quantum > 0);
-  procs_.resize(machine_.num_processors());
+    : core_(machine_config, std::move(policy), seed, options),
+      acct_(core_),
+      dispatcher_(core_, acct_),
+      alloc_(core_, acct_) {
+  core_.view = this;
+  dispatcher_.Connect(&alloc_);
+  alloc_.Connect(&dispatcher_);
 }
 
 JobId Engine::SubmitJob(const AppProfile& profile, SimTime arrival) {
-  AFF_CHECK_MSG(!running_, "SubmitJob must be called before Run()");
+  AFF_CHECK_MSG(!core_.running, "SubmitJob must be called before Run()");
   AFF_CHECK(arrival >= 0);
-  const JobId id = static_cast<JobId>(jobs_.size());
+  const JobId id = static_cast<JobId>(core_.jobs.size());
   JobState js;
   js.profile = std::make_unique<AppProfile>(profile);
-  Rng job_rng = rng_.Split();
+  Rng job_rng = core_.rng.Split();
   auto graph = js.profile->build_graph(job_rng);
   js.job = std::make_unique<Job>(id, *js.profile, std::move(graph), arrival);
-  if (options_.record_parallelism) {
-    js.par_hist = std::make_unique<WeightedHistogram>(machine_.num_processors());
+  if (core_.options.record_parallelism) {
+    js.par_hist = std::make_unique<WeightedHistogram>(core_.machine.num_processors());
   }
-  jobs_.push_back(std::move(js));
-  ++jobs_remaining_;
-  queue_.ScheduleAt(arrival, [this, id] { OnJobArrival(id); });
+  core_.jobs.push_back(std::move(js));
+  ++core_.jobs_remaining;
+  core_.queue.ScheduleAt(arrival, [this, id] { OnJobArrival(id); });
   return id;
 }
 
 SimTime Engine::Run() {
-  AFF_CHECK(!running_);
-  running_ = true;
-  ResolveJobMetrics();
+  AFF_CHECK(!core_.running);
+  core_.running = true;
+  acct_.ResolveJobMetrics();
   if (sampler_ != nullptr) {
     StartSampling();
   }
   SimTime last_completion = 0;
-  while (jobs_remaining_ > 0) {
-    if (!queue_.RunNext()) {
+  while (core_.jobs_remaining > 0) {
+    if (!core_.queue.RunNext()) {
       DumpState();
       AFF_CHECK_MSG(false, "simulation stalled with jobs outstanding");
     }
   }
-  FinalizeMetrics();
-  for (const JobState& js : jobs_) {
+  acct_.FinalizeMetrics();
+  for (const JobState& js : core_.jobs) {
     last_completion = std::max(last_completion, js.job->stats().completion);
   }
   return last_completion;
 }
 
+void Engine::OnJobArrival(JobId id) {
+  JobState& js = core_.job_state(id);
+  js.active = true;
+  js.job->stats().arrival = core_.queue.now();
+  js.credit_update = core_.queue.now();
+  js.alloc_update = core_.queue.now();
+  js.par_update = core_.queue.now();
+  core_.active_jobs.push_back(id);
+  core_.Emit(TraceEventKind::kJobArrival, SIZE_MAX, id);
+  Bump(acct_.m.job_arrivals);
+  if (acct_.m.active_jobs != nullptr) {
+    acct_.m.active_jobs->Set(static_cast<double>(core_.active_jobs.size()));
+  }
+  alloc_.ApplyDecision(core_.policy->OnJobArrival(*this, id));
+  alloc_.RequestLoop(id);
+}
+
 // --- Telemetry ---------------------------------------------------------------
 
-void Engine::SetMetrics(MetricsRegistry* registry) {
-  AFF_CHECK_MSG(!running_, "SetMetrics must be called before Run()");
-  metrics_ = registry;
-  m_ = MetricHandles{};
-  if (registry == nullptr) {
-    return;
-  }
-  m_.job_arrivals = registry->FindOrCreateCounter("engine.job_arrivals");
-  m_.job_completions = registry->FindOrCreateCounter("engine.job_completions");
-  m_.dispatches = registry->FindOrCreateCounter("engine.dispatches");
-  m_.dispatches_affine = registry->FindOrCreateCounter("engine.dispatches_affine");
-  m_.resumes = registry->FindOrCreateCounter("engine.resumes");
-  m_.preempts = registry->FindOrCreateCounter("engine.preempts");
-  m_.switches = registry->FindOrCreateCounter("engine.switches");
-  m_.switch_time_ns = registry->FindOrCreateCounter("engine.switch_time_ns");
-  m_.holds = registry->FindOrCreateCounter("engine.holds");
-  m_.yields = registry->FindOrCreateCounter("engine.yields");
-  m_.releases = registry->FindOrCreateCounter("engine.releases");
-  m_.thread_completions = registry->FindOrCreateCounter("engine.thread_completions");
-  m_.chunks = registry->FindOrCreateCounter("engine.chunks");
-  m_.reload_stall_ns = registry->FindOrCreateCounter("engine.reload_stall_ns");
-  m_.steady_stall_ns = registry->FindOrCreateCounter("engine.steady_stall_ns");
-  m_.waste_ns = registry->FindOrCreateCounter("engine.waste_ns");
-  m_.active_jobs = registry->FindOrCreateGauge("engine.active_jobs");
-  m_.reload_stall_us =
-      registry->FindOrCreateHistogram("engine.reload_stall_us", DefaultLatencyBucketsUs());
-  m_.chunk_wall_us =
-      registry->FindOrCreateHistogram("engine.chunk_wall_us", DefaultLatencyBucketsUs());
-}
-
 void Engine::SetSampler(Sampler* sampler) {
-  AFF_CHECK_MSG(!running_, "SetSampler must be called before Run()");
+  AFF_CHECK_MSG(!core_.running, "SetSampler must be called before Run()");
   sampler_ = sampler;
-}
-
-void Engine::ResolveJobMetrics() {
-  if (metrics_ == nullptr) {
-    return;
-  }
-  for (JobId id = 0; id < jobs_.size(); ++id) {
-    JobState& js = jobs_[id];
-    const std::string prefix = "engine.job." + js.job->name() + "#" + std::to_string(id);
-    js.metric_reallocations = metrics_->FindOrCreateCounter(prefix + ".reallocations");
-    js.metric_reload_stall_ns = metrics_->FindOrCreateCounter(prefix + ".reload_stall_ns");
-  }
-}
-
-void Engine::FinalizeMetrics() {
-  if (metrics_ == nullptr) {
-    return;
-  }
-  metrics_->FindOrCreateCounter("bus.transfers")->Add(machine_.bus().total_transfers());
-  metrics_->FindOrCreateGauge("bus.peak_utilization")->Set(machine_.bus().peak_utilization());
-  metrics_->FindOrCreateGauge("bus.utilization")->Set(machine_.bus().UtilizationAt(queue_.now()));
 }
 
 void Engine::StartSampling() {
   // Standard machine-wide probes, then three per job. User probes registered
   // before Run() keep their earlier columns.
-  sampler_->AddProbe("active_jobs", [this] { return static_cast<double>(active_jobs_.size()); });
-  sampler_->AddProbe("bus_util", [this] { return machine_.bus().UtilizationAt(queue_.now()); });
+  sampler_->AddProbe("active_jobs",
+                     [this] { return static_cast<double>(core_.active_jobs.size()); });
+  sampler_->AddProbe("bus_util",
+                     [this] { return core_.machine.bus().UtilizationAt(core_.queue.now()); });
   sampler_->AddProbe("runnable_demand", [this] {
     size_t demand = 0;
-    for (JobId id : active_jobs_) {
-      demand += PendingDemand(id);
+    for (JobId id : core_.active_jobs) {
+      demand += core_.PendingDemand(id);
     }
     return static_cast<double>(demand);
   });
-  for (JobId id = 0; id < jobs_.size(); ++id) {
-    const std::string label = jobs_[id].job->name() + "#" + std::to_string(id);
+  for (JobId id = 0; id < core_.jobs.size(); ++id) {
+    const std::string label = core_.jobs[id].job->name() + "#" + std::to_string(id);
     sampler_->AddProbe("alloc." + label, [this, id] {
-      return static_cast<double>(jobs_[id].allocation);
+      return static_cast<double>(core_.jobs[id].allocation);
     });
     sampler_->AddProbe("demand." + label, [this, id] {
-      return static_cast<double>(PendingDemand(id));
+      return static_cast<double>(core_.PendingDemand(id));
     });
     // Rolling %affinity: the affine fraction of the dispatches that happened
     // since the previous sample (0 when the window saw none).
     sampler_->AddProbe("affinity_win." + label,
                        [this, id, last = std::pair<uint64_t, uint64_t>{0, 0}]() mutable {
-                         const JobStats& st = jobs_[id].job->stats();
+                         const JobStats& st = core_.jobs[id].job->stats();
                          const uint64_t dispatches = st.reallocations - last.first;
                          const uint64_t affine = st.affinity_dispatches - last.second;
                          last = {st.reallocations, st.affinity_dispatches};
@@ -150,108 +121,86 @@ void Engine::StartSampling() {
 }
 
 void Engine::SamplerTick() {
-  sampler_->Sample(queue_.now());
+  sampler_->Sample(core_.queue.now());
   // Reschedule only while the simulation still has real events: if the queue
   // is empty here the run is either finished or stalled, and in the stalled
   // case the deadlock diagnostics in Run() must fire rather than the sampler
   // ticking forever.
-  if (jobs_remaining_ > 0 && !queue_.empty()) {
-    queue_.ScheduleAfter(sampler_->cadence(), [this] { SamplerTick(); });
+  if (core_.jobs_remaining > 0 && !core_.queue.empty()) {
+    core_.queue.ScheduleAfter(sampler_->cadence(), [this] { SamplerTick(); });
   }
 }
 
+// --- Results -----------------------------------------------------------------
+
 const Job& Engine::job(JobId id) const {
-  AFF_CHECK(id < jobs_.size());
-  return *jobs_[id].job;
+  AFF_CHECK(id < core_.jobs.size());
+  return *core_.jobs[id].job;
 }
 
 const WeightedHistogram* Engine::parallelism_histogram(JobId id) const {
-  AFF_CHECK(id < jobs_.size());
-  return jobs_[id].par_hist.get();
+  AFF_CHECK(id < core_.jobs.size());
+  return core_.jobs[id].par_hist.get();
 }
 
 // --- SchedView ---------------------------------------------------------------
 
-size_t Engine::NumProcessors() const { return procs_.size(); }
+size_t Engine::NumProcessors() const { return core_.procs.size(); }
 
-std::vector<JobId> Engine::ActiveJobs() const { return active_jobs_; }
+std::vector<JobId> Engine::ActiveJobs() const { return core_.active_jobs; }
 
-size_t Engine::Allocation(JobId id) const { return job_state(id).allocation; }
+size_t Engine::Allocation(JobId id) const { return core_.job_state(id).allocation; }
 
-size_t Engine::EffectiveAllocation(JobId id) const {
-  const JobState& js = job_state(id);
-  const size_t committed = js.allocation + js.pending_incoming;
-  return committed > js.pending_outgoing ? committed - js.pending_outgoing : 0;
-}
+size_t Engine::EffectiveAllocation(JobId id) const { return core_.EffectiveAllocation(id); }
 
 size_t Engine::MaxParallelism(JobId id) const { return job(id).max_parallelism(); }
 
-size_t Engine::PendingDemand(JobId id) const {
-  const JobState& js = job_state(id);
-  if (!js.active) {
-    return 0;
-  }
-  const size_t incoming = js.pending_incoming + js.switching_in;
-  const size_t ready = js.job->ReadyCount();
-  if (ready <= incoming) {
-    return 0;
-  }
-  const size_t committed = js.allocation + js.pending_incoming;
-  const size_t outgoing = js.pending_outgoing;
-  const size_t effective = committed > outgoing ? committed - outgoing : 0;
-  const size_t cap = js.job->max_parallelism();
-  if (effective >= cap) {
-    return 0;
-  }
-  return std::min(ready - incoming, cap - effective);
-}
+size_t Engine::PendingDemand(JobId id) const { return core_.PendingDemand(id); }
 
 JobId Engine::ProcessorJob(size_t proc) const {
-  AFF_CHECK(proc < procs_.size());
-  return procs_[proc].holder;
+  AFF_CHECK(proc < core_.procs.size());
+  return core_.procs[proc].holder;
 }
 
 bool Engine::WillingToYield(size_t proc) const {
-  AFF_CHECK(proc < procs_.size());
-  const ProcState& ps = procs_[proc];
+  AFF_CHECK(proc < core_.procs.size());
+  const ProcState& ps = core_.procs[proc];
   return ps.willing && !ps.pending_valid;
 }
 
 bool Engine::ReassignmentPending(size_t proc) const {
-  AFF_CHECK(proc < procs_.size());
-  return procs_[proc].pending_valid;
+  AFF_CHECK(proc < core_.procs.size());
+  return core_.procs[proc].pending_valid;
 }
 
 CacheOwner Engine::LastTaskOn(size_t proc) const {
-  return const_cast<Engine*>(this)->machine_.processor(proc).last_task();
+  return const_cast<EngineCore&>(core_).machine.processor(proc).last_task();
 }
 
 std::vector<CacheOwner> Engine::RecentTasksOn(size_t proc) const {
-  const auto& history = const_cast<Engine*>(this)->machine_.processor(proc).recent_tasks();
+  const auto& history = const_cast<EngineCore&>(core_).machine.processor(proc).recent_tasks();
   return std::vector<CacheOwner>(history.begin(), history.end());
 }
 
 bool Engine::TaskRunnable(CacheOwner task) const {
-  auto it = workers_.find(task);
-  if (it == workers_.end()) {
+  if (!core_.HasWorker(task)) {
     return false;
   }
-  const Worker& w = it->second;
+  const Worker& w = core_.worker(task);
   if (w.state != Worker::State::kIdle) {
     return false;
   }
-  return PendingDemand(w.job) > 0;
+  return core_.PendingDemand(w.job) > 0;
 }
 
 JobId Engine::TaskJob(CacheOwner task) const {
-  auto it = workers_.find(task);
-  return it == workers_.end() ? kInvalidJobId : it->second.job;
+  return core_.HasWorker(task) ? core_.worker(task).job : kInvalidJobId;
 }
 
 size_t Engine::DesiredProcessor(JobId id) const {
-  const JobState& js = job_state(id);
+  const JobState& js = core_.job_state(id);
   for (CacheOwner wid : js.idle_workers) {
-    const Worker& w = worker(wid);
+    const Worker& w = core_.worker(wid);
     if (w.last_processor() != kNoProcessor) {
       return w.last_processor();
     }
@@ -259,704 +208,9 @@ size_t Engine::DesiredProcessor(JobId id) const {
   return kNoProcessor;
 }
 
-double Engine::FairShare() const {
-  const size_t n = std::max<size_t>(1, active_jobs_.size());
-  return static_cast<double>(procs_.size()) / static_cast<double>(n);
-}
+double Engine::Priority(JobId id) const { return core_.Priority(id); }
 
-double Engine::Priority(JobId id) const {
-  const JobState& js = job_state(id);
-  const double dt = ToSeconds(queue_.now() - js.credit_update);
-  const double decayed = js.credit * std::exp(-dt / options_.credit_decay_s);
-  // Credit accrues while the job holds fewer processors than its fair share
-  // and is spent while it holds more.
-  const double accrual = (FairShare() - static_cast<double>(js.allocation)) * dt;
-  return decayed + accrual;
-}
-
-// --- Bookkeeping -------------------------------------------------------------
-
-Worker& Engine::worker(CacheOwner id) {
-  auto it = workers_.find(id);
-  AFF_CHECK(it != workers_.end());
-  return it->second;
-}
-
-const Worker& Engine::worker(CacheOwner id) const {
-  auto it = workers_.find(id);
-  AFF_CHECK(it != workers_.end());
-  return it->second;
-}
-
-Engine::JobState& Engine::job_state(JobId id) {
-  AFF_CHECK(id < jobs_.size());
-  return jobs_[id];
-}
-
-const Engine::JobState& Engine::job_state(JobId id) const {
-  AFF_CHECK(id < jobs_.size());
-  return jobs_[id];
-}
-
-CacheOwner Engine::CreateWorker(JobId id) {
-  const CacheOwner wid = next_worker_id_++;
-  Worker w;
-  w.id = wid;
-  w.job = id;
-  w.history_depth = options_.processor_history_depth;
-  workers_.emplace(wid, w);
-  return wid;
-}
-
-CacheOwner Engine::SelectWorker(JobId id, size_t proc, CacheOwner prefer) {
-  JobState& js = job_state(id);
-  if (prefer != kNoOwner) {
-    auto it = workers_.find(prefer);
-    if (it != workers_.end() && it->second.job == id && it->second.state == Worker::State::kIdle) {
-      RemoveIdleWorker(js, prefer);
-      return prefer;
-    }
-  }
-  if (policy_->UsesAffinity()) {
-    // Affinity-aware runtime: prefer the idle worker whose cache context
-    // lives on this processor, then the most recently parked one (warmest).
-    for (CacheOwner wid : js.idle_workers) {
-      if (worker(wid).HasAffinityFor(proc)) {
-        RemoveIdleWorker(js, wid);
-        return wid;
-      }
-    }
-    if (!js.idle_workers.empty()) {
-      const CacheOwner wid = js.idle_workers.front();
-      RemoveIdleWorker(js, wid);
-      return wid;
-    }
-  } else if (!js.idle_workers.empty()) {
-    // Oblivious runtime (plain Dynamic / plain TimeShare): pick any idle
-    // worker, with no regard to where its cache context lives. A uniformly
-    // random pick avoids the systematic worker/processor re-pairing a FIFO
-    // pool accidentally produces.
-    const size_t index = rng_.NextBounded(js.idle_workers.size());
-    const CacheOwner wid = js.idle_workers[index];
-    js.idle_workers.erase(js.idle_workers.begin() + static_cast<long>(index));
-    return wid;
-  }
-  return CreateWorker(id);
-}
-
-void Engine::RemoveIdleWorker(JobState& js, CacheOwner id) {
-  auto it = std::find(js.idle_workers.begin(), js.idle_workers.end(), id);
-  AFF_CHECK(it != js.idle_workers.end());
-  js.idle_workers.erase(it);
-}
-
-void Engine::ParkWorker(JobState& js, Worker& w) {
-  w.state = Worker::State::kIdle;
-  w.current.reset();
-  w.processor = kNoProcessor;
-  js.idle_workers.insert(js.idle_workers.begin(), w.id);
-}
-
-void Engine::UpdateAllocIntegral(JobId id) {
-  JobState& js = job_state(id);
-  if (js.job->stats().completion >= 0) {
-    return;  // frozen at completion
-  }
-  const double dt = ToSeconds(queue_.now() - js.alloc_update);
-  js.job->stats().alloc_integral_s += static_cast<double>(js.allocation) * dt;
-  js.alloc_update = queue_.now();
-}
-
-void Engine::UpdateCredit(JobId id) {
-  JobState& js = job_state(id);
-  js.credit = Priority(id);
-  js.credit_update = queue_.now();
-}
-
-void Engine::ChangeAllocation(JobId id, int delta) {
-  JobState& js = job_state(id);
-  UpdateCredit(id);
-  UpdateAllocIntegral(id);
-  AFF_CHECK(delta >= 0 || js.allocation >= static_cast<size_t>(-delta));
-  js.allocation = static_cast<size_t>(static_cast<long>(js.allocation) + delta);
-}
-
-void Engine::RecordParallelism(JobId id) {
-  JobState& js = job_state(id);
-  if (js.par_hist == nullptr) {
-    return;
-  }
-  const double dt = ToSeconds(queue_.now() - js.par_update);
-  if (dt > 0.0) {
-    js.par_hist->Add(js.running_workers, dt);
-  }
-  js.par_update = queue_.now();
-}
-
-void Engine::SetRunningWorkers(JobId id, int delta) {
-  JobState& js = job_state(id);
-  RecordParallelism(id);
-  AFF_CHECK(delta >= 0 || js.running_workers >= static_cast<size_t>(-delta));
-  js.running_workers = static_cast<size_t>(static_cast<long>(js.running_workers) + delta);
-}
-
-// --- Pending reassignment ----------------------------------------------------
-
-void Engine::Emit(TraceEventKind kind, size_t proc, JobId id, CacheOwner worker_id,
-                  bool affine) {
-  if (trace_ == nullptr) {
-    return;
-  }
-  trace_->Record(TraceEvent{.when = queue_.now(),
-                            .kind = kind,
-                            .proc = proc,
-                            .job = id,
-                            .worker = worker_id,
-                            .affine = affine});
-}
-
-void Engine::SetPending(size_t proc, JobId id, CacheOwner prefer) {
-  ProcState& ps = procs_[proc];
-  AFF_CHECK(ps.running != kNoOwner || ps.switching);
-  if (ps.pending_valid) {
-    ClearPending(proc);
-  }
-  ps.pending_valid = true;
-  ps.pending_job = id;
-  ps.pending_prefer = prefer;
-  ps.willing = false;
-  job_state(id).pending_incoming++;
-  job_state(ps.holder).pending_outgoing++;
-}
-
-void Engine::ClearPending(size_t proc) {
-  ProcState& ps = procs_[proc];
-  AFF_CHECK(ps.pending_valid);
-  JobState& to = job_state(ps.pending_job);
-  AFF_CHECK(to.pending_incoming > 0);
-  to.pending_incoming--;
-  JobState& from = job_state(ps.holder);
-  AFF_CHECK(from.pending_outgoing > 0);
-  from.pending_outgoing--;
-  ps.pending_valid = false;
-  ps.pending_job = kInvalidJobId;
-  ps.pending_prefer = kNoOwner;
-}
-
-// --- Decisions ---------------------------------------------------------------
-
-void Engine::ApplyDecision(const PolicyDecision& decision) {
-  if (decision.targets.has_value()) {
-    Reconcile(*decision.targets);
-  }
-  for (const Assignment& a : decision.assignments) {
-    AssignProcessor(a);
-  }
-}
-
-void Engine::Reconcile(const std::map<JobId, size_t>& targets) {
-  // Phase 1: release surplus processors.
-  std::vector<size_t> preempt_list;
-  for (JobId id : active_jobs_) {
-    JobState& js = job_state(id);
-    auto it = targets.find(id);
-    const size_t target = it == targets.end() ? 0 : it->second;
-    const size_t committed = js.allocation + js.pending_incoming;
-    const size_t effective = committed > js.pending_outgoing ? committed - js.pending_outgoing : 0;
-    size_t excess = effective > target ? effective - target : 0;
-    // Idle (holding) processors go first: releasing them costs nothing.
-    for (size_t p = 0; p < procs_.size() && excess > 0; ++p) {
-      ProcState& ps = procs_[p];
-      if (ps.holder == id && ps.holding != kNoOwner && !ps.pending_valid) {
-        ReleaseFromHolder(p);
-        --excess;
-      }
-    }
-    for (size_t p = 0; p < procs_.size() && excess > 0; ++p) {
-      ProcState& ps = procs_[p];
-      if (ps.holder == id && !ps.pending_valid && (ps.running != kNoOwner || ps.switching)) {
-        preempt_list.push_back(p);
-        --excess;
-      }
-    }
-  }
-
-  // Phase 2: satisfy deficits, free processors first (cheap), then the
-  // preemption list (takes effect at chunk boundaries).
-  size_t preempt_cursor = 0;
-  for (JobId id : active_jobs_) {
-    JobState& js = job_state(id);
-    auto it = targets.find(id);
-    const size_t target = it == targets.end() ? 0 : it->second;
-    const size_t committed = js.allocation + js.pending_incoming;
-    const size_t effective = committed > js.pending_outgoing ? committed - js.pending_outgoing : 0;
-    size_t deficit = target > effective ? target - effective : 0;
-    for (size_t p = 0; p < procs_.size() && deficit > 0; ++p) {
-      if (procs_[p].holder == kInvalidJobId && !procs_[p].switching) {
-        StartSwitch(p, id, kNoOwner);
-        --deficit;
-      }
-    }
-    while (deficit > 0 && preempt_cursor < preempt_list.size()) {
-      SetPending(preempt_list[preempt_cursor++], id, kNoOwner);
-      --deficit;
-    }
-  }
-}
-
-void Engine::AssignProcessor(const Assignment& a) {
-  AFF_CHECK(a.proc < procs_.size());
-  AFF_CHECK(a.job < jobs_.size());
-  ProcState& ps = procs_[a.proc];
-  JobState& to = job_state(a.job);
-  if (!to.active) {
-    return;
-  }
-  if (ps.holder == a.job) {
-    // Rescind a pending takeaway; otherwise nothing to do — the job already
-    // holds this processor.
-    if (ps.pending_valid) {
-      ClearPending(a.proc);
-    }
-    return;
-  }
-  if (ps.running != kNoOwner || ps.switching) {
-    SetPending(a.proc, a.job, a.prefer_task);
-    return;
-  }
-  if (ps.holder != kInvalidJobId) {
-    ReleaseFromHolder(a.proc);
-  }
-  StartSwitch(a.proc, a.job, a.prefer_task);
-}
-
-// --- Mechanics ---------------------------------------------------------------
-
-void Engine::ReleaseFromHolder(size_t proc) {
-  ProcState& ps = procs_[proc];
-  AFF_CHECK(ps.holder != kInvalidJobId);
-  AFF_CHECK(ps.holding != kNoOwner);
-  JobState& js = job_state(ps.holder);
-  js.job->stats().waste_s += ToSeconds(queue_.now() - ps.hold_start);
-  if (ps.yield_timer != kInvalidEventId) {
-    queue_.Cancel(ps.yield_timer);
-    ps.yield_timer = kInvalidEventId;
-  }
-  Worker& w = worker(ps.holding);
-  ParkWorker(js, w);
-  Emit(TraceEventKind::kRelease, proc, ps.holder, w.id);
-  Bump(m_.releases);
-  Bump(m_.waste_ns, static_cast<double>(queue_.now() - ps.hold_start));
-  ChangeAllocation(ps.holder, -1);
-  ps.holder = kInvalidJobId;
-  ps.holding = kNoOwner;
-  ps.willing = false;
-}
-
-void Engine::StartSwitch(size_t proc, JobId to_job, CacheOwner prefer) {
-  ProcState& ps = procs_[proc];
-  AFF_CHECK(ps.holder == kInvalidJobId);
-  AFF_CHECK(!ps.switching && ps.running == kNoOwner && ps.holding == kNoOwner);
-  AFF_CHECK(!ps.pending_valid);
-  JobState& js = job_state(to_job);
-  AFF_CHECK(js.active);
-  ps.holder = to_job;
-  ps.switching = true;
-  ps.willing = false;
-  ps.dispatch_prefer = prefer;
-  js.switching_in++;
-  ChangeAllocation(to_job, +1);
-  js.job->stats().switch_s += ToSeconds(machine_.config().SwitchCost());
-  Emit(TraceEventKind::kSwitchStart, proc, to_job);
-  Bump(m_.switches);
-  Bump(m_.switch_time_ns, static_cast<double>(machine_.config().SwitchCost()));
-  queue_.ScheduleAfter(machine_.config().SwitchCost(), [this, proc] { OnSwitchDone(proc); });
-}
-
-void Engine::OnSwitchDone(size_t proc) {
-  ProcState& ps = procs_[proc];
-  AFF_CHECK(ps.switching);
-  ps.switching = false;
-  JobState& js = job_state(ps.holder);
-  AFF_CHECK(js.switching_in > 0);
-  js.switching_in--;
-
-  if (ps.pending_valid) {
-    // Retargeted while the switch was in flight: switch again.
-    const JobId to = ps.pending_job;
-    const CacheOwner prefer = ps.pending_prefer;
-    ClearPending(proc);
-    const JobId from = ps.holder;
-    ChangeAllocation(from, -1);
-    ps.holder = kInvalidJobId;
-    if (job_state(to).active) {
-      StartSwitch(proc, to, prefer);
-    } else if (jobs_remaining_ > 0) {
-      ApplyDecision(policy_->OnProcessorAvailable(*this, proc));
-    }
-    return;
-  }
-
-  if (!js.active) {
-    // The job completed while this switch was in flight.
-    ChangeAllocation(ps.holder, -1);
-    ps.holder = kInvalidJobId;
-    if (jobs_remaining_ > 0) {
-      ApplyDecision(policy_->OnProcessorAvailable(*this, proc));
-    }
-    return;
-  }
-  DispatchWorker(proc);
-}
-
-void Engine::DispatchWorker(size_t proc) {
-  ProcState& ps = procs_[proc];
-  const JobId id = ps.holder;
-  JobState& js = job_state(id);
-  const CacheOwner prefer = ps.dispatch_prefer;
-  ps.dispatch_prefer = kNoOwner;
-
-  const CacheOwner wid = SelectWorker(id, proc, prefer);
-  Worker& w = worker(wid);
-
-  // This is a reallocation the job experiences; record whether the task
-  // landed where its cache context lives.
-  JobStats& st = js.job->stats();
-  st.reallocations++;
-  const bool affine = w.HasAffinityFor(proc);
-  if (affine) {
-    st.affinity_dispatches++;
-    Bump(m_.dispatches_affine);
-  }
-  Bump(m_.dispatches);
-  Bump(js.metric_reallocations);
-  Emit(TraceEventKind::kDispatch, proc, id, wid, affine);
-  machine_.processor(proc).RecordDispatch(wid);
-  w.processor = proc;
-  w.RecordPlacement(proc);
-
-  if (policy_->Quantum() > 0) {
-    if (ps.quantum_timer != kInvalidEventId) {
-      queue_.Cancel(ps.quantum_timer);
-    }
-    ps.quantum_timer =
-        queue_.ScheduleAfter(policy_->Quantum(), [this, proc] { OnQuantumTimer(proc); });
-  }
-
-  if (js.job->HasReadyThread()) {
-    w.current = js.job->PopReadyThread();
-    w.state = Worker::State::kRunning;
-    ps.running = wid;
-    SetRunningWorkers(id, +1);
-    StartChunk(proc);
-    // The job may still have unmet demand beyond this processor.
-    RequestLoop(id);
-  } else {
-    EnterHolding(proc, wid);
-  }
-}
-
-void Engine::StartChunk(size_t proc) {
-  ProcState& ps = procs_[proc];
-  AFF_CHECK(ps.running != kNoOwner);
-  Worker& w = worker(ps.running);
-  JobState& js = job_state(w.job);
-  AFF_CHECK(w.current.has_value());
-  const SimDuration work = std::min(options_.chunk_quantum, w.current->remaining);
-  AFF_CHECK(work > 0);
-
-  // Sibling workers of the same job on other processors, for coherence
-  // invalidations (collected only when the application shares writable data).
-  std::vector<Machine::SiblingPlacement> siblings;
-  const std::vector<Machine::SiblingPlacement>* siblings_ptr = nullptr;
-  if (js.profile->working_set.shared_write_per_s > 0.0) {
-    for (size_t p = 0; p < procs_.size(); ++p) {
-      if (p != proc && procs_[p].holder == w.job && procs_[p].running != kNoOwner) {
-        siblings.push_back(Machine::SiblingPlacement{p, procs_[p].running});
-      }
-    }
-    siblings_ptr = &siblings;
-  }
-
-  const Machine::ChunkExecution exec = machine_.ExecuteChunk(
-      queue_.now(), proc, w.id, js.profile->working_set, work, siblings_ptr);
-  SimDuration reload_stall = 0;
-  SimDuration steady_stall = 0;
-  const double total_misses = exec.reload_misses + exec.steady_misses;
-  if (total_misses > 0.0) {
-    reload_stall = static_cast<SimDuration>(static_cast<double>(exec.stall) *
-                                            (exec.reload_misses / total_misses));
-    steady_stall = exec.stall - reload_stall;
-  }
-  queue_.ScheduleAfter(exec.wall, [this, proc, work, reload_stall, steady_stall] {
-    OnChunkDone(proc, work, reload_stall, steady_stall);
-  });
-}
-
-void Engine::OnChunkDone(size_t proc, SimDuration work_done, SimDuration reload_stall,
-                         SimDuration steady_stall) {
-  ProcState& ps = procs_[proc];
-  AFF_CHECK(ps.running != kNoOwner);
-  Worker& w = worker(ps.running);
-  const JobId id = w.job;
-  JobState& js = job_state(id);
-  JobStats& st = js.job->stats();
-
-  st.useful_work_s += ToSeconds(machine_.config().ComputeTime(work_done));
-  st.reload_stall_s += ToSeconds(reload_stall);
-  st.steady_stall_s += ToSeconds(steady_stall);
-  Bump(m_.chunks);
-  Bump(m_.reload_stall_ns, static_cast<double>(reload_stall));
-  Bump(m_.steady_stall_ns, static_cast<double>(steady_stall));
-  Bump(js.metric_reload_stall_ns, static_cast<double>(reload_stall));
-  if (m_.chunk_wall_us != nullptr) {
-    m_.chunk_wall_us->Observe(
-        ToMicroseconds(machine_.config().ComputeTime(work_done) + reload_stall + steady_stall));
-    if (reload_stall > 0) {
-      m_.reload_stall_us->Observe(ToMicroseconds(reload_stall));
-    }
-  }
-
-  AFF_CHECK(w.current.has_value());
-  w.current->remaining -= work_done;
-  const bool thread_finished = w.current->remaining <= 0;
-
-  // Drop reassignments whose target job has since completed.
-  if (ps.pending_valid && !job_state(ps.pending_job).active) {
-    ClearPending(proc);
-  }
-
-  size_t newly_ready = 0;
-  if (thread_finished) {
-    const size_t node = w.current->node;
-    w.current.reset();
-    Emit(TraceEventKind::kThreadComplete, proc, id, w.id);
-    Bump(m_.thread_completions);
-    newly_ready = js.job->CompleteThread(node);
-    // The worker's next thread reuses only part of its cache footprint.
-    machine_.processor(proc).cache().ReplaceOwnerData(w.id, js.profile->thread_overlap);
-  }
-
-  if (ps.pending_valid) {
-    // Preemption takes effect at this chunk boundary.
-    if (!thread_finished) {
-      js.job->PushPreemptedThread(*w.current);
-    }
-    Emit(TraceEventKind::kPreempt, proc, id, w.id);
-    Bump(m_.preempts);
-    SetRunningWorkers(id, -1);
-    ParkWorker(js, w);
-    ps.running = kNoOwner;
-    const JobId to = ps.pending_job;
-    const CacheOwner prefer = ps.pending_prefer;
-    ClearPending(proc);
-    ChangeAllocation(id, -1);
-    ps.holder = kInvalidJobId;
-    StartSwitch(proc, to, prefer);
-    if (thread_finished && js.job->Finished()) {
-      // The job's last thread completed exactly at the preemption boundary.
-      HandleJobCompletion(id, proc);
-    } else {
-      // The preempted thread (and any threads its completion enabled) may
-      // leave the job with unmet demand it must advertise.
-      NotifyNewWork(id);
-    }
-    return;
-  }
-
-  if (!thread_finished) {
-    StartChunk(proc);
-    return;
-  }
-
-  if (js.job->Finished()) {
-    SetRunningWorkers(id, -1);
-    ParkWorker(js, w);
-    ps.running = kNoOwner;
-    ChangeAllocation(id, -1);
-    ps.holder = kInvalidJobId;
-    ps.willing = false;
-    HandleJobCompletion(id, proc);
-    return;
-  }
-
-  if (js.job->HasReadyThread()) {
-    // Same worker, same processor: picking up the next thread is not a
-    // reallocation.
-    w.current = js.job->PopReadyThread();
-    StartChunk(proc);
-    if (newly_ready > 1) {
-      NotifyNewWork(id);
-    }
-    return;
-  }
-
-  // No work anywhere in the job for this worker: hold the processor and
-  // (after the policy's yield delay) advertise it.
-  SetRunningWorkers(id, -1);
-  ps.running = kNoOwner;
-  EnterHolding(proc, w.id);
-}
-
-void Engine::EnterHolding(size_t proc, CacheOwner worker_id) {
-  ProcState& ps = procs_[proc];
-  Worker& w = worker(worker_id);
-  AFF_CHECK(w.processor == proc);
-  ps.holding = worker_id;
-  ps.running = kNoOwner;
-  ps.willing = false;
-  ps.hold_start = queue_.now();
-  w.state = Worker::State::kHolding;
-  w.current.reset();
-  Emit(TraceEventKind::kHold, proc, ps.holder, worker_id);
-  Bump(m_.holds);
-  const SimDuration delay = policy_->YieldDelay();
-  if (delay <= 0) {
-    OnYieldTimer(proc);
-  } else {
-    ps.yield_timer = queue_.ScheduleAfter(delay, [this, proc] { OnYieldTimer(proc); });
-  }
-}
-
-void Engine::OnYieldTimer(size_t proc) {
-  ProcState& ps = procs_[proc];
-  ps.yield_timer = kInvalidEventId;
-  if (ps.holding == kNoOwner || ps.pending_valid) {
-    return;
-  }
-  ps.willing = true;
-  Emit(TraceEventKind::kYield, proc, ps.holder, ps.holding);
-  Bump(m_.yields);
-  ApplyDecision(policy_->OnProcessorAvailable(*this, proc));
-}
-
-void Engine::OnQuantumTimer(size_t proc) {
-  ProcState& ps = procs_[proc];
-  ps.quantum_timer = kInvalidEventId;
-  if (ps.holder == kInvalidJobId || jobs_remaining_ == 0) {
-    return;
-  }
-  ApplyDecision(policy_->OnQuantumExpiry(*this, proc));
-  // Keep the clock ticking while the processor stays held.
-  if (procs_[proc].holder != kInvalidJobId && policy_->Quantum() > 0) {
-    ps.quantum_timer =
-        queue_.ScheduleAfter(policy_->Quantum(), [this, proc] { OnQuantumTimer(proc); });
-  }
-}
-
-void Engine::OnJobArrival(JobId id) {
-  JobState& js = job_state(id);
-  js.active = true;
-  js.job->stats().arrival = queue_.now();
-  js.credit_update = queue_.now();
-  js.alloc_update = queue_.now();
-  js.par_update = queue_.now();
-  active_jobs_.push_back(id);
-  Emit(TraceEventKind::kJobArrival, SIZE_MAX, id);
-  Bump(m_.job_arrivals);
-  if (m_.active_jobs != nullptr) {
-    m_.active_jobs->Set(static_cast<double>(active_jobs_.size()));
-  }
-  ApplyDecision(policy_->OnJobArrival(*this, id));
-  RequestLoop(id);
-}
-
-void Engine::HandleJobCompletion(JobId id, size_t completing_proc) {
-  JobState& js = job_state(id);
-  UpdateAllocIntegral(id);
-  RecordParallelism(id);
-  js.job->stats().completion = queue_.now();
-  js.active = false;
-  Emit(TraceEventKind::kJobCompletion, SIZE_MAX, id);
-  auto it = std::find(active_jobs_.begin(), active_jobs_.end(), id);
-  AFF_CHECK(it != active_jobs_.end());
-  active_jobs_.erase(it);
-  Bump(m_.job_completions);
-  if (m_.active_jobs != nullptr) {
-    m_.active_jobs->Set(static_cast<double>(active_jobs_.size()));
-  }
-  AFF_CHECK(jobs_remaining_ > 0);
-  --jobs_remaining_;
-
-  std::vector<size_t> freed = {completing_proc};
-  for (size_t p = 0; p < procs_.size(); ++p) {
-    ProcState& ps = procs_[p];
-    if (ps.holder != id) {
-      continue;
-    }
-    if (ps.holding != kNoOwner) {
-      ReleaseFromHolder(p);
-      freed.push_back(p);
-    } else {
-      // Switch in flight; OnSwitchDone notices the inactive holder and frees
-      // the processor itself. Running chunks are impossible once the graph is
-      // finished.
-      AFF_CHECK(ps.switching);
-    }
-  }
-
-  if (jobs_remaining_ == 0) {
-    return;
-  }
-  ApplyDecision(policy_->OnJobDeparture(*this, id));
-  for (size_t p : freed) {
-    if (procs_[p].holder == kInvalidJobId && !procs_[p].switching) {
-      ApplyDecision(policy_->OnProcessorAvailable(*this, p));
-    }
-  }
-  // Survivors may have had unmet demand the departed job's processors can now
-  // satisfy.
-  for (JobId survivor : std::vector<JobId>(active_jobs_)) {
-    RequestLoop(survivor);
-  }
-}
-
-void Engine::NotifyNewWork(JobId id) {
-  JobState& js = job_state(id);
-  if (!js.active) {
-    return;
-  }
-  // Held processors absorb new threads first — this is the yield-delay win:
-  // no reallocation cost at all.
-  for (size_t p = 0; p < procs_.size() && js.job->HasReadyThread(); ++p) {
-    ProcState& ps = procs_[p];
-    if (ps.holder != id || ps.holding == kNoOwner || ps.pending_valid) {
-      continue;
-    }
-    js.job->stats().waste_s += ToSeconds(queue_.now() - ps.hold_start);
-    Bump(m_.waste_ns, static_cast<double>(queue_.now() - ps.hold_start));
-    if (ps.yield_timer != kInvalidEventId) {
-      queue_.Cancel(ps.yield_timer);
-      ps.yield_timer = kInvalidEventId;
-    }
-    ps.willing = false;
-    Worker& w = worker(ps.holding);
-    ps.holding = kNoOwner;
-    ps.running = w.id;
-    w.state = Worker::State::kRunning;
-    w.current = js.job->PopReadyThread();
-    SetRunningWorkers(id, +1);
-    Emit(TraceEventKind::kResume, p, id, w.id);
-    Bump(m_.resumes);
-    StartChunk(p);
-  }
-  RequestLoop(id);
-}
-
-void Engine::RequestLoop(JobId id) {
-  JobState& js = job_state(id);
-  while (js.active && PendingDemand(id) > 0) {
-    const size_t before = PendingDemand(id);
-    const PolicyDecision decision = policy_->OnRequest(*this, id);
-    if (decision.assignments.empty() && !decision.targets.has_value()) {
-      break;
-    }
-    ApplyDecision(decision);
-    if (PendingDemand(id) >= before) {
-      break;  // no progress; avoid spinning
-    }
-  }
-}
+// --- Diagnostics -------------------------------------------------------------
 
 void Engine::DumpState() const {
   // Deadlock diagnostics go through the leveled logger: visible by default
@@ -966,9 +220,9 @@ void Engine::DumpState() const {
   if (!LogEnabled(level)) {
     return;
   }
-  Logf(level, "=== engine state at t=%lld ns ===", static_cast<long long>(queue_.now()));
-  for (size_t p = 0; p < procs_.size(); ++p) {
-    const ProcState& ps = procs_[p];
+  Logf(level, "=== engine state at t=%lld ns ===", static_cast<long long>(core_.queue.now()));
+  for (size_t p = 0; p < core_.procs.size(); ++p) {
+    const ProcState& ps = core_.procs[p];
     Logf(level,
          "proc %zu: holder=%d running=%llu holding=%llu switching=%d willing=%d "
          "pending=%d->%d",
@@ -977,14 +231,14 @@ void Engine::DumpState() const {
          static_cast<unsigned long long>(ps.holding), ps.switching ? 1 : 0, ps.willing ? 1 : 0,
          ps.pending_valid ? 1 : 0, ps.pending_valid ? static_cast<int>(ps.pending_job) : -1);
   }
-  for (size_t j = 0; j < jobs_.size(); ++j) {
-    const JobState& js = jobs_[j];
+  for (size_t j = 0; j < core_.jobs.size(); ++j) {
+    const JobState& js = core_.jobs[j];
     Logf(level,
          "job %zu (%s): active=%d ready=%zu alloc=%zu in=%zu out=%zu switching_in=%zu "
          "demand=%zu remaining=%zu idle_workers=%zu",
          j, js.job->name().c_str(), js.active ? 1 : 0, js.job->ReadyCount(), js.allocation,
          js.pending_incoming, js.pending_outgoing, js.switching_in,
-         PendingDemand(static_cast<JobId>(j)), js.job->graph().remaining(),
+         core_.PendingDemand(static_cast<JobId>(j)), js.job->graph().remaining(),
          js.idle_workers.size());
   }
 }

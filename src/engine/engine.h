@@ -1,54 +1,36 @@
 // The simulation engine: executes multiprogrammed parallel jobs on the
 // simulated machine under a processor-allocation policy.
 //
-// Responsibilities:
-//   * discrete-event execution of worker tasks in bounded "chunks" of useful
-//     work (preemption takes effect at chunk boundaries);
-//   * the job <-> allocator protocol of Section 5: jobs advertise processor
-//     requests and willing-to-yield processors; the policy decides placements;
-//   * reallocation mechanics: kernel path-length cost (750 us on the base
-//     machine) followed by dispatch of a worker, whose reload misses against
-//     its cache footprint realise the affinity penalty;
-//   * per-job accounting of every term in the paper's response-time model:
-//     work, waste, #reallocations, %affinity, switch time, reload stalls,
-//     allocation integral.
+// Engine is a thin composition root over four layered components that share
+// one EngineCore state block:
 //
-// The engine implements SchedView, the read-only state interface policies
-// consult.
+//   * EventQueue (src/sim/)            — pooled, zero-allocation event core;
+//   * CacheModel via Machine           — the cache substrate chunks run on;
+//   * Dispatcher (dispatcher.h)        — worker selection, chunk execution,
+//                                        reload-miss realisation;
+//   * AllocatorProtocol                — the Section-5 job<->allocator
+//     (allocator_protocol.h)             negotiation and reallocation
+//                                        mechanics;
+//   * Accounting (accounting.h)        — every response-time-model term and
+//                                        all telemetry.
+//
+// Engine itself owns job submission, the run loop, sampling, and the
+// SchedView interface policies consult.
 
 #ifndef SRC_ENGINE_ENGINE_H_
 #define SRC_ENGINE_ENGINE_H_
 
 #include <memory>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
-#include "src/common/rng.h"
-#include "src/machine/machine.h"
-#include "src/sched/policy.h"
-#include "src/sim/event_queue.h"
-#include "src/stats/histogram.h"
-#include "src/telemetry/metrics.h"
+#include "src/engine/accounting.h"
+#include "src/engine/allocator_protocol.h"
+#include "src/engine/dispatcher.h"
+#include "src/engine/engine_core.h"
 #include "src/telemetry/sampler.h"
-#include "src/trace/trace.h"
-#include "src/workload/app_profile.h"
-#include "src/workload/job.h"
-#include "src/workload/worker.h"
 
 namespace affsched {
-
-struct EngineOptions {
-  // Maximum useful work per execution chunk; bounds dispatch latency.
-  SimDuration chunk_quantum = Milliseconds(2);
-  // Decay constant of the usage-credit priority scheme.
-  double credit_decay_s = 8.0;
-  // Record per-job parallelism histograms (Figures 2-4).
-  bool record_parallelism = false;
-  // Depth of each task's processor history (P of Section 5.3; the paper
-  // evaluates P = 1). Affinity placement may use any remembered processor;
-  // %affinity statistics always use the most recent one.
-  size_t processor_history_depth = 1;
-};
 
 class Engine : public SchedView {
  public:
@@ -67,14 +49,14 @@ class Engine : public SchedView {
 
   // Streams scheduling events to `sink` (nullptr disables tracing). The sink
   // must outlive the engine.
-  void SetTraceSink(TraceSink* sink) { trace_ = sink; }
+  void SetTraceSink(TraceSink* sink) { core_.trace = sink; }
 
   // Attaches a metrics registry (nullptr detaches). The engine registers its
   // counters/gauges/histograms under "engine.*" and "bus.*" and updates them
   // as the run proceeds; per-job counters are created when Run() starts.
   // When detached (the default) every instrumentation site costs one null
   // check. The registry must outlive the engine. Call before Run().
-  void SetMetrics(MetricsRegistry* registry);
+  void SetMetrics(MetricsRegistry* registry) { acct_.SetMetrics(registry); }
 
   // Attaches a time-series sampler (nullptr detaches). Run() installs the
   // standard probes — per-job allocation and runnable demand, a rolling
@@ -85,15 +67,17 @@ class Engine : public SchedView {
 
   // --- Results ---------------------------------------------------------------
 
-  size_t job_count() const { return jobs_.size(); }
+  size_t job_count() const { return core_.jobs.size(); }
   const Job& job(JobId id) const;
   const JobStats& job_stats(JobId id) const { return job(id).stats(); }
   const std::string& job_name(JobId id) const { return job(id).name(); }
   const WeightedHistogram* parallelism_histogram(JobId id) const;
 
-  const Machine& machine() const { return machine_; }
-  SimTime now() const { return queue_.now(); }
-  const Policy& policy() const { return *policy_; }
+  const Machine& machine() const { return core_.machine; }
+  SimTime now() const { return core_.queue.now(); }
+  const Policy& policy() const { return *core_.policy; }
+  // Event-core churn counters (`simctl --engine-stats`).
+  const EventQueue::Stats& event_queue_stats() const { return core_.queue.stats(); }
 
   // --- SchedView -------------------------------------------------------------
 
@@ -114,163 +98,19 @@ class Engine : public SchedView {
   double Priority(JobId job) const override;
 
  private:
-  struct ProcState {
-    JobId holder = kInvalidJobId;
-    // Worker executing a chunk here (kNoOwner if none).
-    CacheOwner running = kNoOwner;
-    // Worker placed here but currently without a thread.
-    CacheOwner holding = kNoOwner;
-    // True while the reallocation path-length cost is being paid.
-    bool switching = false;
-    // Advertised as reallocatable.
-    bool willing = false;
-    // Committed reassignment, applied at the next chunk boundary (or at
-    // switch completion).
-    bool pending_valid = false;
-    JobId pending_job = kInvalidJobId;
-    CacheOwner pending_prefer = kNoOwner;
-    // Task the policy asked to see dispatched once the in-progress switch
-    // completes (rule A.1).
-    CacheOwner dispatch_prefer = kNoOwner;
-    SimTime hold_start = 0;
-    EventId yield_timer = kInvalidEventId;
-    EventId quantum_timer = kInvalidEventId;
-  };
-
-  struct JobState {
-    // Stable storage for the job's application profile (Job keeps a
-    // reference to it).
-    std::unique_ptr<AppProfile> profile;
-    std::unique_ptr<Job> job;
-    bool active = false;     // arrived and not completed
-    size_t allocation = 0;   // processors currently held (incl. switching)
-    size_t pending_incoming = 0;
-    size_t pending_outgoing = 0;
-    // Processors mid-switch toward this job (they will consume a ready
-    // thread when the switch completes).
-    size_t switching_in = 0;
-    // Idle workers, most recently idled first.
-    std::vector<CacheOwner> idle_workers;
-    size_t running_workers = 0;
-    // Usage-credit priority state.
-    double credit = 0.0;
-    SimTime credit_update = 0;
-    SimTime alloc_update = 0;
-    std::unique_ptr<WeightedHistogram> par_hist;
-    SimTime par_update = 0;
-    // Per-job metric handles (nullptr while metrics are detached).
-    Counter* metric_reallocations = nullptr;
-    Counter* metric_reload_stall_ns = nullptr;
-  };
-
-  // Global metric handles, resolved once by SetMetrics. All nullptr while
-  // metrics are detached, making every Bump() a single-branch no-op.
-  struct MetricHandles {
-    Counter* job_arrivals = nullptr;
-    Counter* job_completions = nullptr;
-    Counter* dispatches = nullptr;
-    Counter* dispatches_affine = nullptr;
-    Counter* resumes = nullptr;
-    Counter* preempts = nullptr;
-    Counter* switches = nullptr;
-    Counter* switch_time_ns = nullptr;
-    Counter* holds = nullptr;
-    Counter* yields = nullptr;
-    Counter* releases = nullptr;
-    Counter* thread_completions = nullptr;
-    Counter* chunks = nullptr;
-    Counter* reload_stall_ns = nullptr;
-    Counter* steady_stall_ns = nullptr;
-    Counter* waste_ns = nullptr;
-    Gauge* active_jobs = nullptr;
-    FixedHistogram* reload_stall_us = nullptr;
-    FixedHistogram* chunk_wall_us = nullptr;
-  };
-
-  // --- Event handlers --------------------------------------------------------
-
   void OnJobArrival(JobId id);
-  void OnChunkDone(size_t proc, SimDuration work_done, SimDuration reload_stall,
-                   SimDuration steady_stall);
-  void OnSwitchDone(size_t proc);
-  void OnYieldTimer(size_t proc);
-  void OnQuantumTimer(size_t proc);
 
-  // --- Mechanics -------------------------------------------------------------
-
-  void ApplyDecision(const PolicyDecision& decision);
-  void Reconcile(const std::map<JobId, size_t>& targets);
-  void AssignProcessor(const Assignment& assignment);
-  // Ends a holding period (waste accounting) and detaches the worker.
-  void ReleaseFromHolder(size_t proc);
-  void StartSwitch(size_t proc, JobId to_job, CacheOwner prefer);
-  void DispatchWorker(size_t proc);
-  void StartChunk(size_t proc);
-  void EnterHolding(size_t proc, CacheOwner worker_id);
-  void HandleJobCompletion(JobId id, size_t completing_proc);
-  void NotifyNewWork(JobId id);
-  void RequestLoop(JobId id);
-  void SetPending(size_t proc, JobId job, CacheOwner prefer);
-  void ClearPending(size_t proc);
-  // Parks the worker executing/holding on `proc` back onto its job's idle
-  // list.
-  void ParkWorker(JobState& js, Worker& w);
-
-  // Prints processor and job state to stderr (deadlock diagnosis).
-  void DumpState() const;
-
-  // --- Bookkeeping -----------------------------------------------------------
-
-  Worker& worker(CacheOwner id);
-  const Worker& worker(CacheOwner id) const;
-  JobState& job_state(JobId id);
-  const JobState& job_state(JobId id) const;
-  CacheOwner CreateWorker(JobId id);
-  // Picks a worker of `job` to dispatch on `proc` (prefers `prefer`, then an
-  // affine idle worker, then the most recently idled, then a new worker).
-  CacheOwner SelectWorker(JobId id, size_t proc, CacheOwner prefer);
-  void RemoveIdleWorker(JobState& js, CacheOwner id);
-  void UpdateAllocIntegral(JobId id);
-  void UpdateCredit(JobId id);
-  void ChangeAllocation(JobId id, int delta);
-  void RecordParallelism(JobId id);
-  void SetRunningWorkers(JobId id, int delta);
-  double FairShare() const;
-  void Emit(TraceEventKind kind, size_t proc, JobId job, CacheOwner worker = kNoOwner,
-            bool affine = false);
-
-  // --- Telemetry -------------------------------------------------------------
-
-  static void Bump(Counter* counter, double delta = 1.0) {
-    if (counter != nullptr) {
-      counter->Add(delta);
-    }
-  }
-  // Creates the per-job counters (Run() start, when all jobs are known).
-  void ResolveJobMetrics();
-  // End-of-run totals that are cheaper to read once than to stream: bus
-  // transfer and peak-utilisation counters.
-  void FinalizeMetrics();
   // Registers the standard probes and starts the recurring sampling event.
   void StartSampling();
   void SamplerTick();
 
-  Options options_;
-  EventQueue queue_;
-  Machine machine_;
-  std::unique_ptr<Policy> policy_;
-  Rng rng_;
+  // Prints processor and job state to stderr (deadlock diagnosis).
+  void DumpState() const;
 
-  std::vector<JobState> jobs_;          // indexed by JobId
-  std::vector<JobId> active_jobs_;      // arrival order
-  std::vector<ProcState> procs_;
-  std::unordered_map<CacheOwner, Worker> workers_;
-  CacheOwner next_worker_id_ = 1;
-  size_t jobs_remaining_ = 0;
-  bool running_ = false;
-  TraceSink* trace_ = nullptr;
-  MetricsRegistry* metrics_ = nullptr;
-  MetricHandles m_;
+  EngineCore core_;
+  Accounting acct_;
+  Dispatcher dispatcher_;
+  AllocatorProtocol alloc_;
   Sampler* sampler_ = nullptr;
 };
 

@@ -1,0 +1,103 @@
+#include "src/engine/engine_core.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+EngineCore::EngineCore(const MachineConfig& machine_config, std::unique_ptr<Policy> policy_in,
+                       uint64_t seed, const EngineOptions& options_in)
+    : options(options_in), machine(machine_config), policy(std::move(policy_in)), rng(seed) {
+  AFF_CHECK(policy != nullptr);
+  AFF_CHECK(options.chunk_quantum > 0);
+  procs.resize(machine.num_processors());
+}
+
+Worker& EngineCore::worker(CacheOwner id) {
+  AFF_CHECK(HasWorker(id));
+  return workers[id - 1];
+}
+
+const Worker& EngineCore::worker(CacheOwner id) const {
+  AFF_CHECK(HasWorker(id));
+  return workers[id - 1];
+}
+
+JobState& EngineCore::job_state(JobId id) {
+  AFF_CHECK(id < jobs.size());
+  return jobs[id];
+}
+
+const JobState& EngineCore::job_state(JobId id) const {
+  AFF_CHECK(id < jobs.size());
+  return jobs[id];
+}
+
+CacheOwner EngineCore::CreateWorker(JobId id) {
+  const CacheOwner wid = next_worker_id++;
+  Worker w;
+  w.id = wid;
+  w.job = id;
+  w.history_depth = options.processor_history_depth;
+  AFF_CHECK(wid == workers.size() + 1);
+  workers.push_back(w);
+  return wid;
+}
+
+size_t EngineCore::EffectiveAllocation(JobId id) const {
+  const JobState& js = job_state(id);
+  const size_t committed = js.allocation + js.pending_incoming;
+  return committed > js.pending_outgoing ? committed - js.pending_outgoing : 0;
+}
+
+size_t EngineCore::PendingDemand(JobId id) const {
+  const JobState& js = job_state(id);
+  if (!js.active) {
+    return 0;
+  }
+  const size_t incoming = js.pending_incoming + js.switching_in;
+  const size_t ready = js.job->ReadyCount();
+  if (ready <= incoming) {
+    return 0;
+  }
+  const size_t committed = js.allocation + js.pending_incoming;
+  const size_t outgoing = js.pending_outgoing;
+  const size_t effective = committed > outgoing ? committed - outgoing : 0;
+  const size_t cap = js.job->max_parallelism();
+  if (effective >= cap) {
+    return 0;
+  }
+  return std::min(ready - incoming, cap - effective);
+}
+
+double EngineCore::FairShare() const {
+  const size_t n = std::max<size_t>(1, active_jobs.size());
+  return static_cast<double>(procs.size()) / static_cast<double>(n);
+}
+
+double EngineCore::Priority(JobId id) const {
+  const JobState& js = job_state(id);
+  const double dt = ToSeconds(queue.now() - js.credit_update);
+  const double decayed = js.credit * std::exp(-dt / options.credit_decay_s);
+  // Credit accrues while the job holds fewer processors than its fair share
+  // and is spent while it holds more.
+  const double accrual = (FairShare() - static_cast<double>(js.allocation)) * dt;
+  return decayed + accrual;
+}
+
+void EngineCore::Emit(TraceEventKind kind, size_t proc, JobId id, CacheOwner worker_id,
+                      bool affine) {
+  if (trace == nullptr) {
+    return;
+  }
+  trace->Record(TraceEvent{.when = queue.now(),
+                           .kind = kind,
+                           .proc = proc,
+                           .job = id,
+                           .worker = worker_id,
+                           .affine = affine});
+}
+
+}  // namespace affsched

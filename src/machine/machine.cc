@@ -1,10 +1,37 @@
 #include "src/machine/machine.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "src/cache/exact_model.h"
+#include "src/cache/footprint.h"
 #include "src/common/check.h"
+#include "src/common/rng.h"
 
 namespace affsched {
+namespace {
+
+std::unique_ptr<CacheModel> BuildCacheModel(const MachineConfig& config, size_t proc) {
+  switch (config.cache_model) {
+    case CacheModelKind::kFootprint:
+      return std::make_unique<FootprintCache>(config.CapacityBlocks(),
+                                              config.geometry.ways);
+    case CacheModelKind::kExact: {
+      // The exact model's capacity is set by its geometry, so the future-
+      // machine cache-size factor scales the byte size directly.
+      CacheGeometry geometry = config.geometry;
+      geometry.total_bytes = static_cast<size_t>(
+          static_cast<double>(geometry.total_bytes) * config.cache_size_factor);
+      // Per-processor stream seed, derived so processors are decorrelated.
+      uint64_t state = config.cache_model_seed + proc;
+      return std::make_unique<ExactCacheModel>(geometry, SplitMix64(state));
+    }
+  }
+  AFF_CHECK_MSG(false, "unknown cache model kind");
+  return nullptr;
+}
+
+}  // namespace
 
 Machine::Machine(const MachineConfig& config) : config_(config), bus_(config.bus) {
   AFF_CHECK(config_.num_processors >= 1);
@@ -12,8 +39,7 @@ Machine::Machine(const MachineConfig& config) : config_(config), bus_(config.bus
   AFF_CHECK(config_.cache_size_factor > 0.0);
   processors_.reserve(config_.num_processors);
   for (size_t i = 0; i < config_.num_processors; ++i) {
-    processors_.emplace_back(i, config_.CapacityBlocks(), config_.geometry.ways,
-                             config_.task_history_depth);
+    processors_.emplace_back(i, BuildCacheModel(config_, i), config_.task_history_depth);
   }
 }
 
@@ -29,7 +55,7 @@ Machine::ChunkExecution Machine::ExecuteChunk(SimTime now, size_t proc, CacheOwn
   Processor& p = processor(proc);
   // Footprint evolution is driven by the *work* performed (same blocks get
   // touched for the same amount of computation regardless of clock rate).
-  const FootprintCache::ChunkResult misses = p.cache().RunChunk(owner, ws, ToSeconds(work));
+  const CacheChunkResult misses = p.cache().RunChunk(owner, ws, ToSeconds(work));
 
   // Coherence: writes to shared data invalidate sibling workers' copies in
   // their caches. The invalidations travel over the shared bus.
@@ -40,7 +66,7 @@ Machine::ChunkExecution Machine::ExecuteChunk(SimTime now, size_t proc, CacheOwn
       if (sibling.proc == proc) {
         continue;
       }
-      FootprintCache& cache = processor(sibling.proc).cache();
+      CacheModel& cache = processor(sibling.proc).cache();
       const double eject = std::min(per_sibling, cache.Resident(sibling.owner));
       cache.EjectBlocks(sibling.owner, eject);
       invalidations += eject;

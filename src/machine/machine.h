@@ -18,16 +18,26 @@
 #include <vector>
 
 #include "src/cache/bus.h"
-#include "src/cache/footprint.h"
+#include "src/cache/cache_model.h"
 #include "src/cache/geometry.h"
 
 namespace affsched {
+
+// Which CacheModel implementation each processor's private cache uses.
+enum class CacheModelKind {
+  kFootprint,  // analytic working-set model (the experiments' default)
+  kExact,      // per-line set-associative simulation driven by refstreams
+};
 
 struct MachineConfig {
   size_t num_processors = 20;
   // Depth of the per-processor task history (T of Section 5.3).
   size_t task_history_depth = 1;
   CacheGeometry geometry;
+  CacheModelKind cache_model = CacheModelKind::kFootprint;
+  // Seeds the exact model's per-owner reference streams (unused by the
+  // analytic model).
+  uint64_t cache_model_seed = 0;
   // Uncontended per-block miss service time on the base machine.
   SimDuration miss_service = kSymmetryMissService;
   // Kernel path-length cost of a reallocation on the base machine.
@@ -61,12 +71,12 @@ struct MachineConfig {
 // and notes deeper histories as a variation).
 class Processor {
  public:
-  Processor(size_t id, double capacity_blocks, size_t ways, size_t history_depth = 1)
-      : id_(id), history_depth_(history_depth), cache_(capacity_blocks, ways) {}
+  Processor(size_t id, std::unique_ptr<CacheModel> cache, size_t history_depth = 1)
+      : id_(id), history_depth_(history_depth), cache_(std::move(cache)) {}
 
   size_t id() const { return id_; }
-  FootprintCache& cache() { return cache_; }
-  const FootprintCache& cache() const { return cache_; }
+  CacheModel& cache() { return *cache_; }
+  const CacheModel& cache() const { return *cache_; }
 
   // Task currently dispatched here (kNoOwner when idle).
   CacheOwner current_task() const { return current_task_; }
@@ -96,7 +106,7 @@ class Processor {
  private:
   size_t id_;
   size_t history_depth_;
-  FootprintCache cache_;
+  std::unique_ptr<CacheModel> cache_;
   CacheOwner current_task_ = kNoOwner;
   std::deque<CacheOwner> history_;
 };

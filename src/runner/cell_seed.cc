@@ -1,5 +1,9 @@
 #include "src/runner/cell_seed.h"
 
+#include <cstdlib>
+#include <string>
+
+#include "src/common/check.h"
 #include "src/common/rng.h"
 
 namespace affsched {
@@ -16,9 +20,26 @@ uint64_t DeriveSeed(uint64_t root_seed, std::initializer_list<uint64_t> coordina
   return SplitMix64(h);
 }
 
+std::string SeedToDecimal(uint64_t seed) { return std::to_string(seed); }
+
+uint64_t SeedFromDecimal(const std::string& text) {
+  return std::strtoull(text.c_str(), nullptr, 10);
+}
+
 uint64_t DeriveCellSeed(uint64_t root_seed, int mix_number, std::size_t replication) {
-  return DeriveSeed(root_seed, {static_cast<uint64_t>(mix_number),
-                                static_cast<uint64_t>(replication)});
+  // Common-random-numbers invariant: a cell's coordinates are exactly
+  // (mix number, replication) — the policy is never hashed in, so every
+  // policy replays the same workload draws for a given cell and policy
+  // comparisons are paired. Mix numbers are 1-based (Table 2); a zero or
+  // negative mix would collide with the replication coordinate space.
+  AFF_CHECK_MSG(mix_number >= 1, "mix numbers are 1-based (Table 2)");
+  const uint64_t seed = DeriveSeed(
+      root_seed, {static_cast<uint64_t>(mix_number), static_cast<uint64_t>(replication)});
+  // Seeds-are-decimal invariant: sweep JSON stores seeds as unquoted decimal
+  // integers, and every derived seed must round-trip through that text
+  // exactly (never through a double, which silently rounds above 2^53).
+  AFF_CHECK(SeedFromDecimal(SeedToDecimal(seed)) == seed);
+  return seed;
 }
 
 }  // namespace affsched

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
+#include <string>
 
 namespace affsched {
 
@@ -28,8 +29,15 @@ namespace affsched {
 uint64_t DeriveSeed(uint64_t root_seed, std::initializer_list<uint64_t> coordinates);
 
 // The sweep grid's cell-seed convention: coordinates are (mix number,
-// replication index) — policy excluded, see above.
+// replication index) — policy excluded, see above. Checks the CRN and
+// decimal round-trip invariants on every derivation.
 uint64_t DeriveCellSeed(uint64_t root_seed, int mix_number, std::size_t replication);
+
+// The textual form seeds take in sweep JSON: unquoted decimal, because
+// 64-bit values round-trip exactly through decimal text but not through
+// double (anything above 2^53 would be silently rounded).
+std::string SeedToDecimal(uint64_t seed);
+uint64_t SeedFromDecimal(const std::string& text);
 
 }  // namespace affsched
 

@@ -6,6 +6,7 @@
 
 #include "src/apps/apps.h"
 #include "src/common/time.h"
+#include "src/runner/cell_seed.h"
 #include "src/telemetry/json.h"
 
 namespace affsched {
@@ -267,8 +268,8 @@ std::string SweepResult::ToJson() const {
     o << "],\"cells\":[";
     for (size_t c = 0; c < experiment.cells.size(); ++c) {
       const CellResult& cell = experiment.cells[c];
-      o << (c > 0 ? "," : "") << "{\"rep\":" << cell.replication << ",\"seed\":" << cell.seed
-        << ",\"makespan_s\":" << JsonNumber(ToSeconds(cell.run.makespan)) << ",\"response_s\":[";
+      o << (c > 0 ? "," : "") << "{\"rep\":" << cell.replication
+        << ",\"seed\":" << SeedToDecimal(cell.seed) << ",\"makespan_s\":" << JsonNumber(ToSeconds(cell.run.makespan)) << ",\"response_s\":[";
       for (size_t j = 0; j < cell.run.jobs.size(); ++j) {
         o << (j > 0 ? "," : "") << JsonNumber(cell.run.jobs[j].stats.ResponseSeconds());
       }

@@ -1,30 +1,69 @@
 #include "src/sim/event_queue.h"
 
-#include <utility>
-
-#include "src/common/check.h"
-
 namespace affsched {
 
-EventId EventQueue::ScheduleAt(SimTime when, std::function<void()> fn) {
-  AFF_CHECK_MSG(when >= now_, "event scheduled in the past");
-  const EventId id = next_id_++;
-  heap_.push(Entry{when, next_seq_++, id});
-  handlers_.emplace(id, std::move(fn));
-  return id;
+uint32_t EventQueue::AllocateSlot() {
+  if (free_head_ != kNoFreeSlot) {
+    const uint32_t slot = free_head_;
+    free_head_ = pool_[slot].next_free;
+    pool_[slot].next_free = kNoFreeSlot;
+    return slot;
+  }
+  AFF_CHECK_MSG(pool_.size() < static_cast<size_t>(UINT32_MAX),
+                "event pool exhausted");
+  pool_.emplace_back();
+  return static_cast<uint32_t>(pool_.size() - 1);
 }
 
-EventId EventQueue::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
-  AFF_CHECK(delay >= 0);
-  return ScheduleAt(now_ + delay, std::move(fn));
+void EventQueue::FreeSlot(uint32_t slot) {
+  Record& r = pool_[slot];
+  r.pending = false;
+  r.invoke = nullptr;
+  ++r.gen;
+  r.next_free = free_head_;
+  free_head_ = slot;
+  AFF_CHECK(live_ > 0);
+  --live_;
 }
 
-bool EventQueue::Cancel(EventId id) { return handlers_.erase(id) > 0; }
+bool EventQueue::ResolvePending(EventId id, uint32_t* slot) const {
+  if (id == kInvalidEventId) {
+    return false;
+  }
+  const uint64_t slot_plus_one = id >> 32;
+  const uint32_t gen = static_cast<uint32_t>(id);
+  if (slot_plus_one == 0 || slot_plus_one > pool_.size()) {
+    return false;
+  }
+  const uint32_t s = static_cast<uint32_t>(slot_plus_one - 1);
+  if (!pool_[s].pending || pool_[s].gen != gen) {
+    return false;
+  }
+  *slot = s;
+  return true;
+}
 
-bool EventQueue::IsPending(EventId id) const { return handlers_.count(id) > 0; }
+bool EventQueue::Cancel(EventId id) {
+  uint32_t slot = 0;
+  if (!ResolvePending(id, &slot)) {
+    return false;
+  }
+  FreeSlot(slot);  // the stale heap entry is skimmed lazily
+  ++stats_.cancelled;
+  return true;
+}
+
+bool EventQueue::IsPending(EventId id) const {
+  uint32_t slot = 0;
+  return ResolvePending(id, &slot);
+}
 
 void EventQueue::SkimCancelled() {
-  while (!heap_.empty() && handlers_.find(heap_.top().id) == handlers_.end()) {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.top();
+    if (pool_[top.slot].pending && pool_[top.slot].gen == top.gen) {
+      return;
+    }
     heap_.pop();
   }
 }
@@ -39,17 +78,19 @@ bool EventQueue::RunNext() {
   if (heap_.empty()) {
     return false;
   }
-  const Entry entry = heap_.top();
+  const HeapEntry entry = heap_.top();
   heap_.pop();
-  auto it = handlers_.find(entry.id);
-  AFF_CHECK(it != handlers_.end());
-  // Move the handler out before running: the handler may schedule or cancel
-  // other events (and re-entrantly touch the map).
-  std::function<void()> fn = std::move(it->second);
-  handlers_.erase(it);
+  Record& r = pool_[entry.slot];
+  // Copy the handler out before running: the handler may schedule or cancel
+  // other events (and re-entrantly grow or recycle the pool).
+  alignas(alignof(std::max_align_t)) unsigned char local[kInlineCallableBytes];
+  std::memcpy(local, r.storage, kInlineCallableBytes);
+  const Invoker invoke = r.invoke;
+  FreeSlot(entry.slot);
   AFF_CHECK(entry.when >= now_);
   now_ = entry.when;
-  fn();
+  ++stats_.run;
+  invoke(local);
   return true;
 }
 

@@ -3,41 +3,97 @@
 //
 // Determinism: events at the same timestamp run in scheduling order (FIFO by
 // sequence number), so a given seed always produces the same trajectory.
+//
+// Storage model (the hot path of every simulation): events live in a pool of
+// fixed-size records recycled through an intrusive free list, so steady-state
+// scheduling allocates nothing. The callable is copied into the record's
+// inline buffer and invoked through a typed trampoline — callables must be
+// trivially copyable (captures of pointers, references and scalars; no
+// std::function, no owning captures). EventIds are generation-tagged
+// (slot | generation), which makes Cancel() and IsPending() O(1) array
+// lookups: a recycled slot bumps its generation, so stale ids and stale heap
+// entries are recognised without any hash map.
 
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <cstring>
 #include <queue>
-#include <unordered_map>
+#include <type_traits>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/common/time.h"
 
 namespace affsched {
 
+// Generation-tagged event handle: (slot + 1) in the high 32 bits, the slot's
+// generation at scheduling time in the low 32. Never 0 for a live event.
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
 class EventQueue {
  public:
+  // Inline storage for the scheduled callable. Sized for the engine's largest
+  // handler capture (this + four 64-bit scalars) with headroom.
+  static constexpr size_t kInlineCallableBytes = 48;
+
+  // Counters describing queue churn, for `simctl --engine-stats` and the
+  // microbenchmark regression gate.
+  struct Stats {
+    uint64_t scheduled = 0;  // total events ever scheduled
+    uint64_t cancelled = 0;  // of those, cancelled before running
+    uint64_t run = 0;        // of those, executed
+    // Most events simultaneously pending — the pool's high-water mark (the
+    // pool never shrinks, so this is also its allocated size).
+    size_t pool_high_water = 0;
+  };
+
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
   // Schedules `fn` to run at absolute time `when` (>= now). Returns a handle
-  // usable with Cancel().
-  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+  // usable with Cancel(). `fn` must be trivially copyable and fit the inline
+  // record buffer (enforced at compile time).
+  template <typename F>
+  EventId ScheduleAt(SimTime when, F fn) {
+    static_assert(std::is_trivially_copyable_v<F>,
+                  "event callables are memcpy'd into pooled records: capture "
+                  "only pointers, references and scalars");
+    static_assert(std::is_trivially_destructible_v<F>,
+                  "pooled event records are recycled without destructor calls");
+    static_assert(sizeof(F) <= kInlineCallableBytes,
+                  "callable too large for the inline event record");
+    AFF_CHECK_MSG(when >= now_, "event scheduled in the past");
+    const uint32_t slot = AllocateSlot();
+    Record& r = pool_[slot];
+    ::new (static_cast<void*>(r.storage)) F(fn);
+    r.invoke = [](void* storage) { (*static_cast<F*>(storage))(); };
+    r.pending = true;
+    heap_.push(HeapEntry{when, next_seq_++, slot, r.gen});
+    ++live_;
+    ++stats_.scheduled;
+    if (live_ > stats_.pool_high_water) {
+      stats_.pool_high_water = live_;
+    }
+    return MakeId(slot, r.gen);
+  }
 
   // Schedules `fn` to run `delay` (>= 0) after the current time.
-  EventId ScheduleAfter(SimDuration delay, std::function<void()> fn);
+  template <typename F>
+  EventId ScheduleAfter(SimDuration delay, F fn) {
+    AFF_CHECK(delay >= 0);
+    return ScheduleAt(now_ + delay, fn);
+  }
 
   // Cancels a pending event. Returns true if the event was pending (i.e. had
-  // not yet run and had not already been cancelled).
+  // not yet run and had not already been cancelled). O(1).
   bool Cancel(EventId id);
 
-  // True if an event with this id is still pending.
+  // True if an event with this id is still pending. O(1).
   bool IsPending(EventId id) const;
 
   // Runs the earliest pending event, advancing the clock to its timestamp.
@@ -53,18 +109,36 @@ class EventQueue {
   size_t RunAll(size_t max_events = 500'000'000);
 
   SimTime now() const { return now_; }
-  bool empty() const { return handlers_.empty(); }
-  size_t pending_count() const { return handlers_.size(); }
+  bool empty() const { return live_ == 0; }
+  size_t pending_count() const { return live_; }
 
   // Timestamp of the earliest pending event; kTimeInfinite if none.
   SimTime PeekTime();
 
+  const Stats& stats() const { return stats_; }
+
  private:
-  struct Entry {
+  static constexpr uint32_t kNoFreeSlot = UINT32_MAX;
+
+  using Invoker = void (*)(void* storage);
+
+  // One pooled event. `gen` is bumped every time the slot is recycled, so
+  // handles and heap entries carrying an older generation are recognisably
+  // stale.
+  struct Record {
+    alignas(alignof(std::max_align_t)) unsigned char storage[kInlineCallableBytes];
+    Invoker invoke = nullptr;
+    uint32_t gen = 1;
+    uint32_t next_free = kNoFreeSlot;
+    bool pending = false;
+  };
+
+  struct HeapEntry {
     SimTime when;
     uint64_t seq;
-    EventId id;
-    bool operator>(const Entry& other) const {
+    uint32_t slot;
+    uint32_t gen;
+    bool operator>(const HeapEntry& other) const {
       if (when != other.when) {
         return when > other.when;
       }
@@ -72,14 +146,30 @@ class EventQueue {
     }
   };
 
-  // Drops cancelled entries from the head of the heap.
+  static EventId MakeId(uint32_t slot, uint32_t gen) {
+    return (static_cast<uint64_t>(slot) + 1) << 32 | gen;
+  }
+
+  // Allocates a record slot from the free list, growing the pool if empty.
+  uint32_t AllocateSlot();
+
+  // Recycles a slot: bumps its generation (invalidating outstanding ids and
+  // heap entries) and pushes it on the free list.
+  void FreeSlot(uint32_t slot);
+
+  // Resolves an id to its slot iff it names a currently-pending event.
+  bool ResolvePending(EventId id, uint32_t* slot) const;
+
+  // Drops heap entries whose record was cancelled (stale generation).
   void SkimCancelled();
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_map<EventId, std::function<void()>> handlers_;
+  std::vector<Record> pool_;
+  uint32_t free_head_ = kNoFreeSlot;
+  size_t live_ = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  Stats stats_;
 };
 
 }  // namespace affsched

@@ -1,0 +1,193 @@
+// Tests for the CacheModel seam: both implementations must satisfy the same
+// behavioural contract (buildup, warmth, ejection, turnover, removal), and
+// the machine must run end-to-end on either substrate.
+
+#include "src/cache/cache_model.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cache/exact_model.h"
+#include "src/cache/footprint.h"
+#include "src/machine/machine.h"
+
+namespace affsched {
+namespace {
+
+constexpr double kCapacityBlocks = 4096.0;  // 64 KB of 16-byte lines
+
+WorkingSetParams TestWorkingSet() {
+  WorkingSetParams ws;
+  ws.blocks = 1000.0;
+  ws.buildup_tau_s = 0.05;
+  ws.steady_miss_per_s = 2000.0;
+  return ws;
+}
+
+std::unique_ptr<CacheModel> MakeModel(bool exact) {
+  if (exact) {
+    return std::make_unique<ExactCacheModel>(CacheGeometry{}, /*seed=*/42);
+  }
+  return std::make_unique<FootprintCache>(kCapacityBlocks, /*ways=*/2);
+}
+
+class CacheModelContractTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CacheModelContractTest, FootprintBuildsUpTowardWorkingSet) {
+  auto model = MakeModel(GetParam());
+  const WorkingSetParams ws = TestWorkingSet();
+  double prev = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    model->RunChunk(1, ws, 0.02);
+    const double now = model->Resident(1);
+    EXPECT_GE(now, prev - 1.0);
+    prev = now;
+  }
+  // After 0.2s (4 tau) the footprint should be close to its cap.
+  EXPECT_GT(model->Resident(1), 0.8 * model->MaxResident(ws.blocks));
+  EXPECT_LE(model->Resident(1), model->capacity() + 1e-9);
+  EXPECT_GE(model->Occupied(), model->Resident(1));
+}
+
+TEST_P(CacheModelContractTest, WarmResumeCostsFewerReloadMisses) {
+  auto model = MakeModel(GetParam());
+  const WorkingSetParams ws = TestWorkingSet();
+  const CacheChunkResult cold = model->RunChunk(1, ws, 0.1);
+  const CacheChunkResult warm = model->RunChunk(1, ws, 0.1);
+  EXPECT_LT(warm.reload_misses, 0.5 * cold.reload_misses);
+}
+
+TEST_P(CacheModelContractTest, FlushForcesFullReload) {
+  auto model = MakeModel(GetParam());
+  const WorkingSetParams ws = TestWorkingSet();
+  model->RunChunk(1, ws, 0.2);
+  model->Flush();
+  EXPECT_DOUBLE_EQ(model->Resident(1), 0.0);
+  EXPECT_DOUBLE_EQ(model->Occupied(), 0.0);
+  const CacheChunkResult after = model->RunChunk(1, ws, 0.2);
+  EXPECT_GT(after.reload_misses, 0.5 * model->MaxResident(ws.blocks));
+}
+
+TEST_P(CacheModelContractTest, EjectBlocksRemovesRequestedAmount) {
+  auto model = MakeModel(GetParam());
+  const WorkingSetParams ws = TestWorkingSet();
+  model->RunChunk(1, ws, 0.2);
+  const double before = model->Resident(1);
+  ASSERT_GT(before, 200.0);
+  model->EjectBlocks(1, 100.0);
+  EXPECT_NEAR(model->Resident(1), before - 100.0, 1.0);
+}
+
+TEST_P(CacheModelContractTest, EjectFractionScalesResident) {
+  auto model = MakeModel(GetParam());
+  const WorkingSetParams ws = TestWorkingSet();
+  model->RunChunk(1, ws, 0.2);
+  const double before = model->Resident(1);
+  model->EjectFraction(1, 0.5);
+  EXPECT_NEAR(model->Resident(1), before * 0.5, 2.0);
+}
+
+TEST_P(CacheModelContractTest, ReplaceOwnerDataDropsDeadData) {
+  auto model = MakeModel(GetParam());
+  WorkingSetParams ws = TestWorkingSet();
+  ws.steady_miss_per_s = 0.0;  // footprint is working-set lines only
+  model->RunChunk(1, ws, 0.3);
+  const double before = model->Resident(1);
+  model->ReplaceOwnerData(1, 0.25);
+  EXPECT_NEAR(model->Resident(1), before * 0.25, 0.1 * before);
+}
+
+TEST_P(CacheModelContractTest, RemoveOwnerClearsState) {
+  auto model = MakeModel(GetParam());
+  const WorkingSetParams ws = TestWorkingSet();
+  model->RunChunk(1, ws, 0.2);
+  model->RunChunk(2, ws, 0.2);
+  model->RemoveOwner(1);
+  EXPECT_DOUBLE_EQ(model->Resident(1), 0.0);
+  EXPECT_GT(model->Resident(2), 0.0);
+}
+
+TEST_P(CacheModelContractTest, MaxResidentMatchesPoissonCap) {
+  auto model = MakeModel(GetParam());
+  EXPECT_DOUBLE_EQ(model->MaxResident(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(model->MaxResident(2000.0),
+                   ExpectedMaxResident(model->capacity(), 2, 2000.0));
+  EXPECT_LT(model->MaxResident(2000.0), 2000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModels, CacheModelContractTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Exact" : "Footprint";
+                         });
+
+TEST(ExpectedMaxResidentTest, SmallWorkingSetsFitEntirely) {
+  EXPECT_NEAR(ExpectedMaxResident(4096.0, 2, 100.0), 100.0, 2.0);
+}
+
+TEST(ExpectedMaxResidentTest, CapIsBoundedByCapacity) {
+  EXPECT_LE(ExpectedMaxResident(4096.0, 2, 1e9), 4096.0 + 1e-6);
+}
+
+TEST(ExactCacheModelTest, SteadyMissesExertEvictionPressure) {
+  ExactCacheModel model(CacheGeometry{}, /*seed=*/7);
+  WorkingSetParams quiet = TestWorkingSet();
+  quiet.steady_miss_per_s = 0.0;
+  model.RunChunk(1, quiet, 0.3);
+  const double warm = model.Resident(1);
+  WorkingSetParams streamer;
+  streamer.blocks = 3000.0;
+  streamer.buildup_tau_s = 0.01;
+  streamer.steady_miss_per_s = 50000.0;
+  model.RunChunk(2, streamer, 0.5);
+  EXPECT_LT(model.Resident(1), warm);
+}
+
+TEST(ExactCacheModelTest, DeterministicAcrossInstances) {
+  ExactCacheModel a(CacheGeometry{}, /*seed=*/11);
+  ExactCacheModel b(CacheGeometry{}, /*seed=*/11);
+  const WorkingSetParams ws = TestWorkingSet();
+  for (int i = 0; i < 5; ++i) {
+    const CacheChunkResult ra = a.RunChunk(3, ws, 0.017);
+    const CacheChunkResult rb = b.RunChunk(3, ws, 0.017);
+    EXPECT_DOUBLE_EQ(ra.reload_misses, rb.reload_misses);
+    EXPECT_DOUBLE_EQ(ra.steady_misses, rb.steady_misses);
+  }
+  EXPECT_DOUBLE_EQ(a.Resident(3), b.Resident(3));
+}
+
+TEST(MachineCacheModelTest, MachineRunsOnExactSubstrate) {
+  MachineConfig config;
+  config.num_processors = 2;
+  config.cache_model = CacheModelKind::kExact;
+  config.cache_model_seed = 99;
+  Machine machine(config);
+  WorkingSetParams ws = TestWorkingSet();
+  const Machine::ChunkExecution exec =
+      machine.ExecuteChunk(0, 0, /*owner=*/1, ws, Milliseconds(100));
+  EXPECT_GT(exec.reload_misses, 0.0);
+  EXPECT_GT(exec.stall, 0);
+  EXPECT_GT(machine.processor(0).cache().Resident(1), 0.0);
+  EXPECT_DOUBLE_EQ(machine.processor(1).cache().Resident(1), 0.0);
+}
+
+TEST(MachineCacheModelTest, SubstratesAgreeOnColdBuildupMagnitude) {
+  // The analytic model integrates what the exact model simulates; a cold
+  // 100 ms chunk (2 tau) should produce reload-miss counts within ~15% of
+  // each other.
+  WorkingSetParams ws = TestWorkingSet();
+  ws.steady_miss_per_s = 0.0;
+  MachineConfig analytic;
+  analytic.num_processors = 1;
+  MachineConfig exact = analytic;
+  exact.cache_model = CacheModelKind::kExact;
+  exact.cache_model_seed = 5;
+  Machine ma(analytic);
+  Machine me(exact);
+  const double ra = ma.ExecuteChunk(0, 0, 1, ws, Milliseconds(100)).reload_misses;
+  const double re = me.ExecuteChunk(0, 0, 1, ws, Milliseconds(100)).reload_misses;
+  EXPECT_NEAR(ra, re, 0.15 * ra);
+}
+
+}  // namespace
+}  // namespace affsched

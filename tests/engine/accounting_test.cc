@@ -1,0 +1,185 @@
+#include "src/engine/accounting.h"
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "src/common/time.h"
+#include "src/stats/histogram.h"
+#include "src/telemetry/metrics.h"
+#include "tests/engine/core_harness.h"
+
+namespace affsched {
+namespace {
+
+// Advances the harness clock by scheduling and draining a no-op event.
+void AdvanceTo(CoreHarness& h, SimTime when) {
+  h.core.queue.ScheduleAt(when, [] {});
+  while (h.core.queue.now() < when) {
+    ASSERT_TRUE(h.core.queue.RunNext());
+  }
+}
+
+TEST(AccountingTest, ChargeChunkAccumulatesWorkAndStallSplit) {
+  CoreHarness h;
+  MetricsRegistry registry;
+  h.acct.SetMetrics(&registry);
+  const JobId id = h.AddActiveJob(1, Milliseconds(10));
+  JobState& js = h.core.job_state(id);
+
+  h.acct.ChargeChunk(js, Milliseconds(2), Microseconds(100), Microseconds(50));
+  h.acct.ChargeChunk(js, Milliseconds(1), 0, 0);
+
+  const JobStats& st = js.job->stats();
+  const double expected_work =
+      ToSeconds(h.core.machine.config().ComputeTime(Milliseconds(3)));
+  EXPECT_NEAR(st.useful_work_s, expected_work, 1e-12);
+  EXPECT_DOUBLE_EQ(st.reload_stall_s, ToSeconds(Microseconds(100)));
+  EXPECT_DOUBLE_EQ(st.steady_stall_s, ToSeconds(Microseconds(50)));
+  EXPECT_DOUBLE_EQ(h.acct.m.chunks->value(), 2.0);
+  EXPECT_DOUBLE_EQ(h.acct.m.reload_stall_ns->value(),
+                   static_cast<double>(Microseconds(100)));
+  EXPECT_DOUBLE_EQ(h.acct.m.steady_stall_ns->value(),
+                   static_cast<double>(Microseconds(50)));
+}
+
+TEST(AccountingTest, ChargeSwitchAddsOneKernelPathLength) {
+  CoreHarness h;
+  MetricsRegistry registry;
+  h.acct.SetMetrics(&registry);
+  const JobId id = h.AddActiveJob(1, Milliseconds(10));
+  JobState& js = h.core.job_state(id);
+
+  h.acct.ChargeSwitch(js);
+  h.acct.ChargeSwitch(js);
+
+  EXPECT_DOUBLE_EQ(js.job->stats().switch_s,
+                   2.0 * ToSeconds(h.core.machine.config().SwitchCost()));
+  EXPECT_DOUBLE_EQ(h.acct.m.switches->value(), 2.0);
+}
+
+TEST(AccountingTest, ChargeWasteAccumulatesHeldTime) {
+  CoreHarness h;
+  const JobId id = h.AddActiveJob(1, Milliseconds(10));
+  JobState& js = h.core.job_state(id);
+
+  h.acct.ChargeWaste(js, Milliseconds(3));
+  h.acct.ChargeWaste(js, Microseconds(500));
+
+  EXPECT_DOUBLE_EQ(js.job->stats().waste_s, ToSeconds(Microseconds(3500)));
+}
+
+TEST(AccountingTest, RecordDispatchTracksAffinityFraction) {
+  CoreHarness h;
+  MetricsRegistry registry;
+  h.acct.SetMetrics(&registry);
+  const JobId id = h.AddActiveJob(1, Milliseconds(10));
+  JobState& js = h.core.job_state(id);
+
+  h.acct.RecordDispatch(js, /*affine=*/false);
+  h.acct.RecordDispatch(js, /*affine=*/true);
+  h.acct.RecordDispatch(js, /*affine=*/false);
+  h.acct.RecordDispatch(js, /*affine=*/true);
+
+  const JobStats& st = js.job->stats();
+  EXPECT_EQ(st.reallocations, 4u);
+  EXPECT_EQ(st.affinity_dispatches, 2u);
+  EXPECT_DOUBLE_EQ(st.AffinityFraction(), 0.5);
+  EXPECT_DOUBLE_EQ(h.acct.m.dispatches->value(), 4.0);
+  EXPECT_DOUBLE_EQ(h.acct.m.dispatches_affine->value(), 2.0);
+}
+
+TEST(AccountingTest, ChangeAllocationIntegratesProcessorSeconds) {
+  CoreHarness h;
+  const JobId id = h.AddActiveJob(1, Milliseconds(10));
+  JobState& js = h.core.job_state(id);
+
+  h.acct.ChangeAllocation(id, +2);
+  AdvanceTo(h, Milliseconds(1000));
+  h.acct.ChangeAllocation(id, -1);
+  AdvanceTo(h, Milliseconds(1500));
+  h.acct.UpdateAllocIntegral(id);
+
+  // 2 processors for 1 s, then 1 processor for 0.5 s.
+  EXPECT_NEAR(js.job->stats().alloc_integral_s, 2.5, 1e-9);
+  EXPECT_EQ(js.allocation, 1u);
+}
+
+TEST(AccountingTest, AllocIntegralFreezesAtCompletion) {
+  CoreHarness h;
+  const JobId id = h.AddActiveJob(1, Milliseconds(10));
+  JobState& js = h.core.job_state(id);
+
+  h.acct.ChangeAllocation(id, +1);
+  AdvanceTo(h, Milliseconds(1000));
+  js.job->stats().completion = h.core.queue.now();
+  AdvanceTo(h, Milliseconds(2000));
+  h.acct.UpdateAllocIntegral(id);
+
+  EXPECT_NEAR(js.job->stats().alloc_integral_s, 0.0, 1e-12)
+      << "integral updates after completion must be no-ops";
+}
+
+TEST(AccountingTest, PriorityFavoursJobsBelowFairShare) {
+  CoreHarness h(/*procs=*/4);
+  const JobId starved = h.AddActiveJob(4, Milliseconds(10));
+  const JobId greedy = h.AddActiveJob(4, Milliseconds(10));
+
+  // Fair share is 2; give one job everything.
+  h.acct.ChangeAllocation(greedy, +4);
+  AdvanceTo(h, Milliseconds(500));
+
+  EXPECT_GT(h.core.Priority(starved), 0.0);
+  EXPECT_LT(h.core.Priority(greedy), 0.0);
+  EXPECT_GT(h.core.Priority(starved), h.core.Priority(greedy));
+}
+
+TEST(AccountingTest, UpdateCreditBanksAccruedPriority) {
+  CoreHarness h(/*procs=*/4);
+  const JobId id = h.AddActiveJob(4, Milliseconds(10));
+  AdvanceTo(h, Milliseconds(1000));
+
+  const double before = h.core.Priority(id);
+  h.acct.UpdateCredit(id);
+  JobState& js = h.core.job_state(id);
+  EXPECT_DOUBLE_EQ(js.credit, before);
+  EXPECT_EQ(js.credit_update, h.core.queue.now());
+  // Banking is transparent at the instant it happens.
+  EXPECT_DOUBLE_EQ(h.core.Priority(id), before);
+}
+
+TEST(AccountingTest, RunningWorkerTransitionsFeedParallelismHistogram) {
+  CoreHarness h;
+  const JobId id = h.AddActiveJob(2, Milliseconds(10));
+  JobState& js = h.core.job_state(id);
+  js.par_hist = std::make_unique<WeightedHistogram>(h.core.procs.size());
+
+  h.acct.SetRunningWorkers(id, +1);
+  AdvanceTo(h, Milliseconds(1000));
+  h.acct.SetRunningWorkers(id, +1);
+  AdvanceTo(h, Milliseconds(1500));
+  h.acct.SetRunningWorkers(id, -2);
+
+  // 1 worker for 1 s, 2 workers for 0.5 s.
+  EXPECT_NEAR(js.par_hist->TotalWeight(), 1.5, 1e-9);
+  EXPECT_NEAR(js.par_hist->Fraction(1), 1.0 / 1.5, 1e-9);
+  EXPECT_NEAR(js.par_hist->Fraction(2), 0.5 / 1.5, 1e-9);
+  EXPECT_EQ(js.running_workers, 0u);
+}
+
+TEST(AccountingTest, SetMetricsNullptrDetachesAllHandles) {
+  CoreHarness h;
+  MetricsRegistry registry;
+  h.acct.SetMetrics(&registry);
+  ASSERT_NE(h.acct.m.dispatches, nullptr);
+  h.acct.SetMetrics(nullptr);
+  EXPECT_EQ(h.acct.m.dispatches, nullptr);
+  EXPECT_EQ(h.acct.m.active_jobs, nullptr);
+
+  // Charges must still be safe with metrics detached.
+  const JobId id = h.AddActiveJob(1, Milliseconds(10));
+  h.acct.ChargeChunk(h.core.job_state(id), Milliseconds(1), 0, 0);
+  h.acct.RecordDispatch(h.core.job_state(id), true);
+}
+
+}  // namespace
+}  // namespace affsched

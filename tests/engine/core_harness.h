@@ -1,0 +1,89 @@
+// Test harness for the engine's components: builds an EngineCore wired to
+// Accounting/Dispatcher/AllocatorProtocol exactly as Engine does, but with an
+// inert policy, so each component's mechanics can be driven directly.
+
+#ifndef TESTS_ENGINE_CORE_HARNESS_H_
+#define TESTS_ENGINE_CORE_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/engine/accounting.h"
+#include "src/engine/allocator_protocol.h"
+#include "src/engine/dispatcher.h"
+#include "src/engine/engine_core.h"
+#include "src/workload/thread_graph.h"
+#include "tests/sched/fake_view.h"
+
+namespace affsched {
+
+// A policy that never places anything: component tests drive the mechanics
+// themselves and must not be second-guessed by policy callbacks.
+class InertPolicy : public Policy {
+ public:
+  explicit InertPolicy(bool uses_affinity = false) : uses_affinity_(uses_affinity) {}
+  std::string name() const override { return "inert"; }
+  PolicyDecision OnJobArrival(const SchedView&, JobId) override { return {}; }
+  PolicyDecision OnJobDeparture(const SchedView&, JobId) override { return {}; }
+  PolicyDecision OnProcessorAvailable(const SchedView&, size_t) override { return {}; }
+  PolicyDecision OnRequest(const SchedView&, JobId) override { return {}; }
+  bool UsesAffinity() const override { return uses_affinity_; }
+
+ private:
+  bool uses_affinity_;
+};
+
+struct CoreHarness {
+  explicit CoreHarness(size_t procs = 2, bool uses_affinity = false,
+                       EngineOptions options = EngineOptions())
+      : core(MachineFor(procs), std::make_unique<InertPolicy>(uses_affinity), /*seed=*/1,
+             options),
+        view(procs),
+        acct(core),
+        dispatcher(core, acct),
+        alloc(core, acct) {
+    core.view = &view;
+    dispatcher.Connect(&alloc);
+    alloc.Connect(&dispatcher);
+  }
+
+  static MachineConfig MachineFor(size_t procs) {
+    MachineConfig config;
+    config.num_processors = procs;
+    return config;
+  }
+
+  // Mirrors Engine::SubmitJob + OnJobArrival for a cacheless `width`-thread
+  // job: the job is active immediately with all threads ready.
+  JobId AddActiveJob(size_t width, SimDuration work_per_thread) {
+    const JobId id = static_cast<JobId>(core.jobs.size());
+    JobState js;
+    js.profile = std::make_unique<AppProfile>();
+    js.profile->name = "job" + std::to_string(id);
+    js.profile->working_set =
+        WorkingSetParams{.blocks = 0.0, .buildup_tau_s = 0.01, .steady_miss_per_s = 0.0};
+    js.profile->thread_overlap = 1.0;
+    js.profile->max_parallelism = width;
+    auto graph = std::make_unique<ThreadGraph>();
+    for (size_t i = 0; i < width; ++i) {
+      graph->AddNode(work_per_thread);
+    }
+    js.job = std::make_unique<Job>(id, *js.profile, std::move(graph), /*arrival=*/0);
+    js.active = true;
+    core.jobs.push_back(std::move(js));
+    ++core.jobs_remaining;
+    core.active_jobs.push_back(id);
+    return id;
+  }
+
+  EngineCore core;
+  FakeSchedView view;
+  Accounting acct;
+  Dispatcher dispatcher;
+  AllocatorProtocol alloc;
+};
+
+}  // namespace affsched
+
+#endif  // TESTS_ENGINE_CORE_HARNESS_H_

@@ -1,0 +1,77 @@
+// Golden-trajectory regression tests: pinned sweep JSON, byte for byte.
+//
+// Each case parses the exact spec string the committed golden was generated
+// with, runs the full sweep through SweepRunner, and requires ToJson() to
+// match the file byte-identically. Two root seeds per preset guard against a
+// change that happens to preserve one trajectory. Any intentional behaviour
+// change must regenerate the goldens (simctl --sweep <spec> --json <file>)
+// and justify the diff in review.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/runner/runner.h"
+#include "src/runner/sweep.h"
+
+#ifndef AFF_GOLDEN_DIR
+#error "AFF_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace affsched {
+namespace {
+
+std::string ReadGolden(const std::string& filename) {
+  const std::string path = std::string(AFF_GOLDEN_DIR) + "/" + filename;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Reports the first differing byte with context, so a mismatch shows where
+// the trajectories diverged instead of dumping two 10 kB strings.
+void ExpectBytesIdentical(const std::string& actual, const std::string& golden) {
+  if (actual == golden) {
+    SUCCEED();
+    return;
+  }
+  size_t i = 0;
+  while (i < actual.size() && i < golden.size() && actual[i] == golden[i]) {
+    ++i;
+  }
+  const size_t begin = i > 60 ? i - 60 : 0;
+  ADD_FAILURE() << "sweep JSON diverges from golden at byte " << i
+                << "\n  golden: ..." << golden.substr(begin, 120)
+                << "\n  actual: ..." << actual.substr(begin, 120);
+}
+
+void RunGoldenCase(const std::string& spec_text, const std::string& filename) {
+  SweepSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseSweepSpec(spec_text, &spec, &error)) << error;
+  SweepRunnerOptions options;
+  options.jobs = 2;  // byte-identical at any worker count; exercise >1
+  const SweepResult result = SweepRunner(options).Run(spec);
+  // Goldens are produced by WriteJsonFile, which ends the file with "\n".
+  ExpectBytesIdentical(result.ToJson() + "\n", ReadGolden(filename));
+}
+
+TEST(GoldenTrajectoryTest, SmokeSeed1000) { RunGoldenCase("smoke", "sweep_smoke_seed1000.json"); }
+
+TEST(GoldenTrajectoryTest, SmokeSeed7777) {
+  RunGoldenCase("smoke;seed=7777", "sweep_smoke_seed7777.json");
+}
+
+TEST(GoldenTrajectoryTest, Fig5Seed1000) {
+  RunGoldenCase("fig5;mixes=2,5;reps=1", "sweep_fig5_seed1000.json");
+}
+
+TEST(GoldenTrajectoryTest, Fig5Seed7777) {
+  RunGoldenCase("fig5;mixes=2,5;reps=1;seed=7777", "sweep_fig5_seed7777.json");
+}
+
+}  // namespace
+}  // namespace affsched

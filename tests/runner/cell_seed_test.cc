@@ -47,6 +47,21 @@ TEST(CellSeedTest, GoldenValuesPinTheHash) {
   EXPECT_NE(a, c);
 }
 
+TEST(CellSeedTest, SeedsRoundTripThroughDecimalText) {
+  // Seeds above 2^53 are exactly the ones a double would corrupt; the
+  // decimal-text path must carry all 64 bits.
+  const uint64_t cases[] = {0, 1, (uint64_t{1} << 53) + 1, UINT64_MAX,
+                            DeriveCellSeed(1000, 5, 0)};
+  for (uint64_t seed : cases) {
+    EXPECT_EQ(SeedFromDecimal(SeedToDecimal(seed)), seed);
+  }
+  EXPECT_EQ(SeedToDecimal(18446744073709551615ull), "18446744073709551615");
+}
+
+TEST(CellSeedDeathTest, ZeroMixNumberViolatesCoordinateConvention) {
+  EXPECT_DEATH(DeriveCellSeed(1000, 0, 0), "1-based");
+}
+
 TEST(CellSeedTest, NoCollisionsAcrossRealisticGrid) {
   std::set<uint64_t> seeds;
   for (uint64_t root : {1000ull, 555ull, 8000ull}) {

@@ -68,15 +68,22 @@ TEST(EventQueueTest, CancelledEventsDoNotBlockPeek) {
   EXPECT_EQ(q.PeekTime(), Milliseconds(7));
 }
 
+// A self-rescheduling handler: pooled records hold trivially-copyable
+// callables, so the chain is a struct functor rather than a std::function.
+struct ChainEvent {
+  EventQueue* q;
+  int* count;
+  void operator()() const {
+    if (++*count < 5) {
+      q->ScheduleAfter(Milliseconds(1), ChainEvent{q, count});
+    }
+  }
+};
+
 TEST(EventQueueTest, HandlerMayScheduleMoreEvents) {
   EventQueue q;
   int count = 0;
-  std::function<void()> chain = [&] {
-    if (++count < 5) {
-      q.ScheduleAfter(Milliseconds(1), chain);
-    }
-  };
-  q.ScheduleAt(0, chain);
+  q.ScheduleAt(0, ChainEvent{&q, &count});
   q.RunAll();
   EXPECT_EQ(count, 5);
   EXPECT_EQ(q.now(), Milliseconds(4));
@@ -117,6 +124,71 @@ TEST(EventQueueTest, PendingCountTracksScheduleAndCancel) {
   EXPECT_EQ(q.pending_count(), 2u);
   q.Cancel(a);
   EXPECT_EQ(q.pending_count(), 1u);
+}
+
+TEST(EventQueueTest, StaleIdDoesNotCancelRecycledSlot) {
+  EventQueue q;
+  bool a_ran = false;
+  bool b_ran = false;
+  const EventId a = q.ScheduleAt(Milliseconds(1), [&] { a_ran = true; });
+  ASSERT_TRUE(q.Cancel(a));
+  // B reuses A's pooled record; A's generation-tagged id must not touch it.
+  const EventId b = q.ScheduleAt(Milliseconds(2), [&] { b_ran = true; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(q.Cancel(a));
+  EXPECT_FALSE(q.IsPending(a));
+  EXPECT_TRUE(q.IsPending(b));
+  q.RunAll();
+  EXPECT_FALSE(a_ran);
+  EXPECT_TRUE(b_ran);
+}
+
+TEST(EventQueueTest, RunEventIdIsNoLongerPending) {
+  EventQueue q;
+  const EventId id = q.ScheduleAt(Milliseconds(1), [] {});
+  q.RunAll();
+  EXPECT_FALSE(q.IsPending(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, MalformedIdsAreRejected) {
+  EventQueue q;
+  q.ScheduleAt(Milliseconds(1), [] {});
+  EXPECT_FALSE(q.IsPending(kInvalidEventId));
+  EXPECT_FALSE(q.Cancel(kInvalidEventId));
+  // Slot index far past the pool.
+  EXPECT_FALSE(q.IsPending(static_cast<EventId>(1234) << 32 | 1));
+  EXPECT_FALSE(q.Cancel(static_cast<EventId>(1234) << 32 | 1));
+}
+
+TEST(EventQueueTest, PoolRecyclingKeepsHighWaterMarkBounded) {
+  EventQueue q;
+  int ran = 0;
+  // Interleave schedule/run so at most two events are ever pending: the pool
+  // must recycle records rather than grow per event.
+  q.ScheduleAt(0, [&] { ++ran; });
+  for (int i = 1; i <= 1000; ++i) {
+    q.ScheduleAt(Milliseconds(i), [&] { ++ran; });
+    EXPECT_TRUE(q.RunNext());
+  }
+  q.RunAll();
+  EXPECT_EQ(ran, 1001);
+  EXPECT_EQ(q.stats().scheduled, 1001u);
+  EXPECT_EQ(q.stats().run, 1001u);
+  EXPECT_LE(q.stats().pool_high_water, 2u);
+}
+
+TEST(EventQueueTest, StatsCountScheduleRunCancel) {
+  EventQueue q;
+  const EventId a = q.ScheduleAt(Milliseconds(1), [] {});
+  q.ScheduleAt(Milliseconds(2), [] {});
+  q.ScheduleAt(Milliseconds(3), [] {});
+  q.Cancel(a);
+  q.RunAll();
+  EXPECT_EQ(q.stats().scheduled, 3u);
+  EXPECT_EQ(q.stats().cancelled, 1u);
+  EXPECT_EQ(q.stats().run, 2u);
+  EXPECT_EQ(q.stats().pool_high_water, 3u);
 }
 
 TEST(EventQueueDeathTest, SchedulingInThePastAborts) {

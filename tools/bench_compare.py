@@ -2,8 +2,10 @@
 """Compare a sweep-runner BENCH json against the committed baseline.
 
 Usage: tools/bench_compare.py CURRENT.json BASELINE.json [--tolerance 0.10]
+       tools/bench_compare.py --microbench GBENCH.json BASELINE.json
 
-Both files are `simctl --sweep` output (schema_version 1). The gate fails if:
+Default mode: both files are `simctl --sweep` output (schema_version 1).
+The gate fails if:
   * the two files were produced from different grids (spec mismatch),
   * any relative_response ratio drifts more than --tolerance (relative)
     from the baseline ratio,
@@ -16,6 +18,16 @@ With a deterministic sweep (fixed replication count, derived per-cell
 seeds) the expected drift is exactly zero, so any nonzero delta means the
 simulation changed; the tolerance only forgives intentional, reviewed
 model changes that come with a baseline refresh.
+
+--microbench mode: GBENCH.json is Google Benchmark output
+(`bench_sim_microbench --benchmark_out=... --benchmark_out_format=json`,
+ideally with --benchmark_repetitions); BASELINE.json is the committed sweep
+baseline, whose top-level "microbench" object maps benchmark names to
+items_per_second floors. The gate takes the MAX items/sec across
+repetitions (single-core CI boxes dip, they do not spike, so the max is
+the least noisy estimate of real throughput) and fails on a >--tolerance
+drop below the floor. Throughput gains do not fail the gate — raise the
+recorded floor when one lands.
 """
 
 import argparse
@@ -57,6 +69,57 @@ def response_map(doc):
     return out
 
 
+def microbench_rates(path):
+    """Max items_per_second per benchmark family from Google Benchmark JSON."""
+    with open(path) as f:
+        doc = json.load(f)
+    rates = {}
+    for bench in doc.get("benchmarks", []):
+        # Repetition rows are "Name/repeats:5" (aggregates carry run_type
+        # "aggregate"); fold everything onto the family name.
+        if bench.get("run_type") == "aggregate":
+            continue
+        rate = bench.get("items_per_second")
+        if rate is None:
+            continue
+        family = bench["name"].split("/")[0]
+        rates[family] = max(rates.get(family, 0.0), rate)
+    return rates
+
+
+def compare_microbench(args):
+    current = microbench_rates(args.current)
+    with open(args.baseline) as f:
+        floors = json.load(f).get("microbench", {})
+    if not floors:
+        sys.exit(f"{args.baseline}: no top-level 'microbench' object to gate on")
+
+    failures = []
+    for name in sorted(floors):
+        floor = floors[name]
+        if name not in current:
+            failures.append(f"benchmark missing from current run: {name}")
+            continue
+        rate = current[name]
+        drop = (floor - rate) / floor
+        mark = "" if drop <= args.tolerance else "  <-- REGRESSION"
+        print(f"{name}: baseline {floor:,.0f} items/s, current {rate:,.0f} "
+              f"({-drop:+.1%}){mark}")
+        if mark:
+            failures.append(
+                f"{name}: {rate:,.0f} items/s is {drop:.1%} below the "
+                f"{floor:,.0f} floor (tolerance {args.tolerance:.0%})")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} microbench regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(floors)} microbench rate(s) within {args.tolerance:.0%} "
+          "of the recorded floor")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current")
@@ -65,7 +128,13 @@ def main():
                         help="max allowed relative drift (default 0.10)")
     parser.add_argument("--max-ratio", type=float, default=1.10,
                         help="sanity bound on policy-vs-equi response ratios")
+    parser.add_argument("--microbench", action="store_true",
+                        help="treat CURRENT as Google Benchmark JSON and gate "
+                             "items/sec against BASELINE's 'microbench' floors")
     args = parser.parse_args()
+
+    if args.microbench:
+        return compare_microbench(args)
 
     current = load(args.current)
     baseline = load(args.baseline)
