@@ -14,7 +14,7 @@
 #include "src/apps/apps.h"
 #include "src/common/table.h"
 #include "src/engine/engine.h"
-#include "src/measure/arrivals.h"
+#include "src/opensys/arrival_process.h"
 #include "src/sched/factory.h"
 #include "src/stats/fairness.h"
 

@@ -1,0 +1,121 @@
+// Load benchmark for the open-system subsystem: whole open cells — arrival
+// generation, admission control, the engine run, and percentile accounting —
+// measured in completed jobs per wall second. These are the numbers the
+// "microbench_opensys" floors in bench/baseline.json gate
+// (tools/bench_compare.py --microbench --floors-key microbench_opensys), so
+// a regression in the open-system hot path (arrival ticks, completion hooks,
+// FIFO admission, histogram inserts) shows up as a throughput drop here.
+//
+// Every measured run also feeds the built-in Little's-law self-check; main()
+// records the verdict in run_manifest.json so an accounting bug cannot hide
+// behind a healthy throughput number.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/opensys/open_sweep.h"
+#include "src/telemetry/manifest.h"
+
+namespace affsched {
+namespace {
+
+// Sticky across all benchmarks; dumped into run_manifest.json by main().
+bool g_littles_ok = true;
+
+OpenSweepSpec CellSpec(const std::string& overrides) {
+  OpenSweepSpec spec;
+  std::string error;
+  const std::string text = "opensys-smoke;" + overrides;
+  if (!ParseOpenSweepSpec(text, &spec, &error)) {
+    std::fprintf(stderr, "bench_opensys_load: bad spec %s: %s\n", text.c_str(), error.c_str());
+    std::abort();
+  }
+  return spec;
+}
+
+// Runs the grid single-threaded (the benchmark measures the cell, not the
+// worker pool) and returns completed jobs, folding the Little's-law verdict
+// into the sticky flag.
+size_t RunSpec(const OpenSweepSpec& spec) {
+  OpenSweepRunnerOptions options;
+  options.jobs = 1;
+  const OpenSweepResult result = OpenSweepRunner(options).Run(spec);
+  g_littles_ok = g_littles_ok && result.AllLittlesLawOk();
+  size_t completed = 0;
+  for (const OpenCellResult& cell : result.cells) {
+    completed += cell.result.completed;
+  }
+  return completed;
+}
+
+// One moderate-load Poisson cell under the affinity policy: the steady-state
+// configuration the open sweeps spend most of their time in.
+void BM_OpenLoadPoissonRho800(benchmark::State& state) {
+  const OpenSweepSpec spec = CellSpec("policies=dyn-aff;arrivals=poisson;rhos=0.8;count=60");
+  size_t completed = 0;
+  for (auto _ : state) {
+    completed += RunSpec(spec);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(completed));
+}
+BENCHMARK(BM_OpenLoadPoissonRho800)->UseRealTime();
+
+// Same load through the bursty on/off process: deeper transient queues, so
+// the admission FIFO and queue-length accounting paths run hot.
+void BM_OpenLoadOnOffRho800(benchmark::State& state) {
+  const OpenSweepSpec spec = CellSpec("policies=dyn-aff;arrivals=onoff;rhos=0.8;count=60");
+  size_t completed = 0;
+  for (auto _ : state) {
+    completed += RunSpec(spec);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(completed));
+}
+BENCHMARK(BM_OpenLoadOnOffRho800)->UseRealTime();
+
+// Near saturation with a bounded multiprogramming level: exercises the
+// queue-then-admit path on nearly every arrival.
+void BM_OpenLoadMplCapRho950(benchmark::State& state) {
+  const OpenSweepSpec spec =
+      CellSpec("policies=dyn-aff;arrivals=poisson;rhos=0.95;count=60;mpl-cap=6");
+  size_t completed = 0;
+  for (auto _ : state) {
+    completed += RunSpec(spec);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(completed));
+}
+BENCHMARK(BM_OpenLoadMplCapRho950)->UseRealTime();
+
+// The full smoke grid (2 policies x 2 rhos x poisson), end to end: what the
+// CI smoke sweep and the golden test actually run.
+void BM_OpenSmokeSweep(benchmark::State& state) {
+  const OpenSweepSpec spec = OpenSysSmokeSpec();
+  size_t completed = 0;
+  for (auto _ : state) {
+    completed += RunSpec(spec);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(completed));
+}
+BENCHMARK(BM_OpenSmokeSweep)->UseRealTime();
+
+}  // namespace
+}  // namespace affsched
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  affsched::RunManifest manifest;
+  manifest.SetString("tool", "bench_opensys_load");
+  manifest.SetBool("littles_law_ok", affsched::g_littles_ok);
+  manifest.WriteFile("run_manifest.json");
+  std::printf("wrote run_manifest.json (git %s, littles_law_ok=%s)\n",
+              affsched::RunManifest::GitSha(), affsched::g_littles_ok ? "true" : "false");
+  return affsched::g_littles_ok ? 0 : 1;
+}

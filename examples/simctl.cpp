@@ -6,6 +6,8 @@
 //   ./build/examples/simctl --mix=2 --policy=equi --speed=16 --cache=16
 //   ./build/examples/simctl --mix=5 --metrics --chrome-trace=trace.json
 //   ./build/examples/simctl --sweep=smoke --jobs=8 --out=BENCH.json
+//   ./build/examples/simctl --open --preset=opensys --jobs=8 --out=open.json
+//   ./build/examples/simctl --open --rho=0.7,0.9 --arrivals=onoff --mpl-cap=8
 //   ./build/examples/simctl --help
 
 #include <chrono>
@@ -20,6 +22,7 @@
 #include "src/engine/engine.h"
 #include "src/measure/mixes.h"
 #include "src/measure/report.h"
+#include "src/opensys/open_sweep.h"
 #include "src/runner/runner.h"
 #include "src/runner/sweep.h"
 #include "src/runner/worker_pool.h"
@@ -84,6 +87,88 @@ int RunSweepMode(const std::string& spec_text, size_t jobs, const std::string& o
   return 0;
 }
 
+// Runs an open-system load sweep (--open mode): stochastic arrivals through
+// admission control, latency percentiles per (policy, arrival process, rho)
+// cell. The spec string comes from --preset with --rho/--arrivals/--mpl-cap/
+// --max-queue folded in as overrides.
+int RunOpenMode(const FlagSet& flags) {
+  std::string spec_text = flags.GetString("preset");
+  if (!flags.GetString("rho").empty()) {
+    spec_text += ";rhos=" + flags.GetString("rho");
+  }
+  if (!flags.GetString("arrivals").empty()) {
+    spec_text += ";arrivals=" + flags.GetString("arrivals");
+  }
+  if (flags.GetInt("mpl-cap") > 0) {
+    spec_text += ";mpl-cap=" + std::to_string(flags.GetInt("mpl-cap"));
+  }
+  if (flags.GetInt("max-queue") >= 0) {
+    spec_text += ";max-queue=" + std::to_string(flags.GetInt("max-queue"));
+  }
+
+  OpenSweepSpec spec;
+  std::string error;
+  if (!ParseOpenSweepSpec(spec_text, &spec, &error)) {
+    std::printf("bad open sweep spec: %s\n", error.c_str());
+    return 1;
+  }
+
+  const size_t jobs = static_cast<size_t>(flags.GetInt("jobs"));
+  OpenSweepRunnerOptions options;
+  options.jobs = jobs;
+  options.progress = [](size_t completed, size_t total) {
+    std::fprintf(stderr, "open sweep: %zu/%zu cells\n", completed, total);
+  };
+  const OpenSweepResult result = OpenSweepRunner(options).Run(spec);
+
+  std::printf("open sweep '%s': %zu cells on %zu worker(s), %.2fs wall\n"
+              "mean job demand %.2fs; admission %s\n\n",
+              spec.name.c_str(), result.cells.size(),
+              jobs == 0 ? WorkerPool::DefaultThreadCount() : jobs, result.wall_seconds,
+              result.mean_demand_s,
+              MakeAdmissionController(spec.mpl_cap, spec.max_queue)->Name().c_str());
+
+  TextTable table;
+  table.SetHeader({"arrivals", "rho", "policy", "p50 (s)", "p95 (s)", "p99 (s)", "rej %",
+                   "queue", "aff %", "L=lamW"});
+  for (const OpenCellResult& cell : result.cells) {
+    const OpenSystemResult& r = cell.result;
+    table.AddRow({ArrivalKindName(cell.arrivals), FormatDouble(cell.rho, 2),
+                  PolicyKindCliName(cell.policy), FormatDouble(r.p50_sojourn_s, 2),
+                  FormatDouble(r.p95_sojourn_s, 2), FormatDouble(r.p99_sojourn_s, 2),
+                  FormatDouble(r.reject_rate * 100.0, 1), FormatDouble(r.mean_queue_len, 2),
+                  FormatDouble(r.affinity_fraction * 100.0, 1),
+                  r.littles.ok ? "ok" : "FAIL"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  if (!result.AllLittlesLawOk()) {
+    std::printf("WARNING: a cell failed the Little's-law self-check (accounting bug?)\n");
+  }
+
+  const std::string out_path = flags.GetString("out");
+  if (!out_path.empty()) {
+    if (!result.WriteJsonFile(out_path)) {
+      std::printf("failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote open sweep results to %s\n", out_path.c_str());
+  }
+  const std::string manifest_path = flags.GetString("manifest");
+  if (!manifest_path.empty()) {
+    RunManifest manifest;
+    manifest.SetString("tool", "simctl-open");
+    manifest.SetString("spec", spec.name);
+    manifest.SetUint("seed", spec.root_seed);
+    manifest.SetNumber("cells", static_cast<double>(result.cells.size()));
+    manifest.SetNumber("mean_demand_s", result.mean_demand_s);
+    manifest.SetBool("littles_law_ok", result.AllLittlesLawOk());
+    if (manifest.WriteFile(manifest_path)) {
+      std::printf("wrote run manifest to %s\n", manifest_path.c_str());
+    }
+  }
+  return result.AllLittlesLawOk() ? 0 : 1;
+}
+
 // Prints the sweep preset grids (--list-presets): what --sweep=<name> runs.
 void ListPresets() {
   TextTable table;
@@ -108,6 +193,28 @@ void ListPresets() {
   std::printf("%s\nRun one with --sweep=<preset>; append ;key=value overrides "
               "(e.g. --sweep=\"fig5;reps=2;procs=8\").\n",
               table.Render().c_str());
+
+  TextTable open_table;
+  open_table.SetHeader({"open preset", "seed", "policies", "arrivals", "rhos", "cells"});
+  for (const OpenSweepSpec& spec : {OpenSysSpec(), OpenSysSmokeSpec()}) {
+    std::string policies;
+    for (PolicyKind kind : spec.policies) {
+      policies += (policies.empty() ? "" : ",") + PolicyKindCliName(kind);
+    }
+    std::string arrivals;
+    for (ArrivalKind kind : spec.arrivals) {
+      arrivals += (arrivals.empty() ? "" : ",") + ArrivalKindName(kind);
+    }
+    std::string rhos;
+    for (double rho : spec.rhos) {
+      rhos += (rhos.empty() ? "" : ",") + FormatDouble(rho, 2);
+    }
+    open_table.AddRow({spec.name, std::to_string(spec.root_seed), policies, arrivals, rhos,
+                       std::to_string(spec.Cells())});
+  }
+  std::printf("\n%s\nRun one with --open --preset=<name>; --rho/--arrivals/--mpl-cap/"
+              "--max-queue override the grid.\n",
+              open_table.Render().c_str());
 }
 
 }  // namespace
@@ -138,6 +245,18 @@ int main(int argc, char** argv) {
                   "(fig5, table3, future, smoke) or key=value spec; see README");
   flags.AddInt("jobs", 0, "sweep worker threads (0 = hardware concurrency)");
   flags.AddString("out", "", "write sweep results JSON here");
+  flags.AddBool("open", false,
+                "run an open-system load sweep: stochastic arrivals, admission "
+                "control, latency percentiles (see --preset)");
+  flags.AddString("preset", "opensys",
+                  "open sweep spec: a preset (opensys, opensys-smoke) or "
+                  "key=value spec; used with --open");
+  flags.AddString("rho", "", "offered loads for --open (comma-separated, e.g. 0.7,0.9)");
+  flags.AddString("arrivals", "",
+                  "arrival processes for --open (comma-separated: poisson, onoff)");
+  flags.AddInt("mpl-cap", 0, "admission MPL cap for --open (0 = unbounded)");
+  flags.AddInt("max-queue", -1,
+               "admission queue bound for --open (-1 = unbounded; needs --mpl-cap)");
   if (!flags.Parse(argc, argv)) {
     std::printf("%s\n", flags.help_requested() ? flags.Help().c_str() : flags.error().c_str());
     return flags.help_requested() ? 0 : 1;
@@ -151,6 +270,10 @@ int main(int argc, char** argv) {
   if (!flags.GetString("sweep").empty()) {
     return RunSweepMode(flags.GetString("sweep"), static_cast<size_t>(flags.GetInt("jobs")),
                         flags.GetString("out"));
+  }
+
+  if (flags.GetBool("open")) {
+    return RunOpenMode(flags);
   }
 
   const int mix_number = static_cast<int>(flags.GetInt("mix"));

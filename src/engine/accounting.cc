@@ -41,11 +41,18 @@ void Accounting::ResolveJobMetrics() {
     return;
   }
   for (JobId id = 0; id < core_.jobs.size(); ++id) {
-    JobState& js = core_.jobs[id];
-    const std::string prefix = "engine.job." + js.job->name() + "#" + std::to_string(id);
-    js.metric_reallocations = metrics_->FindOrCreateCounter(prefix + ".reallocations");
-    js.metric_reload_stall_ns = metrics_->FindOrCreateCounter(prefix + ".reload_stall_ns");
+    ResolveJobMetricsFor(id);
   }
+}
+
+void Accounting::ResolveJobMetricsFor(JobId id) {
+  if (metrics_ == nullptr) {
+    return;
+  }
+  JobState& js = core_.jobs[id];
+  const std::string prefix = "engine.job." + js.job->name() + "#" + std::to_string(id);
+  js.metric_reallocations = metrics_->FindOrCreateCounter(prefix + ".reallocations");
+  js.metric_reload_stall_ns = metrics_->FindOrCreateCounter(prefix + ".reload_stall_ns");
 }
 
 void Accounting::FinalizeMetrics() {

@@ -58,6 +58,9 @@ class Accounting {
   MetricsRegistry* metrics() const { return metrics_; }
   // Creates the per-job counters (Run() start, when all jobs are known).
   void ResolveJobMetrics();
+  // Creates the per-job counters for one job admitted mid-run (open-system
+  // submission happens after Run() has resolved the initial set).
+  void ResolveJobMetricsFor(JobId id);
   // End-of-run totals that are cheaper to read once than to stream: bus
   // transfer and peak-utilisation counters.
   void FinalizeMetrics();

@@ -276,7 +276,14 @@ void AllocatorProtocol::HandleJobCompletion(JobId id, size_t completing_proc) {
     }
   }
 
-  if (core_.jobs_remaining == 0) {
+  // Departure hook before the policy reacts: an open-system driver may admit
+  // a queued job here. Admission defers the actual arrival through an event
+  // at the current timestamp, so the policy sees departure before arrival.
+  if (core_.completion_hook) {
+    core_.completion_hook(id);
+  }
+
+  if (core_.jobs_remaining == 0 && core_.external_pending == 0) {
     return;
   }
   ApplyDecision(core_.policy->OnJobDeparture(*core_.view, id));

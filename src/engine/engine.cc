@@ -22,12 +22,26 @@ Engine::Engine(const MachineConfig& machine_config, std::unique_ptr<Policy> poli
 JobId Engine::SubmitJob(const AppProfile& profile, SimTime arrival) {
   AFF_CHECK_MSG(!core_.running, "SubmitJob must be called before Run()");
   AFF_CHECK(arrival >= 0);
+  return SubmitJobInternal(profile, arrival, arrival, core_.rng.Split());
+}
+
+JobId Engine::AdmitJob(const AppProfile& profile, SimTime queued_since, uint64_t graph_seed) {
+  AFF_CHECK_MSG(core_.running, "AdmitJob is for mid-run (open-system) submission");
+  const SimTime now = core_.queue.now();
+  AFF_CHECK(queued_since >= 0 && queued_since <= now);
+  const JobId id = SubmitJobInternal(profile, now, queued_since, Rng(graph_seed));
+  acct_.ResolveJobMetricsFor(id);
+  return id;
+}
+
+JobId Engine::SubmitJobInternal(const AppProfile& profile, SimTime arrival, SimTime queued_since,
+                                Rng graph_rng) {
   const JobId id = static_cast<JobId>(core_.jobs.size());
   JobState js;
   js.profile = std::make_unique<AppProfile>(profile);
-  Rng job_rng = core_.rng.Split();
-  auto graph = js.profile->build_graph(job_rng);
+  auto graph = js.profile->build_graph(graph_rng);
   js.job = std::make_unique<Job>(id, *js.profile, std::move(graph), arrival);
+  js.job->stats().queue_wait_s = ToSeconds(arrival - queued_since);
   if (core_.options.record_parallelism) {
     js.par_hist = std::make_unique<WeightedHistogram>(core_.machine.num_processors());
   }
@@ -35,6 +49,11 @@ JobId Engine::SubmitJob(const AppProfile& profile, SimTime arrival) {
   ++core_.jobs_remaining;
   core_.queue.ScheduleAt(arrival, [this, id] { OnJobArrival(id); });
   return id;
+}
+
+void Engine::SetCompletionHook(std::function<void(JobId)> hook) {
+  AFF_CHECK_MSG(!core_.running, "SetCompletionHook must be called before Run()");
+  core_.completion_hook = std::move(hook);
 }
 
 SimTime Engine::Run() {
@@ -45,7 +64,7 @@ SimTime Engine::Run() {
     StartSampling();
   }
   SimTime last_completion = 0;
-  while (core_.jobs_remaining > 0) {
+  while (core_.WorkRemaining()) {
     if (!core_.queue.RunNext()) {
       DumpState();
       AFF_CHECK_MSG(false, "simulation stalled with jobs outstanding");
@@ -126,7 +145,7 @@ void Engine::SamplerTick() {
   // is empty here the run is either finished or stalled, and in the stalled
   // case the deadlock diagnostics in Run() must fire rather than the sampler
   // ticking forever.
-  if (core_.jobs_remaining > 0 && !core_.queue.empty()) {
+  if (core_.WorkRemaining() && !core_.queue.empty()) {
     core_.queue.ScheduleAfter(sampler_->cadence(), [this] { SamplerTick(); });
   }
 }

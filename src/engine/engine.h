@@ -43,8 +43,36 @@ class Engine : public SchedView {
   // Must be called before Run().
   JobId SubmitJob(const AppProfile& profile, SimTime arrival = 0);
 
-  // Runs the simulation until all submitted jobs complete.
-  // Returns the completion time of the last job.
+  // Admits a job mid-run (open-system mode): the job enters service at the
+  // current simulated time. `queued_since` is when it originally arrived at
+  // the admission queue (<= now); the difference is accounted as
+  // JobStats::queue_wait_s, separate from in-service response time. The
+  // thread graph is built from `graph_seed`'s own deterministic stream rather
+  // than the engine RNG, so workload draws stay identical across policies
+  // (common random numbers) no matter how admission dynamics differ.
+  JobId AdmitJob(const AppProfile& profile, SimTime queued_since, uint64_t graph_seed);
+
+  // Schedules an external open-system event (an arrival-stream tick). Pending
+  // external events keep Run() alive even when no submitted job remains, so
+  // arrival streams can span idle periods. `fn` follows EventQueue callable
+  // rules (trivially copyable, pointer/scalar captures only).
+  template <typename F>
+  void ScheduleExternal(SimTime when, F fn) {
+    ++core_.external_pending;
+    EngineCore* core = &core_;
+    core_.queue.ScheduleAt(when, [core, fn] {
+      --core->external_pending;
+      fn();
+    });
+  }
+
+  // Installs a hook invoked at each job completion, after the departure is
+  // accounted but before the policy reacts. Open-system drivers admit queued
+  // jobs from it. Call before Run().
+  void SetCompletionHook(std::function<void(JobId)> hook);
+
+  // Runs the simulation until all submitted jobs complete and no external
+  // events remain. Returns the completion time of the last job.
   SimTime Run();
 
   // Streams scheduling events to `sink` (nullptr disables tracing). The sink
@@ -98,6 +126,8 @@ class Engine : public SchedView {
   double Priority(JobId job) const override;
 
  private:
+  JobId SubmitJobInternal(const AppProfile& profile, SimTime arrival, SimTime queued_since,
+                          Rng graph_rng);
   void OnJobArrival(JobId id);
 
   // Registers the standard probes and starts the recurring sampling event.

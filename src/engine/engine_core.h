@@ -17,6 +17,7 @@
 #ifndef SRC_ENGINE_ENGINE_CORE_H_
 #define SRC_ENGINE_ENGINE_CORE_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -136,8 +137,19 @@ struct EngineCore {
   std::vector<Worker> workers;  // indexed by worker id - 1 (ids start at 1)
   CacheOwner next_worker_id = 1;
   size_t jobs_remaining = 0;
+  // External (open-system) events not yet run: arrival streams keep the run
+  // loop alive across intervals where no submitted job remains.
+  size_t external_pending = 0;
+  // Invoked synchronously from HandleJobCompletion after the departure is
+  // accounted, before the policy is notified. Open-system drivers use it to
+  // admit queued jobs at departure instants.
+  std::function<void(JobId)> completion_hook;
   bool running = false;
   TraceSink* trace = nullptr;
+
+  // True while the run loop must keep going: submitted jobs outstanding or
+  // external events (future arrivals) still pending.
+  bool WorkRemaining() const { return jobs_remaining > 0 || external_pending > 0; }
 };
 
 }  // namespace affsched

@@ -1,0 +1,61 @@
+#include "src/opensys/admission.h"
+
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+AdmissionVerdict UnboundedAdmission::OnArrival(size_t /*in_service*/, size_t /*queued*/) {
+  return AdmissionVerdict::kAdmit;
+}
+
+bool UnboundedAdmission::CanAdmitQueued(size_t /*in_service*/) { return true; }
+
+FixedMplAdmission::FixedMplAdmission(size_t cap) : cap_(cap) {
+  AFF_CHECK_MSG(cap_ > 0, "MPL cap must be positive (use UnboundedAdmission for no cap)");
+}
+
+AdmissionVerdict FixedMplAdmission::OnArrival(size_t in_service, size_t /*queued*/) {
+  return in_service < cap_ ? AdmissionVerdict::kAdmit : AdmissionVerdict::kQueue;
+}
+
+bool FixedMplAdmission::CanAdmitQueued(size_t in_service) { return in_service < cap_; }
+
+std::string FixedMplAdmission::Name() const {
+  std::ostringstream o;
+  o << "mpl-" << cap_;
+  return o.str();
+}
+
+LoadSheddingAdmission::LoadSheddingAdmission(size_t cap, size_t max_queue)
+    : cap_(cap), max_queue_(max_queue) {
+  AFF_CHECK_MSG(cap_ > 0, "MPL cap must be positive");
+}
+
+AdmissionVerdict LoadSheddingAdmission::OnArrival(size_t in_service, size_t queued) {
+  if (in_service < cap_) {
+    return AdmissionVerdict::kAdmit;
+  }
+  return queued < max_queue_ ? AdmissionVerdict::kQueue : AdmissionVerdict::kReject;
+}
+
+bool LoadSheddingAdmission::CanAdmitQueued(size_t in_service) { return in_service < cap_; }
+
+std::string LoadSheddingAdmission::Name() const {
+  std::ostringstream o;
+  o << "shed-" << cap_ << "-q" << max_queue_;
+  return o.str();
+}
+
+std::unique_ptr<AdmissionController> MakeAdmissionController(size_t mpl_cap, int64_t max_queue) {
+  if (mpl_cap == 0) {
+    return std::make_unique<UnboundedAdmission>();
+  }
+  if (max_queue < 0) {
+    return std::make_unique<FixedMplAdmission>(mpl_cap);
+  }
+  return std::make_unique<LoadSheddingAdmission>(mpl_cap, static_cast<size_t>(max_queue));
+}
+
+}  // namespace affsched

@@ -1,0 +1,99 @@
+// Admission control for the open-system driver.
+//
+// An AdmissionController sits between the arrival stream and the allocator:
+// each arrival is admitted into service, held in a FIFO admission queue, or
+// rejected outright (load shedding). The driver accounts queue wait
+// separately from in-service response time, so the admission policy's effect
+// on sojourn decomposes cleanly.
+//
+// Three policies:
+//   * UnboundedAdmission    — every arrival enters service immediately (the
+//                             allocator itself multiplexes; MPL unbounded);
+//   * FixedMplAdmission     — at most `cap` jobs in service; excess queues
+//                             FIFO (the classic multiprogramming-level knob);
+//   * LoadSheddingAdmission — FixedMpl plus a bounded queue: arrivals that
+//                             find the queue full are rejected.
+
+#ifndef SRC_OPENSYS_ADMISSION_H_
+#define SRC_OPENSYS_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace affsched {
+
+enum class AdmissionVerdict {
+  kAdmit,   // enter service now
+  kQueue,   // wait in the FIFO admission queue
+  kReject,  // drop; the job never enters the system
+};
+
+class AdmissionController {
+ public:
+  virtual ~AdmissionController() = default;
+
+  // Verdict for a new arrival, given current occupancy: `in_service` jobs
+  // admitted and not yet complete, `queued` jobs waiting in the admission
+  // queue. Called once per arrival.
+  virtual AdmissionVerdict OnArrival(size_t in_service, size_t queued) = 0;
+
+  // True if a queued job may enter service given `in_service` occupancy.
+  // Consulted on each departure (repeatedly, until it declines or the queue
+  // drains), so a single completion can release several queued jobs when the
+  // controller allows it.
+  virtual bool CanAdmitQueued(size_t in_service) = 0;
+
+  // Short identifier for JSON and logs.
+  virtual std::string Name() const = 0;
+};
+
+class UnboundedAdmission : public AdmissionController {
+ public:
+  AdmissionVerdict OnArrival(size_t in_service, size_t queued) override;
+  bool CanAdmitQueued(size_t in_service) override;
+  std::string Name() const override { return "unbounded"; }
+};
+
+class FixedMplAdmission : public AdmissionController {
+ public:
+  // `cap` > 0: the maximum multiprogramming level.
+  explicit FixedMplAdmission(size_t cap);
+
+  AdmissionVerdict OnArrival(size_t in_service, size_t queued) override;
+  bool CanAdmitQueued(size_t in_service) override;
+  std::string Name() const override;
+
+  size_t cap() const { return cap_; }
+
+ private:
+  size_t cap_;
+};
+
+class LoadSheddingAdmission : public AdmissionController {
+ public:
+  // `cap` > 0 as for FixedMpl; arrivals finding `max_queue` jobs already
+  // queued are rejected (max_queue == 0 rejects instead of ever queueing).
+  LoadSheddingAdmission(size_t cap, size_t max_queue);
+
+  AdmissionVerdict OnArrival(size_t in_service, size_t queued) override;
+  bool CanAdmitQueued(size_t in_service) override;
+  std::string Name() const override;
+
+  size_t cap() const { return cap_; }
+  size_t max_queue() const { return max_queue_; }
+
+ private:
+  size_t cap_;
+  size_t max_queue_;
+};
+
+// CLI-level factory: mpl_cap == 0 selects Unbounded; mpl_cap > 0 with
+// max_queue < 0 selects FixedMpl (unbounded queue); mpl_cap > 0 with
+// max_queue >= 0 selects LoadShedding.
+std::unique_ptr<AdmissionController> MakeAdmissionController(size_t mpl_cap, int64_t max_queue);
+
+}  // namespace affsched
+
+#endif  // SRC_OPENSYS_ADMISSION_H_

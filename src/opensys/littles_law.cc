@@ -1,0 +1,52 @@
+#include "src/opensys/littles_law.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+void LittlesLawChecker::Advance(SimTime t) {
+  AFF_CHECK_MSG(t >= last_change_, "Little's-law events must be time-ordered");
+  integral_job_s_ += static_cast<double>(in_system_) * ToSeconds(t - last_change_);
+  last_change_ = t;
+}
+
+void LittlesLawChecker::OnEnter(SimTime t) {
+  Advance(t);
+  ++in_system_;
+}
+
+void LittlesLawChecker::OnLeave(SimTime t, double sojourn_s) {
+  AFF_CHECK_MSG(in_system_ > 0, "leave without a matching enter");
+  AFF_CHECK(sojourn_s >= 0.0);
+  Advance(t);
+  --in_system_;
+  ++completed_;
+  sojourn_sum_s_ += sojourn_s;
+}
+
+LittlesLawResult LittlesLawChecker::Result(SimTime t_end, double tolerance) const {
+  AFF_CHECK(tolerance >= 0.0);
+  LittlesLawResult r;
+  const double t_s = ToSeconds(t_end);
+  if (t_s <= 0.0 || completed_ == 0) {
+    // Degenerate window: nothing completed, both sides are vacuously equal.
+    r.ok = true;
+    return r;
+  }
+  AFF_CHECK_MSG(t_end >= last_change_, "t_end precedes the last recorded event");
+  const double tail =
+      static_cast<double>(in_system_) * ToSeconds(t_end - last_change_);
+  r.mean_jobs_in_system = (integral_job_s_ + tail) / t_s;
+  r.arrival_rate_per_s = static_cast<double>(completed_) / t_s;
+  r.mean_sojourn_s = sojourn_sum_s_ / static_cast<double>(completed_);
+  const double rhs = r.arrival_rate_per_s * r.mean_sojourn_s;
+  r.relative_error = r.mean_jobs_in_system > 0.0
+                         ? std::abs(r.mean_jobs_in_system - rhs) / r.mean_jobs_in_system
+                         : std::abs(rhs);
+  r.ok = r.relative_error <= tolerance;
+  return r;
+}
+
+}  // namespace affsched

@@ -1,0 +1,459 @@
+#include "src/opensys/open_sweep.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "src/apps/apps.h"
+#include "src/common/check.h"
+#include "src/measure/experiment.h"
+#include "src/runner/cell_seed.h"
+#include "src/runner/worker_pool.h"
+#include "src/telemetry/json.h"
+
+namespace affsched {
+
+std::string ArrivalKindName(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kOnOff:
+      return "onoff";
+  }
+  AFF_CHECK(false);
+  return "";
+}
+
+bool ArrivalKindFromName(const std::string& name, ArrivalKind* kind) {
+  if (name == "poisson") {
+    *kind = ArrivalKind::kPoisson;
+    return true;
+  }
+  if (name == "onoff") {
+    *kind = ArrivalKind::kOnOff;
+    return true;
+  }
+  return false;
+}
+
+int RhoPermille(double rho) {
+  AFF_CHECK_MSG(rho > 0.0, "offered load must be positive");
+  const int permille = static_cast<int>(std::lround(rho * 1000.0));
+  AFF_CHECK(permille >= 1);
+  return permille;
+}
+
+double MeanServiceDemandSeconds(const std::vector<AppProfile>& apps,
+                                const std::vector<double>& app_weights) {
+  AFF_CHECK(apps.size() == app_weights.size());
+  CheckAppWeights(app_weights);
+  // The probe seed is a fixed constant, NOT the sweep seed: the rho -> rate
+  // mapping must mean the same thing across sweeps or cross-run comparisons
+  // at "the same rho" would silently compare different loads.
+  constexpr uint64_t kDemandProbeSeed = 0x6F70656E;  // "open"
+  constexpr size_t kProbesPerApp = 8;
+  double weighted = 0.0;
+  double total_weight = 0.0;
+  for (size_t a = 0; a < apps.size(); ++a) {
+    double sum_s = 0.0;
+    for (size_t k = 0; k < kProbesPerApp; ++k) {
+      Rng rng(DeriveSeed(kDemandProbeSeed, {static_cast<uint64_t>(a), static_cast<uint64_t>(k)}));
+      sum_s += ToSeconds(apps[a].build_graph(rng)->TotalWork());
+    }
+    weighted += app_weights[a] * (sum_s / static_cast<double>(kProbesPerApp));
+    total_weight += app_weights[a];
+  }
+  return weighted / total_weight;
+}
+
+namespace {
+
+std::vector<std::string> SplitOn(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : text) {
+    if (c == sep) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+OpenSweepSpec BaseOpenSpec() {
+  OpenSweepSpec spec;
+  spec.machine = PaperMachineConfig();
+  spec.apps = {MakeSmallMvaProfile(), MakeSmallMatrixProfile(), MakeSmallGravityProfile()};
+  spec.app_weights = {1.0, 1.0, 1.0};
+  return spec;
+}
+
+}  // namespace
+
+OpenSweepSpec OpenSysSpec() {
+  OpenSweepSpec spec = BaseOpenSpec();
+  spec.name = "opensys";
+  spec.policies = {PolicyKind::kEquipartition, PolicyKind::kDynamic, PolicyKind::kDynAff};
+  spec.arrivals = {ArrivalKind::kPoisson, ArrivalKind::kOnOff};
+  spec.rhos = {0.3, 0.5, 0.7, 0.8, 0.9, 0.95};
+  spec.jobs_per_cell = 80;
+  spec.replications = 1;
+  spec.root_seed = 2000;
+  return spec;
+}
+
+OpenSweepSpec OpenSysSmokeSpec() {
+  OpenSweepSpec spec = BaseOpenSpec();
+  spec.name = "opensys-smoke";
+  spec.policies = {PolicyKind::kEquipartition, PolicyKind::kDynAff};
+  spec.arrivals = {ArrivalKind::kPoisson};
+  spec.rhos = {0.5, 0.8};
+  spec.jobs_per_cell = 30;
+  spec.replications = 1;
+  spec.root_seed = 2000;
+  return spec;
+}
+
+bool ParseOpenSweepSpec(const std::string& text, OpenSweepSpec* spec, std::string* error) {
+  if (text.empty()) {
+    *error = "empty open sweep spec";
+    return false;
+  }
+  const std::vector<std::string> tokens = SplitOn(text, ';');
+  size_t first_override = 0;
+  if (tokens[0].find('=') == std::string::npos) {
+    const std::string& preset = tokens[0];
+    if (preset == "opensys") {
+      *spec = OpenSysSpec();
+    } else if (preset == "opensys-smoke") {
+      *spec = OpenSysSmokeSpec();
+    } else {
+      *error = "unknown open sweep preset '" + preset + "'";
+      return false;
+    }
+    first_override = 1;
+  } else {
+    *spec = OpenSysSpec();  // custom specs start from the full grid
+    spec->name = "custom";
+  }
+  if (first_override < tokens.size()) {
+    spec->name = text;  // overrides applied: record full provenance
+  }
+
+  for (size_t i = first_override; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token.empty()) {
+      continue;
+    }
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      *error = "expected key=value, got '" + token + "'";
+      return false;
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "policies") {
+      spec->policies.clear();
+      for (const std::string& name : SplitOn(value, ',')) {
+        PolicyKind kind;
+        if (!PolicyKindFromName(name, &kind)) {
+          *error = "unknown policy '" + name + "'";
+          return false;
+        }
+        spec->policies.push_back(kind);
+      }
+    } else if (key == "arrivals") {
+      spec->arrivals.clear();
+      for (const std::string& name : SplitOn(value, ',')) {
+        ArrivalKind kind;
+        if (!ArrivalKindFromName(name, &kind)) {
+          *error = "unknown arrival process '" + name + "'";
+          return false;
+        }
+        spec->arrivals.push_back(kind);
+      }
+    } else if (key == "rhos") {
+      spec->rhos.clear();
+      for (const std::string& number : SplitOn(value, ',')) {
+        const double rho = std::atof(number.c_str());
+        if (rho <= 0.0 || rho > 1.5) {
+          *error = "rho '" + number + "' out of range (0, 1.5]";
+          return false;
+        }
+        spec->rhos.push_back(rho);
+      }
+    } else if (key == "count") {
+      const int n = std::atoi(value.c_str());
+      if (n < 1) {
+        *error = "count must be >= 1";
+        return false;
+      }
+      spec->jobs_per_cell = static_cast<size_t>(n);
+    } else if (key == "reps") {
+      const int n = std::atoi(value.c_str());
+      if (n < 1) {
+        *error = "reps must be >= 1";
+        return false;
+      }
+      spec->replications = static_cast<size_t>(n);
+    } else if (key == "seed") {
+      spec->root_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "procs") {
+      const int n = std::atoi(value.c_str());
+      if (n < 1) {
+        *error = "procs must be >= 1";
+        return false;
+      }
+      spec->machine.num_processors = static_cast<size_t>(n);
+    } else if (key == "speed") {
+      spec->machine.processor_speed = std::atof(value.c_str());
+    } else if (key == "cache") {
+      spec->machine.cache_size_factor = std::atof(value.c_str());
+    } else if (key == "mpl-cap") {
+      const int n = std::atoi(value.c_str());
+      if (n < 0) {
+        *error = "mpl-cap must be >= 0 (0 = unbounded)";
+        return false;
+      }
+      spec->mpl_cap = static_cast<size_t>(n);
+    } else if (key == "max-queue") {
+      spec->max_queue = std::atoll(value.c_str());
+    } else if (key == "warmup") {
+      if (value == "mser") {
+        spec->open.warmup_rule = WarmupRule::kMser;
+      } else {
+        const double fraction = std::atof(value.c_str());
+        if (fraction < 0.0 || fraction >= 1.0) {
+          *error = "warmup must be 'mser' or a fraction in [0, 1)";
+          return false;
+        }
+        spec->open.warmup_rule = WarmupRule::kFraction;
+        spec->open.warmup_fraction = fraction;
+      }
+    } else if (key == "burst") {
+      const double factor = std::atof(value.c_str());
+      if (factor <= 1.0) {
+        *error = "burst factor must be > 1";
+        return false;
+      }
+      spec->onoff_burst_factor = factor;
+    } else {
+      *error = "unknown open sweep spec key '" + key + "'";
+      return false;
+    }
+  }
+  if (spec->policies.empty() || spec->arrivals.empty() || spec->rhos.empty()) {
+    *error = "open sweep spec needs at least one policy, arrival process and rho";
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+std::unique_ptr<ArrivalProcess> MakeArrivalProcess(const OpenSweepSpec& spec, ArrivalKind kind,
+                                                   double interarrival_s) {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return std::make_unique<PoissonProcess>(Seconds(interarrival_s), spec.app_weights);
+    case ArrivalKind::kOnOff: {
+      // Concentrate the target rate into bursts: during a burst arrivals are
+      // burst_factor times faster, the burst holds burst_arrivals jobs on
+      // average, and the off phase is sized so that the on fraction is
+      // 1/burst_factor — the long-run rate then equals the Poisson cell's.
+      OnOffProcess::Params params;
+      const double on_interarrival_s = interarrival_s / spec.onoff_burst_factor;
+      const double mean_on_s = spec.onoff_burst_arrivals * on_interarrival_s;
+      params.on_interarrival = Seconds(on_interarrival_s);
+      params.mean_on = Seconds(mean_on_s);
+      params.mean_off = Seconds((spec.onoff_burst_factor - 1.0) * mean_on_s);
+      return std::make_unique<OnOffProcess>(params, spec.app_weights);
+    }
+  }
+  AFF_CHECK(false);
+  return nullptr;
+}
+
+OpenSystemResult RunOpenCell(const OpenSweepSpec& spec, PolicyKind policy, ArrivalKind kind,
+                             double rho, uint64_t seed, double mean_demand_s) {
+  const double capacity =
+      static_cast<double>(spec.machine.num_processors) * spec.machine.processor_speed;
+  AFF_CHECK(capacity > 0.0);
+  const double interarrival_s = mean_demand_s / (rho * capacity);
+  std::unique_ptr<ArrivalProcess> process = MakeArrivalProcess(spec, kind, interarrival_s);
+  std::vector<ArrivalPlanEntry> plan =
+      GenerateArrivals(*process, seed, spec.jobs_per_cell, /*t_end=*/0);
+  std::unique_ptr<AdmissionController> admission =
+      MakeAdmissionController(spec.mpl_cap, spec.max_queue);
+  OpenSystemDriver driver(spec.machine, policy, spec.apps, std::move(plan), admission.get(),
+                          seed, spec.open);
+  return driver.Run();
+}
+
+}  // namespace
+
+OpenSweepRunner::OpenSweepRunner(const OpenSweepRunnerOptions& options) : options_(options) {}
+
+OpenSweepResult OpenSweepRunner::Run(const OpenSweepSpec& spec) const {
+  AFF_CHECK(spec.replications >= 1);
+  const auto start = std::chrono::steady_clock::now();
+
+  OpenSweepResult result;
+  result.spec = spec;
+  result.mean_demand_s = MeanServiceDemandSeconds(spec.apps, spec.app_weights);
+
+  // Expand the grid in serialization order; every cell folds into its
+  // preallocated slot, so worker count and execution order cannot reorder
+  // (or even reorder within float addition) anything.
+  struct CellDesc {
+    PolicyKind policy;
+    ArrivalKind arrivals;
+    double rho;
+    size_t replication;
+    uint64_t seed;
+  };
+  std::vector<CellDesc> descs;
+  descs.reserve(spec.Cells());
+  for (size_t a = 0; a < spec.arrivals.size(); ++a) {
+    for (double rho : spec.rhos) {
+      for (PolicyKind policy : spec.policies) {
+        for (size_t rep = 0; rep < spec.replications; ++rep) {
+          CellDesc d;
+          d.policy = policy;
+          d.arrivals = spec.arrivals[a];
+          d.rho = rho;
+          d.replication = rep;
+          d.seed = DeriveOpenCellSeed(spec.root_seed, a, RhoPermille(rho), rep);
+          descs.push_back(d);
+        }
+      }
+    }
+  }
+  result.cells.resize(descs.size());
+
+  WorkerPool pool(options_.jobs > 0 ? options_.jobs : WorkerPool::DefaultThreadCount());
+  // Waves of one task per worker keep the progress callback on the
+  // orchestration thread without perturbing results (slots are indexed).
+  const size_t wave = pool.size();
+  for (size_t begin = 0; begin < descs.size(); begin += wave) {
+    const size_t count = std::min(wave, descs.size() - begin);
+    pool.ParallelFor(count, [&, begin](size_t k) {
+      const size_t i = begin + k;
+      const CellDesc& d = descs[i];
+      OpenCellResult& cell = result.cells[i];
+      cell.policy = d.policy;
+      cell.arrivals = d.arrivals;
+      cell.rho = d.rho;
+      cell.replication = d.replication;
+      cell.seed = d.seed;
+      cell.result = RunOpenCell(spec, d.policy, d.arrivals, d.rho, d.seed, result.mean_demand_s);
+    });
+    if (options_.progress) {
+      options_.progress(begin + count, descs.size());
+    }
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+const OpenCellResult* OpenSweepResult::Find(PolicyKind policy, ArrivalKind arrivals,
+                                            int rho_permille, size_t replication) const {
+  for (const OpenCellResult& cell : cells) {
+    if (cell.policy == policy && cell.arrivals == arrivals &&
+        RhoPermille(cell.rho) == rho_permille && cell.replication == replication) {
+      return &cell;
+    }
+  }
+  return nullptr;
+}
+
+bool OpenSweepResult::AllLittlesLawOk() const {
+  for (const OpenCellResult& cell : cells) {
+    if (!cell.result.littles.ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string OpenSweepResult::ToJson() const {
+  std::ostringstream o;
+  o << "{\"schema_version\":2,\"tool\":\"open_sweep_runner\",\"mode\":\"open\"";
+
+  o << ",\"spec\":{\"name\":\"" << JsonEscape(spec.name) << "\""
+    << ",\"root_seed\":" << spec.root_seed << ",\"machine\":{\"procs\":"
+    << spec.machine.num_processors << ",\"speed\":" << JsonNumber(spec.machine.processor_speed)
+    << ",\"cache\":" << JsonNumber(spec.machine.cache_size_factor) << "}";
+  o << ",\"policies\":[";
+  for (size_t i = 0; i < spec.policies.size(); ++i) {
+    o << (i > 0 ? "," : "") << "\"" << PolicyKindCliName(spec.policies[i]) << "\"";
+  }
+  o << "],\"arrivals\":[";
+  for (size_t i = 0; i < spec.arrivals.size(); ++i) {
+    o << (i > 0 ? "," : "") << "\"" << ArrivalKindName(spec.arrivals[i]) << "\"";
+  }
+  o << "],\"rhos\":[";
+  for (size_t i = 0; i < spec.rhos.size(); ++i) {
+    o << (i > 0 ? "," : "") << JsonNumber(spec.rhos[i]);
+  }
+  o << "],\"jobs_per_cell\":" << spec.jobs_per_cell
+    << ",\"replications\":" << spec.replications << ",\"admission\":{\"name\":\""
+    << MakeAdmissionController(spec.mpl_cap, spec.max_queue)->Name()
+    << "\",\"mpl_cap\":" << spec.mpl_cap << ",\"max_queue\":" << spec.max_queue << "}"
+    << ",\"warmup\":{\"rule\":\""
+    << (spec.open.warmup_rule == WarmupRule::kMser ? "mser" : "fraction")
+    << "\",\"fraction\":" << JsonNumber(spec.open.warmup_fraction) << "}"
+    << ",\"littles_tolerance\":" << JsonNumber(spec.open.littles_tolerance)
+    << ",\"mean_demand_s\":" << JsonNumber(mean_demand_s) << "}";
+
+  o << ",\"cells\":[";
+  for (size_t c = 0; c < cells.size(); ++c) {
+    const OpenCellResult& cell = cells[c];
+    const OpenSystemResult& r = cell.result;
+    o << (c > 0 ? "," : "") << "{\"policy\":\"" << PolicyKindCliName(cell.policy) << "\""
+      << ",\"arrivals\":\"" << ArrivalKindName(cell.arrivals) << "\""
+      << ",\"rho\":" << JsonNumber(cell.rho) << ",\"rep\":" << cell.replication
+      << ",\"seed\":" << SeedToDecimal(cell.seed) << ",\"n_arrivals\":" << r.arrivals
+      << ",\"admitted\":" << r.admitted << ",\"rejected\":" << r.rejected
+      << ",\"reject_rate\":" << JsonNumber(r.reject_rate)
+      << ",\"warmup_trimmed\":" << r.warmup_trimmed
+      << ",\"mean_sojourn_s\":" << JsonNumber(r.mean_sojourn_s)
+      << ",\"p50_sojourn_s\":" << JsonNumber(r.p50_sojourn_s)
+      << ",\"p95_sojourn_s\":" << JsonNumber(r.p95_sojourn_s)
+      << ",\"p99_sojourn_s\":" << JsonNumber(r.p99_sojourn_s)
+      << ",\"max_sojourn_s\":" << JsonNumber(r.max_sojourn_s)
+      << ",\"mean_queue_wait_s\":" << JsonNumber(r.mean_queue_wait_s)
+      << ",\"mean_queue_len\":" << JsonNumber(r.mean_queue_len)
+      << ",\"mean_jobs_in_system\":" << JsonNumber(r.mean_jobs_in_system)
+      << ",\"affinity_fraction\":" << JsonNumber(r.affinity_fraction)
+      << ",\"throughput_per_s\":" << JsonNumber(r.throughput_per_s)
+      << ",\"end_s\":" << JsonNumber(ToSeconds(r.end_time))
+      << ",\"littles_law\":{\"l\":" << JsonNumber(r.littles.mean_jobs_in_system)
+      << ",\"lambda_per_s\":" << JsonNumber(r.littles.arrival_rate_per_s)
+      << ",\"w_s\":" << JsonNumber(r.littles.mean_sojourn_s)
+      << ",\"rel_err\":" << JsonNumber(r.littles.relative_error)
+      << ",\"ok\":" << (r.littles.ok ? "true" : "false") << "}}";
+  }
+  o << "]}";
+  return o.str();
+}
+
+bool OpenSweepResult::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << ToJson() << "\n";
+  return out.good();
+}
+
+}  // namespace affsched

@@ -42,4 +42,17 @@ uint64_t DeriveCellSeed(uint64_t root_seed, int mix_number, std::size_t replicat
   return seed;
 }
 
+uint64_t DeriveOpenCellSeed(uint64_t root_seed, std::size_t arrival_index, int rho_permille,
+                            std::size_t replication) {
+  AFF_CHECK_MSG(rho_permille >= 1, "offered load must be positive");
+  // 'O' << 8 | 'S': a tag outside any mix-number range, so open cells can
+  // never collide with closed DeriveCellSeed cells of the same root.
+  constexpr uint64_t kOpenTag = 0x4F53;
+  const uint64_t seed =
+      DeriveSeed(root_seed, {kOpenTag, static_cast<uint64_t>(arrival_index),
+                             static_cast<uint64_t>(rho_permille), static_cast<uint64_t>(replication)});
+  AFF_CHECK(SeedFromDecimal(SeedToDecimal(seed)) == seed);
+  return seed;
+}
+
 }  // namespace affsched

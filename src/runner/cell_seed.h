@@ -33,6 +33,16 @@ uint64_t DeriveSeed(uint64_t root_seed, std::initializer_list<uint64_t> coordina
 // decimal round-trip invariants on every derivation.
 uint64_t DeriveCellSeed(uint64_t root_seed, int mix_number, std::size_t replication);
 
+// The open-system sweep's cell-seed convention: coordinates are (arrival
+// process index, offered load in per-mille, replication). The policy is
+// again excluded — every policy sees the same arrival stream and workload
+// draws for a given (arrival process, rho, rep) cell — and rho enters as an
+// exact integer (per-mille) so the coordinate never depends on float
+// formatting. A distinguishing tag keeps the open grid's seed space disjoint
+// from DeriveCellSeed's even where coordinates coincide numerically.
+uint64_t DeriveOpenCellSeed(uint64_t root_seed, std::size_t arrival_index, int rho_permille,
+                            std::size_t replication);
+
 // The textual form seeds take in sweep JSON: unquoted decimal, because
 // 64-bit values round-trip exactly through decimal text but not through
 // double (anything above 2^53 would be silently rounded).

@@ -41,6 +41,29 @@ double WeightedHistogram::Mean() const {
   return acc / total;
 }
 
+size_t WeightedHistogram::Quantile(double q) const {
+  AFF_CHECK(q >= 0.0 && q <= 1.0);
+  const double total = TotalWeight();
+  if (total <= 0.0) {
+    return 0;
+  }
+  const double target = q * total;
+  double cum = 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum >= target && buckets_[i] > 0.0) {
+      return i;
+    }
+  }
+  // q == 1 with trailing rounding: the topmost nonzero bucket.
+  for (size_t i = buckets_.size(); i-- > 0;) {
+    if (buckets_[i] > 0.0) {
+      return i;
+    }
+  }
+  return 0;
+}
+
 std::string WeightedHistogram::Render(const std::string& label) const {
   std::ostringstream out;
   out << label << "\n";
@@ -62,6 +85,64 @@ std::string WeightedHistogram::Render(const std::string& label) const {
   std::snprintf(mean_line, sizeof(mean_line), "  mean parallelism: %.2f\n", Mean());
   out << mean_line;
   return out.str();
+}
+
+ValueHistogram::ValueHistogram(double bucket_width) : width_(bucket_width) {
+  AFF_CHECK(bucket_width > 0.0);
+}
+
+void ValueHistogram::Add(double value) {
+  AFF_CHECK(value >= 0.0);
+  const size_t bucket = static_cast<size_t>(value / width_);
+  if (bucket >= buckets_.size()) {
+    buckets_.resize(bucket + 1, 0);
+  }
+  ++buckets_[bucket];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double ValueHistogram::Min() const { return count_ > 0 ? min_ : 0.0; }
+
+double ValueHistogram::Max() const { return count_ > 0 ? max_ : 0.0; }
+
+double ValueHistogram::Mean() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double ValueHistogram::Quantile(double q) const {
+  AFF_CHECK(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) {
+    return 0.0;
+  }
+  if (q <= 0.0) {
+    return min_;
+  }
+  if (q >= 1.0) {
+    return max_;
+  }
+  const double target = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) {
+      continue;
+    }
+    const double next = cum + static_cast<double>(buckets_[b]);
+    if (next >= target) {
+      // Interpolate within the bucket, mass uniform over its value range.
+      const double inside = (target - cum) / static_cast<double>(buckets_[b]);
+      const double value = (static_cast<double>(b) + inside) * width_;
+      return std::min(std::max(value, min_), max_);
+    }
+    cum = next;
+  }
+  return max_;
 }
 
 }  // namespace affsched

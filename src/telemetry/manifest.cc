@@ -48,6 +48,10 @@ void RunManifest::SetUint(const std::string& key, uint64_t value) {
   members_[key] = std::to_string(value);
 }
 
+void RunManifest::SetBool(const std::string& key, bool value) {
+  members_[key] = value ? "true" : "false";
+}
+
 void RunManifest::SetJson(const std::string& key, const std::string& json) {
   members_[key] = json;
 }

@@ -27,6 +27,8 @@ class RunManifest {
   // SetNumber would round-trip them through double and corrupt anything
   // above 2^53.
   void SetUint(const std::string& key, uint64_t value);
+  // Emits a JSON boolean (true/false).
+  void SetBool(const std::string& key, bool value);
   // Attaches a pre-rendered JSON value (object/array) under `key`.
   void SetJson(const std::string& key, const std::string& json);
 

@@ -33,6 +33,12 @@ struct JobStats {
   SimTime arrival = 0;
   SimTime completion = -1;
 
+  // Time spent in the admission queue before entering service (open-system
+  // runs; always 0 for closed runs, where jobs enter service at arrival).
+  // Queue wait is *not* part of ResponseSeconds(): response time measures the
+  // in-service portion, sojourn = queue_wait_s + ResponseSeconds().
+  double queue_wait_s = 0.0;
+
   // Processor-seconds of useful computation executed (base-machine units).
   double useful_work_s = 0.0;
   // Seconds stalled on reload (affinity) misses — the cache penalty of
@@ -57,6 +63,9 @@ struct JobStats {
     AFF_CHECK_MSG(completion >= 0, "job has not completed");
     return ToSeconds(completion - arrival);
   }
+
+  // Queue wait plus in-service response: the open-system end-to-end latency.
+  double SojournSeconds() const { return queue_wait_s + ResponseSeconds(); }
 
   double AverageAllocation() const {
     const double rt = ResponseSeconds();

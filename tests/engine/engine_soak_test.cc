@@ -7,7 +7,7 @@
 
 #include "src/apps/apps.h"
 #include "src/engine/engine.h"
-#include "src/measure/arrivals.h"
+#include "src/opensys/arrival_process.h"
 #include "src/sched/factory.h"
 
 namespace affsched {

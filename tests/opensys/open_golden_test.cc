@@ -1,0 +1,59 @@
+// Golden-trajectory regression test for the open-system sweep: one pinned
+// cell (Poisson arrivals, rho = 0.7, Dyn-Aff vs Equipartition), schema v2
+// JSON byte for byte. Regenerate with
+//   simctl --open --preset "opensys-smoke;policies=equi,dyn-aff;rhos=0.7;count=12" \
+//          --out tests/golden/open_smoke_rho700.json
+// and justify the diff in review.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/opensys/open_sweep.h"
+
+#ifndef AFF_GOLDEN_DIR
+#error "AFF_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace affsched {
+namespace {
+
+std::string ReadGolden(const std::string& filename) {
+  const std::string path = std::string(AFF_GOLDEN_DIR) + "/" + filename;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void ExpectBytesIdentical(const std::string& actual, const std::string& golden) {
+  if (actual == golden) {
+    SUCCEED();
+    return;
+  }
+  size_t i = 0;
+  while (i < actual.size() && i < golden.size() && actual[i] == golden[i]) {
+    ++i;
+  }
+  const size_t begin = i > 60 ? i - 60 : 0;
+  ADD_FAILURE() << "open sweep JSON diverges from golden at byte " << i
+                << "\n  golden: ..." << golden.substr(begin, 120)
+                << "\n  actual: ..." << actual.substr(begin, 120);
+}
+
+TEST(OpenGoldenTest, SmokeRho700) {
+  OpenSweepSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseOpenSweepSpec("opensys-smoke;policies=equi,dyn-aff;rhos=0.7;count=12",
+                                 &spec, &error))
+      << error;
+  OpenSweepRunnerOptions options;
+  options.jobs = 2;  // byte-identical at any worker count; exercise >1
+  const OpenSweepResult result = OpenSweepRunner(options).Run(spec);
+  ExpectBytesIdentical(result.ToJson() + "\n", ReadGolden("open_smoke_rho700.json"));
+}
+
+}  // namespace
+}  // namespace affsched

@@ -53,5 +53,111 @@ TEST(WeightedHistogramTest, OutOfRangeFractionIsZero) {
   EXPECT_DOUBLE_EQ(h.Fraction(99), 0.0);
 }
 
+TEST(WeightedHistogramTest, QuantileIsNearestRank) {
+  WeightedHistogram h(8);
+  h.Add(1, 50.0);
+  h.Add(4, 30.0);
+  h.Add(8, 20.0);
+  // Cumulative weights: 50 at level 1, 80 at level 4, 100 at level 8.
+  EXPECT_EQ(h.Quantile(0.0), 1u);  // lowest occupied level
+  EXPECT_EQ(h.Quantile(0.5), 1u);  // cumulative 50 just reaches 0.5 * 100
+  EXPECT_EQ(h.Quantile(0.51), 4u);
+  EXPECT_EQ(h.Quantile(0.8), 4u);
+  EXPECT_EQ(h.Percentile(95.0), 8u);
+  EXPECT_EQ(h.Quantile(1.0), 8u);
+}
+
+TEST(WeightedHistogramTest, QuantileSkipsEmptyBuckets) {
+  WeightedHistogram h(6);
+  h.Add(3, 1.0);
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), 3u) << "q=" << q;
+  }
+}
+
+TEST(WeightedHistogramTest, EmptyQuantileIsZero) {
+  WeightedHistogram h(4);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_EQ(h.Percentile(99.0), 0u);
+}
+
+TEST(ValueHistogramTest, EmptyHistogramReportsZeros) {
+  ValueHistogram h(0.1);
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.0), 0.0);
+}
+
+TEST(ValueHistogramTest, SmallSampleQuantilesAreExact) {
+  // One sample per unit bucket: the interpolated quantile lands exactly on
+  // the bucket boundary carrying the target cumulative mass.
+  ValueHistogram h(1.0);
+  for (double v : {0.5, 1.5, 2.5, 3.5}) {
+    h.Add(v);
+  }
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.5);   // == Min()
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(75.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 3.5);   // == Max()
+}
+
+TEST(ValueHistogramTest, InterpolatesWithinBucket) {
+  // Ten samples uniform over one bucket: the median interpolates to the
+  // bucket midpoint.
+  ValueHistogram h(1.0);
+  for (int i = 0; i < 10; ++i) {
+    h.Add(0.1 * static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.1), 0.1);
+}
+
+TEST(ValueHistogramTest, BoundaryQuantilesClampIntoSampleRange) {
+  // All mass at one point inside a wide bucket: interpolation alone would
+  // report bucket coordinates, but estimates clamp into [Min(), Max()].
+  ValueHistogram h(1.0);
+  for (int i = 0; i < 4; ++i) {
+    h.Add(0.25);
+  }
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 0.25) << "q=" << q;
+  }
+}
+
+TEST(ValueHistogramTest, PercentileMatchesQuantile) {
+  ValueHistogram h(0.05);
+  for (int i = 1; i <= 100; ++i) {
+    h.Add(0.01 * static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(h.Percentile(95.0), h.Quantile(0.95));
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), h.Quantile(0.5));
+  EXPECT_GT(h.Percentile(99.0), h.Percentile(50.0));
+}
+
+TEST(ValueHistogramTest, BucketsGrowOnDemand) {
+  ValueHistogram h(0.5);
+  h.Add(0.1);
+  EXPECT_EQ(h.num_buckets(), 1u);
+  h.Add(10.25);
+  EXPECT_EQ(h.num_buckets(), 21u);
+  EXPECT_DOUBLE_EQ(h.Max(), 10.25);
+}
+
+TEST(ValueHistogramDeathTest, RejectsNegativeSample) {
+  ValueHistogram h(1.0);
+  EXPECT_DEATH(h.Add(-0.5), "value >= 0");
+}
+
+TEST(ValueHistogramDeathTest, RejectsOutOfRangeQuantile) {
+  ValueHistogram h(1.0);
+  h.Add(1.0);
+  EXPECT_DEATH((void)h.Quantile(1.5), "q >= 0");
+}
+
 }  // namespace
 }  // namespace affsched

@@ -4,8 +4,10 @@
 Usage: tools/bench_compare.py CURRENT.json BASELINE.json [--tolerance 0.10]
        tools/bench_compare.py --microbench GBENCH.json BASELINE.json
 
-Default mode: both files are `simctl --sweep` output (schema_version 1).
-The gate fails if:
+Default mode: both files are `simctl --sweep` output (schema_version 1) or
+`simctl --open` output (schema_version 2, "mode":"open") — the mode is
+detected from the files and both must match. For closed sweeps the gate
+fails if:
   * the two files were produced from different grids (spec mismatch),
   * any relative_response ratio drifts more than --tolerance (relative)
     from the baseline ratio,
@@ -13,6 +15,10 @@ The gate fails if:
   * an affinity policy's ratio exceeds the sanity bound (--max-ratio,
     default 1.10): affinity scheduling must never be grossly worse than
     Equipartition, the paper's central claim.
+
+For open sweeps (schema 2) the gate fails if the grids differ, if any
+cell's p50/p95/p99 sojourn or reject rate drifts more than --tolerance,
+or if any current cell's built-in Little's-law check failed.
 
 With a deterministic sweep (fixed replication count, derived per-cell
 seeds) the expected drift is exactly zero, so any nonzero delta means the
@@ -22,8 +28,9 @@ model changes that come with a baseline refresh.
 --microbench mode: GBENCH.json is Google Benchmark output
 (`bench_sim_microbench --benchmark_out=... --benchmark_out_format=json`,
 ideally with --benchmark_repetitions); BASELINE.json is the committed sweep
-baseline, whose top-level "microbench" object maps benchmark names to
-items_per_second floors. The gate takes the MAX items/sec across
+baseline, whose object named by --floors-key (default "microbench"; the
+open-system load bench gates against "microbench_opensys") maps benchmark
+names to items_per_second floors. The gate takes the MAX items/sec across
 repetitions (single-core CI boxes dip, they do not spike, so the max is
 the least noisy estimate of real throughput) and fails on a >--tolerance
 drop below the floor. Throughput gains do not fail the gate — raise the
@@ -38,9 +45,13 @@ import sys
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema_version") != 1:
+    if doc.get("schema_version") not in (1, 2):
         sys.exit(f"{path}: unsupported schema_version {doc.get('schema_version')!r}")
     return doc
+
+
+def is_open(doc):
+    return doc.get("schema_version") == 2 and doc.get("mode") == "open"
 
 
 def spec_key(doc):
@@ -87,12 +98,78 @@ def microbench_rates(path):
     return rates
 
 
+def open_spec_key(doc):
+    spec = doc["spec"]
+    return (
+        spec["name"].split(";")[0],
+        spec["root_seed"],
+        tuple(spec["policies"]),
+        tuple(spec["arrivals"]),
+        tuple(round(r * 1000) for r in spec["rhos"]),
+        spec["replications"],
+        spec["jobs_per_cell"],
+        spec["machine"]["procs"],
+    )
+
+
+def open_cell_map(doc):
+    return {
+        (c["arrivals"], round(c["rho"] * 1000), c["policy"], c["rep"]): c
+        for c in doc["cells"]
+    }
+
+
+def compare_open(current, baseline, args):
+    """Gate an open-sweep (schema 2) run against its baseline."""
+    failures = []
+    if open_spec_key(current) != open_spec_key(baseline):
+        failures.append(
+            f"spec mismatch: current {open_spec_key(current)} "
+            f"vs baseline {open_spec_key(baseline)}")
+
+    gated = ("p50_sojourn_s", "p95_sojourn_s", "p99_sojourn_s", "reject_rate")
+    cur_cells, base_cells = open_cell_map(current), open_cell_map(baseline)
+    for key in sorted(base_cells):
+        if key not in cur_cells:
+            failures.append(f"cell missing from current run: {key}")
+            continue
+        base, cur = base_cells[key], cur_cells[key]
+        marks = []
+        for field in gated:
+            b, c = base[field], cur[field]
+            drift = abs(c - b) / abs(b) if b else abs(c)
+            if drift > args.tolerance:
+                marks.append(f"{field} {b:.4f} -> {c:.4f}")
+        if not cur["littles_law"]["ok"]:
+            marks.append(
+                f"littles_law rel_err {cur['littles_law']['rel_err']:.4f}")
+        arrivals, rho_pm, policy, rep = key
+        line = (f"cell {arrivals} rho={rho_pm / 1000:.3f} {policy:<8} rep={rep}: "
+                f"p95 {base['p95_sojourn_s']:.3f}s -> {cur['p95_sojourn_s']:.3f}s")
+        if marks:
+            print(f"{line}  <-- {'; '.join(marks)}")
+            failures.extend(f"cell {key}: {m}" for m in marks)
+        else:
+            print(line)
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} open-sweep regression(s) vs "
+              f"{args.baseline}:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(base_cells)} open cells within {args.tolerance:.0%} of "
+          "baseline; Little's law holds in every cell")
+    return 0
+
+
 def compare_microbench(args):
     current = microbench_rates(args.current)
     with open(args.baseline) as f:
-        floors = json.load(f).get("microbench", {})
+        floors = json.load(f).get(args.floors_key, {})
     if not floors:
-        sys.exit(f"{args.baseline}: no top-level 'microbench' object to gate on")
+        sys.exit(
+            f"{args.baseline}: no top-level {args.floors_key!r} object to gate on")
 
     failures = []
     for name in sorted(floors):
@@ -130,7 +207,11 @@ def main():
                         help="sanity bound on policy-vs-equi response ratios")
     parser.add_argument("--microbench", action="store_true",
                         help="treat CURRENT as Google Benchmark JSON and gate "
-                             "items/sec against BASELINE's 'microbench' floors")
+                             "items/sec against BASELINE's floors")
+    parser.add_argument("--floors-key", default="microbench",
+                        help="BASELINE object holding the --microbench floors "
+                             "(default 'microbench'; bench_opensys_load uses "
+                             "'microbench_opensys')")
     args = parser.parse_args()
 
     if args.microbench:
@@ -138,6 +219,11 @@ def main():
 
     current = load(args.current)
     baseline = load(args.baseline)
+    if is_open(current) != is_open(baseline):
+        sys.exit("mode mismatch: one file is an open sweep (schema 2), the "
+                 "other a closed sweep (schema 1)")
+    if is_open(current):
+        return compare_open(current, baseline, args)
 
     failures = []
     if spec_key(current) != spec_key(baseline):
