@@ -1,0 +1,146 @@
+// Topology benchmark: whole closed sweeps through the hierarchical cache
+// model, measured in simulated jobs per wall second. These are the numbers
+// the "microbench_topology" floors in bench/baseline.json gate
+// (tools/bench_compare.py --microbench --floors-key microbench_topology), so
+// a regression in the tiered hot path (per-cluster LLC chunks, last-node
+// directory lookups, per-tier accounting) shows up as a throughput drop
+// relative to the flat baseline benchmark.
+//
+// main() additionally prints a Figure-5-style policy comparison per topology
+// (response time relative to Equipartition for the whole distance-aware
+// family) — the source of the measured excerpt in EXPERIMENTS.md — and
+// writes run_manifest.json.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/runner/runner.h"
+#include "src/runner/sweep.h"
+#include "src/sched/factory.h"
+#include "src/telemetry/manifest.h"
+
+namespace affsched {
+namespace {
+
+SweepSpec BenchSpec(const std::string& spec_text) {
+  SweepSpec spec;
+  std::string error;
+  if (!ParseSweepSpec(spec_text, &spec, &error)) {
+    std::fprintf(stderr, "bench_topology_sweep: bad spec %s: %s\n", spec_text.c_str(),
+                 error.c_str());
+    std::abort();
+  }
+  return spec;
+}
+
+// Runs the grid single-threaded (the benchmark measures the simulation, not
+// the worker pool) and returns the number of jobs simulated.
+size_t RunSpec(const SweepSpec& spec) {
+  SweepRunnerOptions options;
+  options.jobs = 1;
+  const SweepResult result = SweepRunner(options).Run(spec);
+  size_t jobs = 0;
+  for (const ExperimentResult& experiment : result.experiments) {
+    for (const CellResult& cell : experiment.cells) {
+      jobs += cell.run.jobs.size();
+    }
+  }
+  return jobs;
+}
+
+constexpr const char* kBenchCell = "smoke;reps=1;mixes=5;policies=dyn-aff";
+
+// The flat baseline: same grid, no hierarchy. The gap between this and the
+// topology benchmarks is the price of the tiered model itself.
+void BM_TopologySweepFlat(benchmark::State& state) {
+  const SweepSpec spec = BenchSpec(kBenchCell);
+  size_t jobs = 0;
+  for (auto _ : state) {
+    jobs += RunSpec(spec);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(jobs));
+}
+BENCHMARK(BM_TopologySweepFlat)->UseRealTime();
+
+// Two clusters sharing LLCs: every chunk also evolves the cluster LLC, and
+// every reload is classified against it.
+void BM_TopologySweepCmp(benchmark::State& state) {
+  const SweepSpec spec = BenchSpec(std::string(kBenchCell) + ";topology=cmp-2x10");
+  size_t jobs = 0;
+  for (auto _ : state) {
+    jobs += RunSpec(spec);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(jobs));
+}
+BENCHMARK(BM_TopologySweepCmp)->UseRealTime();
+
+// Four NUMA nodes: LLC classification plus the last-node directory and
+// remote-fill pricing on every migration.
+void BM_TopologySweepNuma(benchmark::State& state) {
+  const SweepSpec spec = BenchSpec(std::string(kBenchCell) + ";topology=numa-4x8");
+  size_t jobs = 0;
+  for (auto _ : state) {
+    jobs += RunSpec(spec);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(jobs));
+}
+BENCHMARK(BM_TopologySweepNuma)->UseRealTime();
+
+// Prints response times relative to Equipartition for the distance-aware
+// policy family on each topology (the Fig-5 quantities, one table per
+// machine). Run after the benchmarks so the numbers land in the same log.
+void PrintPolicyComparison() {
+  const std::vector<std::string> topologies = {"symmetry-flat", "cmp-2x10", "numa-4x8"};
+  std::string policies;
+  for (PolicyKind kind : TopologyPolicyFamily()) {
+    policies += (policies.empty() ? "" : ",") + PolicyKindCliName(kind);
+  }
+  for (const std::string& topology : topologies) {
+    const SweepSpec spec = BenchSpec("smoke;reps=2;mixes=6;policies=" + policies +
+                                     ";topology=" + topology);
+    SweepRunnerOptions options;
+    options.jobs = 0;  // report quality, not wall time: use every core
+    const SweepResult result = SweepRunner(options).Run(spec);
+    TextTable table;
+    table.SetHeader({"policy", "job", "mean RT (s)", "vs equi"});
+    const ExperimentResult* equi = result.Find(PolicyKind::kEquipartition, 6);
+    for (const ExperimentResult& experiment : result.experiments) {
+      for (size_t j = 0; j < experiment.replicated.app.size(); ++j) {
+        std::string ratio = "-";
+        if (equi != nullptr && experiment.policy != PolicyKind::kEquipartition) {
+          ratio = FormatDouble(
+              experiment.replicated.MeanResponse(j) / equi->replicated.MeanResponse(j), 3);
+        }
+        table.AddRow({PolicyKindCliName(experiment.policy), experiment.replicated.app[j],
+                      FormatDouble(experiment.replicated.MeanResponse(j), 2), ratio});
+      }
+    }
+    std::printf("\npolicy comparison on %s (mix 6, seed %llu):\n%s", topology.c_str(),
+                static_cast<unsigned long long>(spec.root_seed), table.Render().c_str());
+  }
+}
+
+}  // namespace
+}  // namespace affsched
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  affsched::PrintPolicyComparison();
+
+  affsched::RunManifest manifest;
+  manifest.SetString("tool", "bench_topology_sweep");
+  manifest.WriteFile("run_manifest.json");
+  std::printf("\nwrote run_manifest.json (git %s)\n", affsched::RunManifest::GitSha());
+  return 0;
+}

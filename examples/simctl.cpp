@@ -31,6 +31,7 @@
 #include "src/telemetry/manifest.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/sampler.h"
+#include "src/topology/topology.h"
 #include "src/trace/trace.h"
 
 using namespace affsched;
@@ -223,13 +224,18 @@ int main(int argc, char** argv) {
   FlagSet flags(
       "simctl: run one workload mix under one policy on a configurable machine.\n"
       "Policies: equi, dynamic, dyn-aff, dyn-aff-nopri, dyn-aff-delay,\n"
-      "timeshare, timeshare-aff. Mixes: 1-6 (Table 2 of the paper).");
+      "dyn-aff-cluster, dyn-aff-node, timeshare, timeshare-aff.\n"
+      "Mixes: 1-6 (Table 2 of the paper).");
   flags.AddInt("mix", 5, "workload mix number (1-6)");
   flags.AddString("policy", "dyn-aff", "allocation policy");
   flags.AddInt("procs", 16, "number of processors");
   flags.AddInt("seed", 42, "random seed");
   flags.AddDouble("speed", 1.0, "processor speed relative to the Symmetry");
   flags.AddDouble("cache", 1.0, "cache size relative to the Symmetry");
+  flags.AddString("topology", "",
+                  "machine topology: a preset (symmetry-flat, cmp-2x10, numa-4x8) "
+                  "or preset,key=value overrides; see --list-topologies");
+  flags.AddBool("list-topologies", false, "list the topology presets and exit");
   flags.AddBool("gantt", false, "render an ASCII Gantt chart");
   flags.AddBool("csv", false, "dump the event trace as CSV to stdout");
   flags.AddBool("metrics", false, "print end-of-run metric totals and reconcile them");
@@ -267,6 +273,11 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (flags.GetBool("list-topologies")) {
+    std::printf("%s", RenderTopologyList().c_str());
+    return 0;
+  }
+
   if (!flags.GetString("sweep").empty()) {
     return RunSweepMode(flags.GetString("sweep"), static_cast<size_t>(flags.GetInt("jobs")),
                         flags.GetString("out"));
@@ -291,15 +302,32 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (flags.GetInt("procs") < 1) {
+    std::printf("--procs must be >= 1\n");
+    return 1;
+  }
   MachineConfig machine;
   machine.num_processors = static_cast<size_t>(flags.GetInt("procs"));
   machine.processor_speed = flags.GetDouble("speed");
   machine.cache_size_factor = flags.GetDouble("cache");
+  if (!flags.GetString("topology").empty()) {
+    std::string topology_error;
+    if (!ParseTopologySpec(flags.GetString("topology"), &machine.topology, &topology_error)) {
+      std::printf("bad --topology: %s\n", topology_error.c_str());
+      return 1;
+    }
+  }
+  const std::string machine_problem = machine.Validate();
+  if (!machine_problem.empty()) {
+    std::printf("bad machine config: %s\n", machine_problem.c_str());
+    return 1;
+  }
 
   const WorkloadMix mix = PaperMixes()[static_cast<size_t>(mix_number - 1)];
-  std::printf("mix %s under %s on %zu processors (speed %.1fx, cache %.1fx)\n\n",
+  std::printf("mix %s under %s on %zu processors (speed %.1fx, cache %.1fx, topology %s)\n\n",
               mix.Label().c_str(), PolicyKindName(kind).c_str(), machine.num_processors,
-              machine.processor_speed, machine.cache_size_factor);
+              machine.processor_speed, machine.cache_size_factor,
+              machine.topology.name.c_str());
 
   const std::string chrome_trace_path = flags.GetString("chrome-trace");
   const std::string samples_path = flags.GetString("samples");
@@ -397,6 +425,7 @@ int main(int argc, char** argv) {
     manifest.SetNumber("procs", static_cast<double>(machine.num_processors));
     manifest.SetNumber("speed", machine.processor_speed);
     manifest.SetNumber("cache", machine.cache_size_factor);
+    manifest.SetString("topology", machine.topology.ToSpecString());
     // As an exact decimal, not SetNumber: 64-bit seeds above 2^53 would be
     // silently rounded through double and fail to round-trip.
     manifest.SetUint("seed", static_cast<uint64_t>(flags.GetInt("seed")));

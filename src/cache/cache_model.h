@@ -46,6 +46,14 @@ struct WorkingSetParams {
 struct CacheChunkResult {
   double reload_misses = 0.0;
   double steady_misses = 0.0;
+  // Hierarchical topologies further classify the reload misses by source
+  // (src/topology/hier_cache.h); flat models leave both at zero.
+  //   * reload_llc_hits: served by the cluster-shared LLC (cheap refill)
+  //   * reload_remote: fetched across the node interconnect (costly refill)
+  // Invariant: reload_llc_hits + reload_remote <= reload_misses; the
+  // remainder fills from local memory at the flat machine's cost.
+  double reload_llc_hits = 0.0;
+  double reload_remote = 0.0;
   double TotalMisses() const { return reload_misses + steady_misses; }
 };
 

@@ -28,7 +28,13 @@ void Accounting::SetMetrics(MetricsRegistry* registry) {
   m.chunks = registry->FindOrCreateCounter("engine.chunks");
   m.reload_stall_ns = registry->FindOrCreateCounter("engine.reload_stall_ns");
   m.steady_stall_ns = registry->FindOrCreateCounter("engine.steady_stall_ns");
+  m.reload_llc_ns = registry->FindOrCreateCounter("engine.reload_llc_ns");
+  m.reload_remote_ns = registry->FindOrCreateCounter("engine.reload_remote_ns");
   m.waste_ns = registry->FindOrCreateCounter("engine.waste_ns");
+  for (size_t tier = 0; tier < kNumDistanceTiers; ++tier) {
+    m.migrations[tier] = registry->FindOrCreateCounter(std::string("engine.migrations.") +
+                                                       DistanceTierName(tier));
+  }
   m.active_jobs = registry->FindOrCreateGauge("engine.active_jobs");
   m.reload_stall_us =
       registry->FindOrCreateHistogram("engine.reload_stall_us", DefaultLatencyBucketsUs());
@@ -85,6 +91,18 @@ void Accounting::ChargeChunk(JobState& js, SimDuration work_done, SimDuration re
   }
 }
 
+void Accounting::ChargeReloadTiers(JobState& js, SimDuration reload_llc,
+                                   SimDuration reload_remote) {
+  if (reload_llc == 0 && reload_remote == 0) {
+    return;
+  }
+  JobStats& st = js.job->stats();
+  st.reload_llc_s += ToSeconds(reload_llc);
+  st.reload_remote_s += ToSeconds(reload_remote);
+  Bump(m.reload_llc_ns, static_cast<double>(reload_llc));
+  Bump(m.reload_remote_ns, static_cast<double>(reload_remote));
+}
+
 void Accounting::ChargeSwitch(JobState& js) {
   js.job->stats().switch_s += ToSeconds(core_.machine.config().SwitchCost());
   Bump(m.switches);
@@ -96,12 +114,30 @@ void Accounting::ChargeWaste(JobState& js, SimDuration held) {
   Bump(m.waste_ns, static_cast<double>(held));
 }
 
-void Accounting::RecordDispatch(JobState& js, bool affine) {
+void Accounting::RecordDispatch(JobState& js, bool affine, size_t tier) {
   JobStats& st = js.job->stats();
   st.reallocations++;
   if (affine) {
     st.affinity_dispatches++;
     Bump(m.dispatches_affine);
+  }
+  if (tier != kNoMigrationTier) {
+    AFF_CHECK(tier < kNumDistanceTiers);
+    switch (tier) {
+      case 0:
+        st.migrations_same_core++;
+        break;
+      case 1:
+        st.migrations_same_cluster++;
+        break;
+      case 2:
+        st.migrations_same_node++;
+        break;
+      default:
+        st.migrations_cross_node++;
+        break;
+    }
+    Bump(m.migrations[tier]);
   }
   Bump(m.dispatches);
   Bump(js.metric_reallocations);

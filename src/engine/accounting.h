@@ -13,8 +13,12 @@
 
 #include "src/engine/engine_core.h"
 #include "src/telemetry/metrics.h"
+#include "src/topology/topology.h"
 
 namespace affsched {
+
+// Tier value for a dispatch with no previous placement (nothing migrated).
+inline constexpr size_t kNoMigrationTier = static_cast<size_t>(-1);
 
 // Global metric handles, resolved once by SetMetrics. All nullptr while
 // metrics are detached, making every Bump() a single-branch no-op.
@@ -34,7 +38,11 @@ struct MetricHandles {
   Counter* chunks = nullptr;
   Counter* reload_stall_ns = nullptr;
   Counter* steady_stall_ns = nullptr;
+  Counter* reload_llc_ns = nullptr;
+  Counter* reload_remote_ns = nullptr;
   Counter* waste_ns = nullptr;
+  // Reallocations by migration distance (engine.migrations.<tier-name>).
+  Counter* migrations[kNumDistanceTiers] = {nullptr, nullptr, nullptr, nullptr};
   Gauge* active_jobs = nullptr;
   FixedHistogram* reload_stall_us = nullptr;
   FixedHistogram* chunk_wall_us = nullptr;
@@ -70,12 +78,18 @@ class Accounting {
   // One chunk of useful execution: work and the stall split.
   void ChargeChunk(JobState& js, SimDuration work_done, SimDuration reload_stall,
                    SimDuration steady_stall);
+  // Reload-cost attribution for one chunk on a hierarchical topology: the
+  // spans of reload stall served by the cluster LLC / remote memory. Charged
+  // at chunk start (chunks always run to completion, so the totals match).
+  void ChargeReloadTiers(JobState& js, SimDuration reload_llc, SimDuration reload_remote);
   // One reallocation path-length cost (kernel switch) charged to the job.
   void ChargeSwitch(JobState& js);
   // A completed holding period of `held` that produced no work.
   void ChargeWaste(JobState& js, SimDuration held);
-  // One reallocation the job experienced, affine or not.
-  void RecordDispatch(JobState& js, bool affine);
+  // One reallocation the job experienced, affine or not. `tier` is the
+  // migration distance from the task's previous processor
+  // (kNoMigrationTier for a first placement).
+  void RecordDispatch(JobState& js, bool affine, size_t tier = kNoMigrationTier);
 
   // --- Allocation/credit/parallelism bookkeeping -----------------------------
 

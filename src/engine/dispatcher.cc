@@ -68,9 +68,13 @@ void Dispatcher::DispatchWorker(size_t proc) {
   Worker& w = core_.worker(wid);
 
   // This is a reallocation the job experiences; record whether the task
-  // landed where its cache context lives.
+  // landed where its cache context lives, and how far it migrated.
   const bool affine = w.HasAffinityFor(proc);
-  acct_.RecordDispatch(js, affine);
+  const size_t prev = w.last_processor();
+  const size_t tier = prev == kNoProcessor
+                          ? kNoMigrationTier
+                          : core_.machine.topology().TierBetween(prev, proc);
+  acct_.RecordDispatch(js, affine, tier);
   core_.Emit(TraceEventKind::kDispatch, proc, id, wid, affine);
   core_.machine.processor(proc).RecordDispatch(wid);
   w.processor = proc;
@@ -123,11 +127,21 @@ void Dispatcher::StartChunk(size_t proc) {
       core_.queue.now(), proc, w.id, js.profile->working_set, work, siblings_ptr);
   SimDuration reload_stall = 0;
   SimDuration steady_stall = 0;
-  const double total_misses = exec.reload_misses + exec.steady_misses;
-  if (total_misses > 0.0) {
-    reload_stall = static_cast<SimDuration>(static_cast<double>(exec.stall) *
-                                            (exec.reload_misses / total_misses));
-    steady_stall = exec.stall - reload_stall;
+  if (exec.tiered) {
+    // Hierarchical topologies price the split at the machine (per-source
+    // costs differ), so use it directly. The tier attribution is charged
+    // now rather than carried in the completion event: chunks always run to
+    // completion, so the job's totals are identical either way.
+    reload_stall = exec.reload_stall;
+    steady_stall = exec.steady_stall;
+    acct_.ChargeReloadTiers(js, exec.reload_llc, exec.reload_remote);
+  } else {
+    const double total_misses = exec.reload_misses + exec.steady_misses;
+    if (total_misses > 0.0) {
+      reload_stall = static_cast<SimDuration>(static_cast<double>(exec.stall) *
+                                              (exec.reload_misses / total_misses));
+      steady_stall = exec.stall - reload_stall;
+    }
   }
   core_.queue.ScheduleAfter(exec.wall,
                             [this, proc, work, reload_stall, steady_stall] {

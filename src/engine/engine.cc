@@ -229,6 +229,10 @@ size_t Engine::DesiredProcessor(JobId id) const {
 
 double Engine::Priority(JobId id) const { return core_.Priority(id); }
 
+size_t Engine::DistanceTier(size_t from, size_t to) const {
+  return core_.machine.topology().TierBetween(from, to);
+}
+
 // --- Diagnostics -------------------------------------------------------------
 
 void Engine::DumpState() const {

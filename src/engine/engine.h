@@ -124,6 +124,7 @@ class Engine : public SchedView {
   JobId TaskJob(CacheOwner task) const override;
   size_t DesiredProcessor(JobId job) const override;
   double Priority(JobId job) const override;
+  size_t DistanceTier(size_t from, size_t to) const override;
 
  private:
   JobId SubmitJobInternal(const AppProfile& profile, SimTime arrival, SimTime queued_since,

@@ -9,11 +9,41 @@
 #include "src/common/rng.h"
 
 namespace affsched {
+
+std::string MachineConfig::Validate() const {
+  if (num_processors == 0) {
+    return "machine requires at least one processor (procs=0)";
+  }
+  if (geometry.line_bytes == 0 || geometry.total_bytes == 0 || geometry.TotalLines() == 0) {
+    return "cache geometry has zero capacity (line_bytes/total_bytes)";
+  }
+  if (geometry.ways == 0) {
+    return "cache geometry needs at least one way";
+  }
+  if (processor_speed <= 0.0) {
+    return "processor_speed must be > 0";
+  }
+  if (cache_size_factor <= 0.0) {
+    return "cache_size_factor must be > 0";
+  }
+  if (!topology.IsFlat() && cache_model != CacheModelKind::kFootprint) {
+    return "hierarchical topologies require the footprint cache model "
+           "(the exact per-line model has no LLC tier)";
+  }
+  return topology.Validate(num_processors);
+}
+
 namespace {
 
-std::unique_ptr<CacheModel> BuildCacheModel(const MachineConfig& config, size_t proc) {
+std::unique_ptr<CacheModel> BuildCacheModel(const MachineConfig& config, size_t proc,
+                                            const Topology& topology,
+                                            TopologyCacheState* topo_state) {
   switch (config.cache_model) {
     case CacheModelKind::kFootprint:
+      if (topo_state != nullptr) {
+        return std::make_unique<HierarchicalCacheModel>(
+            config.CapacityBlocks(), config.geometry.ways, topology, topo_state, proc);
+      }
       return std::make_unique<FootprintCache>(config.CapacityBlocks(),
                                               config.geometry.ways);
     case CacheModelKind::kExact: {
@@ -33,13 +63,21 @@ std::unique_ptr<CacheModel> BuildCacheModel(const MachineConfig& config, size_t 
 
 }  // namespace
 
-Machine::Machine(const MachineConfig& config) : config_(config), bus_(config.bus) {
-  AFF_CHECK(config_.num_processors >= 1);
-  AFF_CHECK(config_.processor_speed > 0.0);
-  AFF_CHECK(config_.cache_size_factor > 0.0);
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      topology_(config.topology, config.num_processors),
+      bus_(config.bus) {
+  const std::string problem = config_.Validate();
+  AFF_CHECK_MSG(problem.empty(), problem.c_str());
+  if (!config_.topology.IsFlat()) {
+    topo_state_ = std::make_unique<TopologyCacheState>(
+        topology_, config_.topology.LlcCapacityBlocks(config_.geometry.line_bytes),
+        config_.topology.llc_ways);
+  }
   processors_.reserve(config_.num_processors);
   for (size_t i = 0; i < config_.num_processors; ++i) {
-    processors_.emplace_back(i, BuildCacheModel(config_, i), config_.task_history_depth);
+    processors_.emplace_back(i, BuildCacheModel(config_, i, topology_, topo_state_.get()),
+                             config_.task_history_depth);
   }
 }
 
@@ -74,13 +112,34 @@ Machine::ChunkExecution Machine::ExecuteChunk(SimTime now, size_t proc, CacheOwn
   }
 
   const double inflation = bus_.InflationFactor(now);
-  const double stall_seconds = misses.TotalMisses() * config_.MissServiceSeconds() * inflation;
-  bus_.RecordTraffic(now, misses.TotalMisses() + invalidations);
-
   ChunkExecution exec;
   exec.reload_misses = misses.reload_misses;
   exec.steady_misses = misses.steady_misses;
-  exec.stall = Seconds(stall_seconds);
+  if (topo_state_ != nullptr) {
+    // Hierarchical pricing: LLC hits refill at a fraction of a memory fill,
+    // cross-node fetches pay the interconnect multiplier, and LLC hits stay
+    // off the shared bus (they are cluster-local traffic).
+    const double mss = config_.MissServiceSeconds();
+    const double local_fills =
+        misses.reload_misses - misses.reload_llc_hits - misses.reload_remote;
+    const double llc_seconds =
+        misses.reload_llc_hits * mss * config_.topology.llc_hit_factor * inflation;
+    const double remote_seconds =
+        misses.reload_remote * mss * config_.topology.remote_multiplier * inflation;
+    const double reload_seconds = llc_seconds + remote_seconds + local_fills * mss * inflation;
+    const double steady_seconds = misses.steady_misses * mss * inflation;
+    bus_.RecordTraffic(now, misses.TotalMisses() - misses.reload_llc_hits + invalidations);
+    exec.tiered = true;
+    exec.reload_stall = Seconds(reload_seconds);
+    exec.steady_stall = Seconds(steady_seconds);
+    exec.reload_llc = Seconds(llc_seconds);
+    exec.reload_remote = Seconds(remote_seconds);
+    exec.stall = exec.reload_stall + exec.steady_stall;
+  } else {
+    const double stall_seconds = misses.TotalMisses() * config_.MissServiceSeconds() * inflation;
+    bus_.RecordTraffic(now, misses.TotalMisses() + invalidations);
+    exec.stall = Seconds(stall_seconds);
+  }
   exec.wall = config_.ComputeTime(work) + exec.stall;
   return exec;
 }

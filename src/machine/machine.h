@@ -15,11 +15,14 @@
 #include <cmath>
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/cache/bus.h"
 #include "src/cache/cache_model.h"
 #include "src/cache/geometry.h"
+#include "src/topology/hier_cache.h"
+#include "src/topology/topology.h"
 
 namespace affsched {
 
@@ -47,6 +50,14 @@ struct MachineConfig {
   // Cache size relative to the base Symmetry.
   double cache_size_factor = 1.0;
   SharedBus::Config bus;
+  // Machine hierarchy (clusters, nodes, shared LLCs). The default
+  // symmetry-flat spec reproduces the paper's bus machine byte-identically.
+  TopologySpec topology;
+
+  // Returns an empty string if the configuration is buildable, else a
+  // human-readable error (zero processors, zero-capacity cache levels, ...).
+  // Machine's constructor enforces this; parsers surface it as a clean error.
+  std::string Validate() const;
 
   double CapacityBlocks() const {
     return static_cast<double>(geometry.TotalLines()) * cache_size_factor;
@@ -119,12 +130,23 @@ class Machine {
   size_t num_processors() const { return processors_.size(); }
   Processor& processor(size_t i);
   SharedBus& bus() { return bus_; }
+  const Topology& topology() const { return topology_; }
 
   struct ChunkExecution {
     SimDuration wall = 0;        // total wall time including miss stalls
     SimDuration stall = 0;       // portion spent waiting on misses
     double reload_misses = 0.0;  // affinity-related misses
     double steady_misses = 0.0;
+    // Hierarchical topologies price reload misses by source, so the
+    // reload/steady split is computed here rather than pro-rated from miss
+    // counts downstream. When `tiered` is set the dispatcher uses these
+    // spans directly; flat machines leave it false (and the flat arithmetic
+    // byte-identical to the pre-topology code).
+    bool tiered = false;
+    SimDuration reload_stall = 0;
+    SimDuration steady_stall = 0;
+    SimDuration reload_llc = 0;     // portion of reload_stall filled from the LLC
+    SimDuration reload_remote = 0;  // portion filled across the interconnect
   };
 
   // A sibling worker's placement, for coherence modelling.
@@ -145,6 +167,10 @@ class Machine {
 
  private:
   MachineConfig config_;
+  Topology topology_;
+  // Shared LLC + last-node directory; non-null only for hierarchical
+  // topologies (flat machines build plain FootprintCaches, untouched).
+  std::unique_ptr<TopologyCacheState> topo_state_;
   std::vector<Processor> processors_;
   SharedBus bus_;
 };

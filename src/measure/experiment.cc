@@ -51,6 +51,12 @@ void ReplicationFolder::Fold(const RunResult& run) {
     acc.alloc_integral_s += x.alloc_integral_s;
     acc.reallocations += x.reallocations;
     acc.affinity_dispatches += x.affinity_dispatches;
+    acc.migrations_same_core += x.migrations_same_core;
+    acc.migrations_same_cluster += x.migrations_same_cluster;
+    acc.migrations_same_node += x.migrations_same_node;
+    acc.migrations_cross_node += x.migrations_cross_node;
+    acc.reload_llc_s += x.reload_llc_s;
+    acc.reload_remote_s += x.reload_remote_s;
     acc.completion += x.completion - x.arrival;
   }
   ++reps_;
@@ -87,6 +93,16 @@ ReplicatedResult ReplicationFolder::Finish() const {
     mean.reallocations = static_cast<uint64_t>(static_cast<double>(mean.reallocations) / r);
     mean.affinity_dispatches =
         static_cast<uint64_t>(static_cast<double>(mean.affinity_dispatches) / r);
+    mean.migrations_same_core =
+        static_cast<uint64_t>(static_cast<double>(mean.migrations_same_core) / r);
+    mean.migrations_same_cluster =
+        static_cast<uint64_t>(static_cast<double>(mean.migrations_same_cluster) / r);
+    mean.migrations_same_node =
+        static_cast<uint64_t>(static_cast<double>(mean.migrations_same_node) / r);
+    mean.migrations_cross_node =
+        static_cast<uint64_t>(static_cast<double>(mean.migrations_cross_node) / r);
+    mean.reload_llc_s /= r;
+    mean.reload_remote_s /= r;
     mean.arrival = 0;
     mean.completion = static_cast<SimTime>(static_cast<double>(accum_[j].completion) / r);
     result.mean_stats[j] = mean;

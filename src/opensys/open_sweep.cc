@@ -216,6 +216,13 @@ bool ParseOpenSweepSpec(const std::string& text, OpenSweepSpec* spec, std::strin
       spec->machine.processor_speed = std::atof(value.c_str());
     } else if (key == "cache") {
       spec->machine.cache_size_factor = std::atof(value.c_str());
+    } else if (key == "topology") {
+      // topology=preset or topology=preset,key=value,... (comma-separated;
+      // see src/topology). Cell seeds do not depend on the topology, so
+      // hierarchical cells share common random numbers with flat ones.
+      if (!ParseTopologySpec(value, &spec->machine.topology, error)) {
+        return false;
+      }
     } else if (key == "mpl-cap") {
       const int n = std::atoi(value.c_str());
       if (n < 0) {
@@ -251,6 +258,11 @@ bool ParseOpenSweepSpec(const std::string& text, OpenSweepSpec* spec, std::strin
   }
   if (spec->policies.empty() || spec->arrivals.empty() || spec->rhos.empty()) {
     *error = "open sweep spec needs at least one policy, arrival process and rho";
+    return false;
+  }
+  const std::string machine_problem = spec->machine.Validate();
+  if (!machine_problem.empty()) {
+    *error = machine_problem;
     return false;
   }
   return true;
@@ -392,7 +404,11 @@ std::string OpenSweepResult::ToJson() const {
   o << ",\"spec\":{\"name\":\"" << JsonEscape(spec.name) << "\""
     << ",\"root_seed\":" << spec.root_seed << ",\"machine\":{\"procs\":"
     << spec.machine.num_processors << ",\"speed\":" << JsonNumber(spec.machine.processor_speed)
-    << ",\"cache\":" << JsonNumber(spec.machine.cache_size_factor) << "}";
+    << ",\"cache\":" << JsonNumber(spec.machine.cache_size_factor);
+  if (!spec.machine.topology.IsFlat()) {
+    o << ",\"topology\":\"" << JsonEscape(spec.machine.topology.ToSpecString()) << "\"";
+  }
+  o << "}";
   o << ",\"policies\":[";
   for (size_t i = 0; i < spec.policies.size(); ++i) {
     o << (i > 0 ? "," : "") << "\"" << PolicyKindCliName(spec.policies[i]) << "\"";

@@ -190,6 +190,13 @@ bool ParseSweepSpec(const std::string& text, SweepSpec* spec, std::string* error
       spec->machine.processor_speed = std::atof(value.c_str());
     } else if (key == "cache") {
       spec->machine.cache_size_factor = std::atof(value.c_str());
+    } else if (key == "topology") {
+      // topology=preset or topology=preset,key=value,... (comma-separated;
+      // see src/topology). Cell seeds do not depend on the topology, so
+      // hierarchical cells share common random numbers with flat ones.
+      if (!ParseTopologySpec(value, &spec->machine.topology, error)) {
+        return false;
+      }
     } else {
       *error = "unknown sweep spec key '" + key + "'";
       return false;
@@ -197,6 +204,11 @@ bool ParseSweepSpec(const std::string& text, SweepSpec* spec, std::string* error
   }
   if (spec->policies.empty() || spec->mixes.empty()) {
     *error = "sweep spec needs at least one policy and one mix";
+    return false;
+  }
+  const std::string machine_problem = spec->machine.Validate();
+  if (!machine_problem.empty()) {
+    *error = machine_problem;
     return false;
   }
   return true;
@@ -213,7 +225,10 @@ const ExperimentResult* SweepResult::Find(PolicyKind policy, int mix_number) con
 
 namespace {
 
-std::string StatsJson(const JobStats& stats) {
+// The per-tier blocks are emitted only for hierarchical topologies, so the
+// flat-machine JSON stays byte-identical to the pre-topology schema (pinned
+// by tests/golden/).
+std::string StatsJson(const JobStats& stats, bool tiered) {
   std::ostringstream o;
   o << "{\"useful_work_s\":" << JsonNumber(stats.useful_work_s)
     << ",\"reload_stall_s\":" << JsonNumber(stats.reload_stall_s)
@@ -225,7 +240,16 @@ std::string StatsJson(const JobStats& stats) {
     << ",\"affinity_dispatches\":" << stats.affinity_dispatches
     << ",\"affinity_fraction\":" << JsonNumber(stats.AffinityFraction())
     << ",\"realloc_interval_s\":" << JsonNumber(stats.ReallocationIntervalSeconds())
-    << ",\"avg_alloc\":" << JsonNumber(stats.AverageAllocation()) << "}";
+    << ",\"avg_alloc\":" << JsonNumber(stats.AverageAllocation());
+  if (tiered) {
+    o << ",\"migrations\":{\"same_core\":" << stats.migrations_same_core
+      << ",\"same_cluster\":" << stats.migrations_same_cluster
+      << ",\"same_node\":" << stats.migrations_same_node
+      << ",\"cross_node\":" << stats.migrations_cross_node << "}"
+      << ",\"reload_llc_s\":" << JsonNumber(stats.reload_llc_s)
+      << ",\"reload_remote_s\":" << JsonNumber(stats.reload_remote_s);
+  }
+  o << "}";
   return o.str();
 }
 
@@ -238,7 +262,11 @@ std::string SweepResult::ToJson() const {
   o << ",\"spec\":{\"name\":\"" << JsonEscape(spec.name) << "\""
     << ",\"root_seed\":" << spec.root_seed << ",\"machine\":{\"procs\":"
     << spec.machine.num_processors << ",\"speed\":" << JsonNumber(spec.machine.processor_speed)
-    << ",\"cache\":" << JsonNumber(spec.machine.cache_size_factor) << "}";
+    << ",\"cache\":" << JsonNumber(spec.machine.cache_size_factor);
+  if (!spec.machine.topology.IsFlat()) {
+    o << ",\"topology\":\"" << JsonEscape(spec.machine.topology.ToSpecString()) << "\"";
+  }
+  o << "}";
   o << ",\"policies\":[";
   for (size_t i = 0; i < spec.policies.size(); ++i) {
     o << (i > 0 ? "," : "") << "\"" << PolicyKindCliName(spec.policies[i]) << "\"";
@@ -252,6 +280,7 @@ std::string SweepResult::ToJson() const {
     << ",\"precision\":" << JsonNumber(spec.replication.relative_precision)
     << ",\"confidence\":" << JsonNumber(spec.replication.confidence) << "}}";
 
+  const bool tiered = !spec.machine.topology.IsFlat();
   o << ",\"experiments\":[";
   for (size_t e = 0; e < experiments.size(); ++e) {
     const ExperimentResult& experiment = experiments[e];
@@ -263,7 +292,7 @@ std::string SweepResult::ToJson() const {
       o << (j > 0 ? "," : "") << "{\"index\":" << j << ",\"app\":\"" << JsonEscape(rep.app[j])
         << "\",\"mean_response_s\":" << JsonNumber(rep.MeanResponse(j)) << ",\"ci_half_width_s\":"
         << JsonNumber(rep.response[j].ConfidenceHalfWidth(spec.replication.confidence))
-        << ",\"mean_stats\":" << StatsJson(rep.mean_stats[j]) << "}";
+        << ",\"mean_stats\":" << StatsJson(rep.mean_stats[j], tiered) << "}";
     }
     o << "],\"cells\":[";
     for (size_t c = 0; c < experiment.cells.size(); ++c) {

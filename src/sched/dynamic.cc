@@ -16,6 +16,12 @@ std::string DynamicOptions::PolicyName() const {
   if (yield_delay > 0) {
     return "Dyn-Aff-Delay";
   }
+  if (affinity_tier == 1) {
+    return "Dyn-Aff-Cluster";
+  }
+  if (affinity_tier >= 2) {
+    return "Dyn-Aff-Node";
+  }
   return "Dyn-Aff";
 }
 
@@ -54,19 +60,31 @@ PolicyDecision DynamicPolicy::OnProcessorAvailable(const SchedView& view, size_t
   // (always, under NoPri), reunite the task with its cache context. With
   // T = 1 (the paper's configuration) only the most recent task is
   // considered; deeper histories fall back to older residents whose context
-  // may partially survive.
+  // may partially survive. The distance-aware variants widen the search
+  // outward by tier: a task whose context lives on a nearby processor
+  // (same cluster — the shared LLC is warm; same node — still beats a
+  // remote fetch) is reunited with the nearest surviving level of it. At
+  // affinity_tier 0 only this processor's own history is consulted,
+  // reducing exactly to the flat-machine rule.
   if (options_.use_affinity) {
-    for (CacheOwner candidate : view.RecentTasksOn(proc)) {
-      if (candidate == kNoOwner || !view.TaskRunnable(candidate)) {
-        continue;
-      }
-      const JobId candidate_job = view.TaskJob(candidate);
-      const bool priority_ok =
-          !options_.enforce_priority || requesters.empty() ||
-          view.Priority(candidate_job) >= view.Priority(requesters.front());
-      if (priority_ok && view.PendingDemand(candidate_job) > 0) {
-        decision.assignments.push_back(Assignment{proc, candidate_job, candidate});
-        return decision;
+    for (size_t tier = 0; tier <= options_.affinity_tier; ++tier) {
+      for (size_t p = 0; p < view.NumProcessors(); ++p) {
+        if (view.DistanceTier(proc, p) != tier) {
+          continue;
+        }
+        for (CacheOwner candidate : view.RecentTasksOn(p)) {
+          if (candidate == kNoOwner || !view.TaskRunnable(candidate)) {
+            continue;
+          }
+          const JobId candidate_job = view.TaskJob(candidate);
+          const bool priority_ok =
+              !options_.enforce_priority || requesters.empty() ||
+              view.Priority(candidate_job) >= view.Priority(requesters.front());
+          if (priority_ok && view.PendingDemand(candidate_job) > 0) {
+            decision.assignments.push_back(Assignment{proc, candidate_job, candidate});
+            return decision;
+          }
+        }
       }
     }
   }
@@ -146,15 +164,31 @@ PolicyDecision DynamicPolicy::OnRequest(const SchedView& view, JobId job) {
   // Rule A.2: honour the requesting job's desired processor if it is
   // available (free or willing to yield). Never preempt useful work for
   // affinity: an active task presumably has greater affinity for the
-  // processor than the task we are placing.
+  // processor than the task we are placing. The distance-aware variants
+  // fall outward from the desired processor by tier — the nearest available
+  // processor still shares a cache level with the task's context. At
+  // affinity_tier 0 only the desired processor itself qualifies, reducing
+  // exactly to the flat-machine rule.
   if (options_.use_affinity) {
     const size_t desired = view.DesiredProcessor(job);
     if (desired != kNoProcessor) {
-      const JobId holder = view.ProcessorJob(desired);
-      const bool available =
-          holder == kInvalidJobId || (holder != job && view.WillingToYield(desired));
-      if (available) {
-        decision.assignments.push_back(Assignment{desired, job, kNoOwner});
+      size_t best = kNoProcessor;
+      size_t best_tier = options_.affinity_tier + 1;
+      for (size_t p = 0; p < view.NumProcessors() && best_tier > 0; ++p) {
+        const size_t tier = view.DistanceTier(desired, p);
+        if (tier >= best_tier) {
+          continue;
+        }
+        const JobId holder = view.ProcessorJob(p);
+        const bool available =
+            holder == kInvalidJobId || (holder != job && view.WillingToYield(p));
+        if (available) {
+          best = p;
+          best_tier = tier;
+        }
+      }
+      if (best != kNoProcessor) {
+        decision.assignments.push_back(Assignment{best, job, kNoOwner});
         return decision;
       }
     }

@@ -38,6 +38,13 @@ struct DynamicOptions {
   // may claim extra ones during bursts, and the rising per-processor cost
   // keeps the exchange from thrashing.
   double credit_margin = 1.5;
+  // Maximum migration distance tier (SchedView::DistanceTier) at which a
+  // task's cache context still counts as affinity for rules A.1/A.2:
+  //   0 — exact processor only (the paper's Dyn-Aff; private caches only)
+  //   1 — same cluster (Dyn-Aff-Cluster: the shared LLC keeps context warm)
+  //   2 — same node (Dyn-Aff-Node: anything beating a remote fetch)
+  // At 0 the rules reduce exactly to the flat-machine Dyn-Aff behaviour.
+  size_t affinity_tier = 0;
 
   std::string PolicyName() const;
 };

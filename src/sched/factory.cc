@@ -21,6 +21,12 @@ std::unique_ptr<Policy> MakePolicy(PolicyKind kind) {
     case PolicyKind::kDynAffDelay:
       return std::make_unique<DynamicPolicy>(
           DynamicOptions{.use_affinity = true, .yield_delay = kDefaultYieldDelay});
+    case PolicyKind::kDynAffCluster:
+      return std::make_unique<DynamicPolicy>(
+          DynamicOptions{.use_affinity = true, .affinity_tier = 1});
+    case PolicyKind::kDynAffNode:
+      return std::make_unique<DynamicPolicy>(
+          DynamicOptions{.use_affinity = true, .affinity_tier = 2});
     case PolicyKind::kTimeShare:
       return std::make_unique<TimeSharePolicy>(TimeShareOptions{});
     case PolicyKind::kTimeShareAff:
@@ -43,6 +49,10 @@ std::string PolicyKindCliName(PolicyKind kind) {
       return "dyn-aff-nopri";
     case PolicyKind::kDynAffDelay:
       return "dyn-aff-delay";
+    case PolicyKind::kDynAffCluster:
+      return "dyn-aff-cluster";
+    case PolicyKind::kDynAffNode:
+      return "dyn-aff-node";
     case PolicyKind::kTimeShare:
       return "timeshare";
     case PolicyKind::kTimeShareAff:
@@ -54,8 +64,8 @@ std::string PolicyKindCliName(PolicyKind kind) {
 bool PolicyKindFromName(const std::string& name, PolicyKind* kind) {
   for (PolicyKind candidate :
        {PolicyKind::kEquipartition, PolicyKind::kDynamic, PolicyKind::kDynAff,
-        PolicyKind::kDynAffNoPri, PolicyKind::kDynAffDelay, PolicyKind::kTimeShare,
-        PolicyKind::kTimeShareAff}) {
+        PolicyKind::kDynAffNoPri, PolicyKind::kDynAffDelay, PolicyKind::kDynAffCluster,
+        PolicyKind::kDynAffNode, PolicyKind::kTimeShare, PolicyKind::kTimeShareAff}) {
     if (name == PolicyKindCliName(candidate)) {
       *kind = candidate;
       return true;
@@ -66,6 +76,11 @@ bool PolicyKindFromName(const std::string& name, PolicyKind* kind) {
 
 std::vector<PolicyKind> DynamicFamily() {
   return {PolicyKind::kDynamic, PolicyKind::kDynAff, PolicyKind::kDynAffDelay};
+}
+
+std::vector<PolicyKind> TopologyPolicyFamily() {
+  return {PolicyKind::kEquipartition, PolicyKind::kDynamic, PolicyKind::kDynAff,
+          PolicyKind::kDynAffCluster, PolicyKind::kDynAffNode};
 }
 
 }  // namespace affsched

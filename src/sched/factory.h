@@ -17,6 +17,8 @@ enum class PolicyKind {
   kDynAff,
   kDynAffNoPri,
   kDynAffDelay,
+  kDynAffCluster,
+  kDynAffNode,
   kTimeShare,
   kTimeShareAff,
 };
@@ -34,11 +36,16 @@ std::string PolicyKindCliName(PolicyKind kind);
 
 // Parses the short command-line names used by simctl and the sweep specs
 // ("equi", "dynamic", "dyn-aff", "dyn-aff-nopri", "dyn-aff-delay",
-// "timeshare", "timeshare-aff"). Returns false on an unknown name.
+// "dyn-aff-cluster", "dyn-aff-node", "timeshare", "timeshare-aff").
+// Returns false on an unknown name.
 bool PolicyKindFromName(const std::string& name, PolicyKind* kind);
 
 // The policies Figure 5 compares against Equipartition, in paper order.
 std::vector<PolicyKind> DynamicFamily();
+
+// The line-up the topology experiments compare on hierarchical machines:
+// Equipartition, Dynamic, and the exact/cluster/node affinity variants.
+std::vector<PolicyKind> TopologyPolicyFamily();
 
 }  // namespace affsched
 

@@ -79,6 +79,12 @@ class SchedView {
   // Implements the credit scheme of [McCann et al. 91]: priority rises while
   // a job uses less than its fair share and falls while it uses more.
   virtual double Priority(JobId job) const = 0;
+
+  // Migration distance tier between two processors (0 = same processor,
+  // larger = farther; src/topology). The engine answers from the machine's
+  // topology; views without one distinguish only same (0) vs other (1), so
+  // policies written against tiers degrade gracefully on flat machines.
+  virtual size_t DistanceTier(size_t from, size_t to) const { return from == to ? 0 : 1; }
 };
 
 // Directive: give `proc` to `job`, preferring to dispatch `prefer_task` on it

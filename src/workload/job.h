@@ -59,6 +59,27 @@ struct JobStats {
   // Of those, dispatches where the task's last processor matched.
   uint64_t affinity_dispatches = 0;
 
+  // Reallocations by migration distance tier (src/topology): how far from
+  // its previous processor each dispatch landed. First placements (no
+  // previous processor) count in `reallocations` only. On a flat machine
+  // every move is "same_cluster" — the tiers only differentiate costs on
+  // hierarchical topologies.
+  uint64_t migrations_same_core = 0;
+  uint64_t migrations_same_cluster = 0;
+  uint64_t migrations_same_node = 0;
+  uint64_t migrations_cross_node = 0;
+
+  // Reload-cost attribution on hierarchical topologies: the portion of
+  // reload_stall_s served by the cluster LLC vs fetched across the node
+  // interconnect (both zero on flat machines).
+  double reload_llc_s = 0.0;
+  double reload_remote_s = 0.0;
+
+  uint64_t TotalMigrations() const {
+    return migrations_same_core + migrations_same_cluster + migrations_same_node +
+           migrations_cross_node;
+  }
+
   double ResponseSeconds() const {
     AFF_CHECK_MSG(completion >= 0, "job has not completed");
     return ToSeconds(completion - arrival);

@@ -73,5 +73,27 @@ TEST(GoldenTrajectoryTest, Fig5Seed7777) {
   RunGoldenCase("fig5;mixes=2,5;reps=1;seed=7777", "sweep_fig5_seed7777.json");
 }
 
+// The topology subsystem is a strict superset: selecting the symmetry-flat
+// topology explicitly must reproduce the flat-machine trajectory byte for
+// byte against the pre-topology golden.
+TEST(GoldenTrajectoryTest, SymmetryFlatTopologyMatchesFlatGolden) {
+  SweepSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseSweepSpec("smoke;topology=symmetry-flat", &spec, &error)) << error;
+  // Overrides rewrite spec.name to the full provenance string; restore the
+  // preset name so the JSON header matches the flat golden too.
+  spec.name = "smoke";
+  SweepRunnerOptions options;
+  options.jobs = 2;
+  const SweepResult result = SweepRunner(options).Run(spec);
+  ExpectBytesIdentical(result.ToJson() + "\n", ReadGolden("sweep_smoke_seed1000.json"));
+}
+
+// And a hierarchical trajectory of its own, pinning the tiered cache model,
+// the per-tier accounting and the topology JSON blocks.
+TEST(GoldenTrajectoryTest, CmpTopologySmoke) {
+  RunGoldenCase("smoke;topology=cmp-2x10", "sweep_smoke_cmp2x10.json");
+}
+
 }  // namespace
 }  // namespace affsched

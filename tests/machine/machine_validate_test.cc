@@ -1,0 +1,81 @@
+// MachineConfig::Validate: degenerate configurations fail with a clear error
+// before any construction work happens, at every entry point (sweep parsers,
+// simctl flags, direct construction).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/machine/machine.h"
+
+namespace affsched {
+namespace {
+
+TEST(MachineValidateTest, DefaultConfigIsValid) {
+  EXPECT_EQ(MachineConfig{}.Validate(), "");
+}
+
+TEST(MachineValidateTest, ZeroProcessorsIsRejected) {
+  MachineConfig config;
+  config.num_processors = 0;
+  EXPECT_NE(config.Validate().find("procs=0"), std::string::npos);
+}
+
+TEST(MachineValidateTest, ZeroCapacityCacheLevelsAreRejected) {
+  MachineConfig config;
+  config.geometry.line_bytes = 0;
+  EXPECT_FALSE(config.Validate().empty());
+
+  config = MachineConfig{};
+  config.geometry.total_bytes = 0;
+  EXPECT_FALSE(config.Validate().empty());
+
+  config = MachineConfig{};
+  config.geometry.ways = 0;
+  EXPECT_FALSE(config.Validate().empty());
+
+  config = MachineConfig{};
+  config.cache_size_factor = 0.0;
+  EXPECT_FALSE(config.Validate().empty());
+}
+
+TEST(MachineValidateTest, NonPositiveSpeedIsRejected) {
+  MachineConfig config;
+  config.processor_speed = 0.0;
+  EXPECT_FALSE(config.Validate().empty());
+  config.processor_speed = -1.0;
+  EXPECT_FALSE(config.Validate().empty());
+}
+
+TEST(MachineValidateTest, TopologyProblemsSurfaceThroughMachineValidate) {
+  MachineConfig config;
+  config.topology = CmpTopology();
+  config.topology.llc_hit_factor = 0.0;
+  EXPECT_NE(config.Validate().find("llc-factor"), std::string::npos);
+}
+
+TEST(MachineValidateTest, HierarchicalTopologyRequiresFootprintModel) {
+  MachineConfig config;
+  config.topology = CmpTopology();
+  EXPECT_EQ(config.Validate(), "");
+  config.cache_model = CacheModelKind::kExact;
+  EXPECT_NE(config.Validate().find("footprint"), std::string::npos);
+}
+
+TEST(MachineValidateTest, ConstructorEnforcesValidation) {
+  MachineConfig config;
+  config.num_processors = 0;
+  EXPECT_DEATH({ Machine machine(config); }, "procs=0");
+}
+
+TEST(MachineValidateTest, HierarchicalMachineBuilds) {
+  MachineConfig config;
+  config.topology = NumaTopology();
+  config.num_processors = 32;
+  Machine machine(config);
+  EXPECT_EQ(machine.topology().num_nodes(), 4u);
+  EXPECT_EQ(machine.topology().TierBetween(0, 8), 3u);
+}
+
+}  // namespace
+}  // namespace affsched

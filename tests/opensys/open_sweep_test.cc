@@ -56,6 +56,17 @@ TEST(OpenSweepSpecTest, OverridesApply) {
   EXPECT_EQ(spec.open.warmup_rule, WarmupRule::kMser);
 }
 
+TEST(OpenSweepSpecTest, TopologyKeyParsesAndValidates) {
+  OpenSweepSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseOpenSweepSpec("opensys-smoke;topology=cmp-2x10", &spec, &error)) << error;
+  EXPECT_EQ(spec.machine.topology.name, "cmp-2x10");
+  EXPECT_FALSE(spec.machine.topology.IsFlat());
+  EXPECT_FALSE(ParseOpenSweepSpec("opensys-smoke;topology=nosuch", &spec, &error));
+  // Machine-level validation runs at the end of the parse.
+  EXPECT_FALSE(ParseOpenSweepSpec("opensys-smoke;topology=cmp-2x10,llc-factor=0", &spec, &error));
+}
+
 TEST(OpenSweepSpecTest, MalformedSpecsRejected) {
   OpenSweepSpec spec;
   std::string error;
