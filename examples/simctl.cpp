@@ -11,6 +11,7 @@
 //   ./build/examples/simctl --help
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -23,6 +24,7 @@
 #include "src/measure/mixes.h"
 #include "src/measure/report.h"
 #include "src/opensys/open_sweep.h"
+#include "src/runner/heartbeat.h"
 #include "src/runner/runner.h"
 #include "src/runner/sweep.h"
 #include "src/runner/worker_pool.h"
@@ -31,16 +33,28 @@
 #include "src/telemetry/manifest.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/sampler.h"
+#include "src/telemetry/job_spans.h"
 #include "src/topology/topology.h"
+#include "src/trace/decision_trace.h"
 #include "src/trace/trace.h"
 
 using namespace affsched;
 
 namespace {
 
+// Statistics over zero samples (a cell that completed no jobs) are NaN;
+// render those as "n/a" instead of printing NaN into the table.
+std::string FormatStat(double value, int digits) {
+  return std::isfinite(value) ? FormatDouble(value, digits) : "n/a";
+}
+
 // Runs a whole experiment grid on a worker pool (--sweep mode). Consults
-// only --sweep, --jobs and --out; the spec string carries everything else.
-int RunSweepMode(const std::string& spec_text, size_t jobs, const std::string& out_path) {
+// --sweep, --jobs, --out, --progress and --heartbeat; the spec string
+// carries everything else.
+int RunSweepMode(const FlagSet& flags) {
+  const std::string spec_text = flags.GetString("sweep");
+  const size_t jobs = static_cast<size_t>(flags.GetInt("jobs"));
+  const std::string out_path = flags.GetString("out");
   SweepSpec spec;
   std::string error;
   if (!ParseSweepSpec(spec_text, &spec, &error)) {
@@ -48,13 +62,56 @@ int RunSweepMode(const std::string& spec_text, size_t jobs, const std::string& o
     return 1;
   }
 
+  std::unique_ptr<HeartbeatWriter> heartbeat;
+  const std::string heartbeat_path = flags.GetString("heartbeat");
+  if (!heartbeat_path.empty()) {
+    heartbeat = std::make_unique<HeartbeatWriter>(heartbeat_path);
+    if (!heartbeat->ok()) {
+      std::printf("failed to open --heartbeat file %s\n", heartbeat_path.c_str());
+      return 1;
+    }
+    heartbeat->Start(spec.name, spec.MinCells());
+  }
+  const bool progress = flags.GetBool("progress");
+
   SweepRunnerOptions options;
   options.jobs = jobs;
-  options.progress = [](size_t completed, size_t scheduled) {
-    std::fprintf(stderr, "sweep: %zu/%zu cells\n", completed, scheduled);
-  };
+  if (heartbeat != nullptr || progress) {
+    options.round_stats = [&](const SweepRoundStats& s) {
+      if (heartbeat != nullptr) {
+        heartbeat->OnRound(s);
+      }
+      if (progress) {
+        const double events_per_s =
+            s.round_wall_s > 0.0 ? static_cast<double>(s.round_events) / s.round_wall_s : 0.0;
+        const size_t remaining = s.scheduled > s.completed ? s.scheduled - s.completed : 0;
+        const double eta_s =
+            s.completed > 0
+                ? static_cast<double>(remaining) * s.total_wall_s / static_cast<double>(s.completed)
+                : 0.0;
+        std::fprintf(stderr,
+                     "sweep: %zu/%zu cells | round %zu: %zu cells in %.2fs "
+                     "(%.2fs/cell) | %.2fM events/s | eta %.1fs\n",
+                     s.completed, s.scheduled, s.round, s.round_cells, s.round_wall_s,
+                     s.round_cells > 0 ? s.round_wall_s / static_cast<double>(s.round_cells) : 0.0,
+                     events_per_s / 1e6, eta_s);
+      }
+    };
+  }
+  if (!progress) {
+    options.progress = [](size_t completed, size_t scheduled) {
+      std::fprintf(stderr, "sweep: %zu/%zu cells\n", completed, scheduled);
+    };
+  }
   SweepRunner runner(options);
   const SweepResult result = runner.Run(spec);
+  if (heartbeat != nullptr) {
+    size_t completed = 0;
+    for (const ExperimentResult& experiment : result.experiments) {
+      completed += experiment.replicated.replications;
+    }
+    heartbeat->Finish(completed, result.wall_seconds);
+  }
 
   std::printf("sweep '%s': %zu experiments on %zu worker(s), %.2fs wall\n\n", spec.name.c_str(),
               result.experiments.size(),
@@ -92,7 +149,7 @@ int RunSweepMode(const std::string& spec_text, size_t jobs, const std::string& o
 // admission control, latency percentiles per (policy, arrival process, rho)
 // cell. The spec string comes from --preset with --rho/--arrivals/--mpl-cap/
 // --max-queue folded in as overrides.
-int RunOpenMode(const FlagSet& flags) {
+int RunOpenMode(const FlagSet& flags, int argc, char** argv) {
   std::string spec_text = flags.GetString("preset");
   if (!flags.GetString("rho").empty()) {
     spec_text += ";rhos=" + flags.GetString("rho");
@@ -115,12 +172,28 @@ int RunOpenMode(const FlagSet& flags) {
   }
 
   const size_t jobs = static_cast<size_t>(flags.GetInt("jobs"));
+  std::unique_ptr<HeartbeatWriter> heartbeat;
+  const std::string heartbeat_path = flags.GetString("heartbeat");
+  if (!heartbeat_path.empty()) {
+    heartbeat = std::make_unique<HeartbeatWriter>(heartbeat_path);
+    if (!heartbeat->ok()) {
+      std::printf("failed to open --heartbeat file %s\n", heartbeat_path.c_str());
+      return 1;
+    }
+    heartbeat->Start(spec.name, spec.Cells());
+  }
   OpenSweepRunnerOptions options;
   options.jobs = jobs;
-  options.progress = [](size_t completed, size_t total) {
+  options.progress = [&heartbeat](size_t completed, size_t total) {
     std::fprintf(stderr, "open sweep: %zu/%zu cells\n", completed, total);
+    if (heartbeat != nullptr) {
+      heartbeat->OnProgress(completed, total);
+    }
   };
   const OpenSweepResult result = OpenSweepRunner(options).Run(spec);
+  if (heartbeat != nullptr) {
+    heartbeat->Finish(result.cells.size(), result.wall_seconds);
+  }
 
   std::printf("open sweep '%s': %zu cells on %zu worker(s), %.2fs wall\n"
               "mean job demand %.2fs; admission %s\n\n",
@@ -135,10 +208,10 @@ int RunOpenMode(const FlagSet& flags) {
   for (const OpenCellResult& cell : result.cells) {
     const OpenSystemResult& r = cell.result;
     table.AddRow({ArrivalKindName(cell.arrivals), FormatDouble(cell.rho, 2),
-                  PolicyKindCliName(cell.policy), FormatDouble(r.p50_sojourn_s, 2),
-                  FormatDouble(r.p95_sojourn_s, 2), FormatDouble(r.p99_sojourn_s, 2),
-                  FormatDouble(r.reject_rate * 100.0, 1), FormatDouble(r.mean_queue_len, 2),
-                  FormatDouble(r.affinity_fraction * 100.0, 1),
+                  PolicyKindCliName(cell.policy), FormatStat(r.p50_sojourn_s, 2),
+                  FormatStat(r.p95_sojourn_s, 2), FormatStat(r.p99_sojourn_s, 2),
+                  FormatStat(r.reject_rate * 100.0, 1), FormatStat(r.mean_queue_len, 2),
+                  FormatStat(r.affinity_fraction * 100.0, 1),
                   r.littles.ok ? "ok" : "FAIL"});
   }
   std::printf("%s\n", table.Render().c_str());
@@ -157,6 +230,7 @@ int RunOpenMode(const FlagSet& flags) {
   const std::string manifest_path = flags.GetString("manifest");
   if (!manifest_path.empty()) {
     RunManifest manifest;
+    manifest.SetProvenance(argc, argv);
     manifest.SetString("tool", "simctl-open");
     manifest.SetString("spec", spec.name);
     manifest.SetUint("seed", spec.root_seed);
@@ -240,6 +314,14 @@ int main(int argc, char** argv) {
   flags.AddBool("csv", false, "dump the event trace as CSV to stdout");
   flags.AddBool("metrics", false, "print end-of-run metric totals and reconcile them");
   flags.AddString("chrome-trace", "", "write a Chrome/Perfetto trace-event JSON file here");
+  flags.AddString("decision-trace", "",
+                  "write scheduling-decision provenance JSONL here (single-run "
+                  "mode); with --chrome-trace, also renders a scheduler track "
+                  "with flow arrows to the dispatches");
+  flags.AddString("spans", "",
+                  "write per-job lifecycle spans (arrival, queue wait, dispatches, "
+                  "migrations, completion) as JSONL here; with --chrome-trace, "
+                  "also annotates the job tracks");
   flags.AddString("samples", "", "write the sampled time series as CSV here");
   flags.AddDouble("sample-ms", 100.0, "sampling cadence in simulated milliseconds");
   flags.AddString("manifest", "", "write a run manifest (JSON) here");
@@ -251,6 +333,12 @@ int main(int argc, char** argv) {
                   "(fig5, table3, future, smoke) or key=value spec; see README");
   flags.AddInt("jobs", 0, "sweep worker threads (0 = hardware concurrency)");
   flags.AddString("out", "", "write sweep results JSON here");
+  flags.AddBool("progress", false,
+                "rich live progress on stderr for --sweep: per-round cell "
+                "counts, wall times, events/sec, ETA");
+  flags.AddString("heartbeat", "",
+                  "stream live-progress JSONL here during --sweep/--open "
+                  "(\"-\" = stderr); see README Observability");
   flags.AddBool("open", false,
                 "run an open-system load sweep: stochastic arrivals, admission "
                 "control, latency percentiles (see --preset)");
@@ -279,12 +367,11 @@ int main(int argc, char** argv) {
   }
 
   if (!flags.GetString("sweep").empty()) {
-    return RunSweepMode(flags.GetString("sweep"), static_cast<size_t>(flags.GetInt("jobs")),
-                        flags.GetString("out"));
+    return RunSweepMode(flags);
   }
 
   if (flags.GetBool("open")) {
-    return RunOpenMode(flags);
+    return RunOpenMode(flags, argc, argv);
   }
 
   const int mix_number = static_cast<int>(flags.GetInt("mix"));
@@ -348,6 +435,16 @@ int main(int argc, char** argv) {
   if (flags.GetBool("gantt") || flags.GetBool("csv") || !chrome_trace_path.empty()) {
     engine.SetTraceSink(&trace);
   }
+  const std::string decision_path = flags.GetString("decision-trace");
+  const std::string spans_path = flags.GetString("spans");
+  DecisionTrace decisions;
+  JobSpanCollector spans;
+  if (!decision_path.empty()) {
+    engine.SetDecisionSink(&decisions);
+  }
+  if (!spans_path.empty()) {
+    engine.SetSpanCollector(&spans);
+  }
   if (want_metrics) {
     engine.SetMetrics(&registry);
   }
@@ -401,9 +498,29 @@ int main(int argc, char** argv) {
     job_names.push_back(engine.job_name(id));
   }
 
+  if (!decision_path.empty() &&
+      Sampler::WriteFile(decision_path, decisions.ToJsonl())) {
+    std::printf("\nwrote %zu decision records to %s\n", decisions.Records().size(),
+                decision_path.c_str());
+    if (decisions.dropped() > 0) {
+      std::printf("warning: decision ring dropped %zu early records\n", decisions.dropped());
+    }
+  }
+  if (!spans_path.empty() && Sampler::WriteFile(spans_path, spans.ToJsonl())) {
+    std::printf("\nwrote %zu job lifecycle spans to %s\n", spans.jobs().size(),
+                spans_path.c_str());
+  }
   if (!chrome_trace_path.empty()) {
     ChromeTraceWriter writer;
     writer.AddEvents(trace.Events());
+    std::vector<DecisionRecord> decision_records;
+    if (!decision_path.empty()) {
+      decision_records = decisions.Records();
+      writer.AttachDecisions(&decision_records);
+    }
+    if (!spans_path.empty()) {
+      writer.AttachLifecycles(&spans);
+    }
     if (writer.WriteJsonFile(chrome_trace_path, machine.num_processors, job_names)) {
       std::printf("\nwrote %zu trace events to %s (load in chrome://tracing or Perfetto)\n",
                   writer.size(), chrome_trace_path.c_str());
@@ -419,6 +536,7 @@ int main(int argc, char** argv) {
   }
   if (!manifest_path.empty()) {
     RunManifest manifest;
+    manifest.SetProvenance(argc, argv);
     manifest.SetString("tool", "simctl");
     manifest.SetString("mix", mix.Label());
     manifest.SetString("policy", PolicyKindName(kind));

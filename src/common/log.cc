@@ -33,6 +33,31 @@ LogLevel& MutableLevel() {
   return level;
 }
 
+// Default destination, resolved once: AFFSCHED_LOG_FILE (append) or stderr.
+// The file handle lives for the process — logs may be written from atexit
+// handlers, so it is deliberately never closed.
+FILE* DefaultLogStream() {
+  static FILE* stream = [] {
+    const char* path = std::getenv("AFFSCHED_LOG_FILE");
+    if (path == nullptr || *path == '\0') {
+      return stderr;
+    }
+    FILE* f = std::fopen(path, "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[affsched warn] cannot open AFFSCHED_LOG_FILE '%s'; using stderr\n",
+                   path);
+      return stderr;
+    }
+    return f;
+  }();
+  return stream;
+}
+
+FILE*& MutableStream() {
+  static FILE* stream = nullptr;  // nullptr = use DefaultLogStream()
+  return stream;
+}
+
 const char* LevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kError:
@@ -53,16 +78,27 @@ LogLevel GlobalLogLevel() { return MutableLevel(); }
 
 void SetGlobalLogLevel(LogLevel level) { MutableLevel() = level; }
 
+FILE* GlobalLogStream() {
+  FILE* stream = MutableStream();
+  return stream != nullptr ? stream : DefaultLogStream();
+}
+
+void SetGlobalLogStream(FILE* stream) { MutableStream() = stream; }
+
 void Logf(LogLevel level, const char* fmt, ...) {
   if (!LogEnabled(level)) {
     return;
   }
-  std::fprintf(stderr, "[affsched %s] ", LevelName(level));
+  FILE* out = GlobalLogStream();
+  std::fprintf(out, "[affsched %s] ", LevelName(level));
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  std::vfprintf(out, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  std::fputc('\n', out);
+  if (out != stderr) {
+    std::fflush(out);  // file logs should be tail-able mid-run
+  }
 }
 
 }  // namespace affsched

@@ -8,9 +8,16 @@
 // CSV the benches emit. Default level is warn: pre-abort diagnostics (engine
 // state dumps) stay visible out of the box, while per-decision debug chatter
 // costs one integer compare unless enabled.
+//
+// The destination is likewise switchable: set AFFSCHED_LOG_FILE to a path to
+// append log lines there instead of stderr (opened once on first log call;
+// falls back to stderr, with a warning, if the file cannot be opened). Tests
+// and embedders may redirect programmatically with SetGlobalLogStream().
 
 #ifndef SRC_COMMON_LOG_H_
 #define SRC_COMMON_LOG_H_
+
+#include <cstdio>
 
 namespace affsched {
 
@@ -24,6 +31,14 @@ enum class LogLevel : int {
 // Current level: messages at a level numerically above it are dropped.
 LogLevel GlobalLogLevel();
 void SetGlobalLogLevel(LogLevel level);
+
+// Current log destination: the AFFSCHED_LOG_FILE path (opened append-mode on
+// first use) or stderr. Never nullptr.
+FILE* GlobalLogStream();
+// Redirects log output; nullptr restores the default (AFFSCHED_LOG_FILE or
+// stderr). The stream must stay valid across subsequent Logf calls; the
+// logger never closes a stream installed this way.
+void SetGlobalLogStream(FILE* stream);
 
 inline bool LogEnabled(LogLevel level) {
   return static_cast<int>(level) <= static_cast<int>(GlobalLogLevel());

@@ -70,6 +70,46 @@ void Accounting::FinalizeMetrics() {
       ->Set(core_.machine.bus().peak_utilization());
   metrics_->FindOrCreateGauge("bus.utilization")
       ->Set(core_.machine.bus().UtilizationAt(core_.queue.now()));
+
+  // Affinity efficiency: how much of the machine time jobs consumed went to
+  // rebuilding cache context, and how often tasks landed on their context.
+  double useful = 0.0, reload = 0.0, steady = 0.0, switching = 0.0;
+  uint64_t dispatches = 0, affine = 0;
+  for (const JobState& js : core_.jobs) {
+    const JobStats& st = js.job->stats();
+    useful += st.useful_work_s;
+    reload += st.reload_stall_s;
+    steady += st.steady_stall_s;
+    switching += st.switch_s;
+    dispatches += st.reallocations;
+    affine += st.affinity_dispatches;
+  }
+  const double busy = useful + reload + steady + switching;
+  metrics_->FindOrCreateGauge("engine.affinity.reload_transient_fraction")
+      ->Set(busy > 0.0 ? reload / busy : 0.0);
+  metrics_->FindOrCreateGauge("engine.affinity.affine_fraction")
+      ->Set(dispatches > 0 ? static_cast<double>(affine) / static_cast<double>(dispatches)
+                           : 0.0);
+}
+
+void Accounting::SetSpanCollector(JobSpanCollector* spans) {
+  AFF_CHECK_MSG(!core_.running, "SetSpanCollector must be called before Run()");
+  spans_ = spans;
+}
+
+void Accounting::NoteJobArrival(JobId id) {
+  Bump(m.job_arrivals);
+  if (spans_ != nullptr) {
+    const JobState& js = core_.job_state(id);
+    spans_->OnArrival(id, core_.queue.now(), js.job->stats().queue_wait_s);
+  }
+}
+
+void Accounting::NoteJobCompletion(JobId id) {
+  Bump(m.job_completions);
+  if (spans_ != nullptr) {
+    spans_->OnCompletion(id, core_.queue.now());
+  }
 }
 
 void Accounting::ChargeChunk(JobState& js, SimDuration work_done, SimDuration reload_stall,
@@ -114,7 +154,10 @@ void Accounting::ChargeWaste(JobState& js, SimDuration held) {
   Bump(m.waste_ns, static_cast<double>(held));
 }
 
-void Accounting::RecordDispatch(JobState& js, bool affine, size_t tier) {
+void Accounting::RecordDispatch(JobState& js, size_t proc, bool affine, size_t tier) {
+  if (spans_ != nullptr) {
+    spans_->OnDispatch(js.job->id(), proc, core_.queue.now(), tier, affine);
+  }
   JobStats& st = js.job->stats();
   st.reallocations++;
   if (affine) {

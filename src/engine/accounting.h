@@ -12,6 +12,7 @@
 #define SRC_ENGINE_ACCOUNTING_H_
 
 #include "src/engine/engine_core.h"
+#include "src/telemetry/job_spans.h"
 #include "src/telemetry/metrics.h"
 #include "src/topology/topology.h"
 
@@ -70,8 +71,24 @@ class Accounting {
   // submission happens after Run() has resolved the initial set).
   void ResolveJobMetricsFor(JobId id);
   // End-of-run totals that are cheaper to read once than to stream: bus
-  // transfer and peak-utilisation counters.
+  // transfer and peak-utilisation counters, plus the derived affinity-
+  // efficiency gauges (reload-transient fraction of runtime, affine dispatch
+  // fraction).
   void FinalizeMetrics();
+
+  // Attaches a lifecycle span collector (nullptr detaches). Arrival,
+  // dispatch and completion notifications flow to it; every site costs one
+  // null check while detached. Must not be called mid-run.
+  void SetSpanCollector(JobSpanCollector* spans);
+  JobSpanCollector* spans() const { return spans_; }
+
+  // --- Lifecycle notifications -----------------------------------------------
+
+  // Job entered service (engine OnJobArrival): bumps the arrival counter and
+  // opens the lifecycle span.
+  void NoteJobArrival(JobId id);
+  // Job left the system: bumps the completion counter, closes the span.
+  void NoteJobCompletion(JobId id);
 
   // --- Response-time-model charges -------------------------------------------
 
@@ -88,8 +105,8 @@ class Accounting {
   void ChargeWaste(JobState& js, SimDuration held);
   // One reallocation the job experienced, affine or not. `tier` is the
   // migration distance from the task's previous processor
-  // (kNoMigrationTier for a first placement).
-  void RecordDispatch(JobState& js, bool affine, size_t tier = kNoMigrationTier);
+  // (kNoMigrationTier for a first placement); `proc` the landing processor.
+  void RecordDispatch(JobState& js, size_t proc, bool affine, size_t tier = kNoMigrationTier);
 
   // --- Allocation/credit/parallelism bookkeeping -----------------------------
 
@@ -106,6 +123,7 @@ class Accounting {
  private:
   EngineCore& core_;
   MetricsRegistry* metrics_ = nullptr;
+  JobSpanCollector* spans_ = nullptr;
 };
 
 }  // namespace affsched

@@ -8,13 +8,68 @@
 
 namespace affsched {
 
-void AllocatorProtocol::ApplyDecision(const PolicyDecision& decision) {
+void AllocatorProtocol::ApplyDecision(const PolicyDecision& decision, DecisionSite site) {
   if (decision.targets.has_value()) {
     Reconcile(*decision.targets);
   }
   for (const Assignment& a : decision.assignments) {
+    if (core_.decisions != nullptr) {
+      RecordDecision(site, a);
+    }
     AssignProcessor(a);
   }
+}
+
+void AllocatorProtocol::RecordDecision(DecisionSite site, const Assignment& a) {
+  DecisionRecord rec;
+  rec.id = core_.next_decision_id++;
+  rec.when = core_.queue.now();
+  rec.site = site;
+  rec.reason = a.reason;
+  rec.job = a.job;
+  rec.chosen_proc = a.proc;
+  rec.prefer_task = a.prefer_task;
+
+  // Reference task for the affinity breakdown: the explicit preference, else
+  // the worker the dispatcher is most likely to pick — the job's first idle
+  // worker with a placement history (mirrors Engine::DesiredProcessor).
+  CacheOwner task = a.prefer_task;
+  if (task == kNoOwner && a.job < core_.jobs.size()) {
+    for (CacheOwner wid : core_.job_state(a.job).idle_workers) {
+      if (core_.worker(wid).last_processor() != kNoProcessor) {
+        task = wid;
+        break;
+      }
+    }
+  }
+  const size_t last = task != kNoOwner && core_.HasWorker(task)
+                          ? core_.worker(task).last_processor()
+                          : kNoProcessor;
+  const double miss_service_s = core_.machine.config().MissServiceSeconds();
+  const double ws_blocks =
+      a.job < core_.jobs.size() ? core_.job_state(a.job).profile->working_set.blocks : 0.0;
+
+  rec.candidates.reserve(core_.procs.size());
+  for (size_t p = 0; p < core_.procs.size(); ++p) {
+    DecisionCandidate cand;
+    cand.proc = p;
+    if (last != kNoProcessor) {
+      cand.tier = core_.machine.topology().TierBetween(last, p);
+    }
+    const CacheModel& cache = core_.machine.processor(p).cache();
+    if (task != kNoOwner) {
+      cand.footprint_blocks = cache.Resident(task);
+    }
+    const double target = cache.MaxResident(ws_blocks);
+    cand.reload_cost_s = target > cand.footprint_blocks
+                             ? (target - cand.footprint_blocks) * miss_service_s
+                             : 0.0;
+    const ProcState& ps = core_.procs[p];
+    cand.available = ps.holder == kInvalidJobId || (ps.willing && !ps.pending_valid);
+    cand.chosen = p == a.proc;
+    rec.candidates.push_back(cand);
+  }
+  core_.decisions->Record(std::move(rec));
 }
 
 void AllocatorProtocol::Reconcile(const std::map<JobId, size_t>& targets) {
@@ -56,12 +111,21 @@ void AllocatorProtocol::Reconcile(const std::map<JobId, size_t>& targets) {
     size_t deficit = target > effective ? target - effective : 0;
     for (size_t p = 0; p < core_.procs.size() && deficit > 0; ++p) {
       if (core_.procs[p].holder == kInvalidJobId && !core_.procs[p].switching) {
+        if (core_.decisions != nullptr) {
+          RecordDecision(DecisionSite::kReconcile,
+                         Assignment{p, id, kNoOwner, DecisionReason::kRepartition});
+        }
         StartSwitch(p, id, kNoOwner);
         --deficit;
       }
     }
     while (deficit > 0 && preempt_cursor < preempt_list.size()) {
-      SetPending(preempt_list[preempt_cursor++], id, kNoOwner);
+      const size_t p = preempt_list[preempt_cursor++];
+      if (core_.decisions != nullptr) {
+        RecordDecision(DecisionSite::kReconcile,
+                       Assignment{p, id, kNoOwner, DecisionReason::kRepartition});
+      }
+      SetPending(p, id, kNoOwner);
       --deficit;
     }
   }
@@ -179,7 +243,8 @@ void AllocatorProtocol::OnSwitchDone(size_t proc) {
     if (core_.job_state(to).active) {
       StartSwitch(proc, to, prefer);
     } else if (core_.jobs_remaining > 0) {
-      ApplyDecision(core_.policy->OnProcessorAvailable(*core_.view, proc));
+      ApplyDecision(core_.policy->OnProcessorAvailable(*core_.view, proc),
+                    DecisionSite::kProcessorAvailable);
     }
     return;
   }
@@ -189,7 +254,8 @@ void AllocatorProtocol::OnSwitchDone(size_t proc) {
     acct_.ChangeAllocation(ps.holder, -1);
     ps.holder = kInvalidJobId;
     if (core_.jobs_remaining > 0) {
-      ApplyDecision(core_.policy->OnProcessorAvailable(*core_.view, proc));
+      ApplyDecision(core_.policy->OnProcessorAvailable(*core_.view, proc),
+                    DecisionSite::kProcessorAvailable);
     }
     return;
   }
@@ -225,7 +291,8 @@ void AllocatorProtocol::OnYieldTimer(size_t proc) {
   ps.willing = true;
   core_.Emit(TraceEventKind::kYield, proc, ps.holder, ps.holding);
   Bump(acct_.m.yields);
-  ApplyDecision(core_.policy->OnProcessorAvailable(*core_.view, proc));
+  ApplyDecision(core_.policy->OnProcessorAvailable(*core_.view, proc),
+                DecisionSite::kProcessorAvailable);
 }
 
 void AllocatorProtocol::OnQuantumTimer(size_t proc) {
@@ -234,7 +301,8 @@ void AllocatorProtocol::OnQuantumTimer(size_t proc) {
   if (ps.holder == kInvalidJobId || core_.jobs_remaining == 0) {
     return;
   }
-  ApplyDecision(core_.policy->OnQuantumExpiry(*core_.view, proc));
+  ApplyDecision(core_.policy->OnQuantumExpiry(*core_.view, proc),
+                DecisionSite::kQuantumExpiry);
   // Keep the clock ticking while the processor stays held.
   if (core_.procs[proc].holder != kInvalidJobId && core_.policy->Quantum() > 0) {
     ps.quantum_timer = core_.queue.ScheduleAfter(core_.policy->Quantum(),
@@ -252,7 +320,7 @@ void AllocatorProtocol::HandleJobCompletion(JobId id, size_t completing_proc) {
   auto it = std::find(core_.active_jobs.begin(), core_.active_jobs.end(), id);
   AFF_CHECK(it != core_.active_jobs.end());
   core_.active_jobs.erase(it);
-  Bump(acct_.m.job_completions);
+  acct_.NoteJobCompletion(id);
   if (acct_.m.active_jobs != nullptr) {
     acct_.m.active_jobs->Set(static_cast<double>(core_.active_jobs.size()));
   }
@@ -286,10 +354,11 @@ void AllocatorProtocol::HandleJobCompletion(JobId id, size_t completing_proc) {
   if (core_.jobs_remaining == 0 && core_.external_pending == 0) {
     return;
   }
-  ApplyDecision(core_.policy->OnJobDeparture(*core_.view, id));
+  ApplyDecision(core_.policy->OnJobDeparture(*core_.view, id), DecisionSite::kJobDeparture);
   for (size_t p : freed) {
     if (core_.procs[p].holder == kInvalidJobId && !core_.procs[p].switching) {
-      ApplyDecision(core_.policy->OnProcessorAvailable(*core_.view, p));
+      ApplyDecision(core_.policy->OnProcessorAvailable(*core_.view, p),
+                    DecisionSite::kProcessorAvailable);
     }
   }
   // Survivors may have had unmet demand the departed job's processors can now
@@ -338,7 +407,7 @@ void AllocatorProtocol::RequestLoop(JobId id) {
     if (decision.assignments.empty() && !decision.targets.has_value()) {
       break;
     }
-    ApplyDecision(decision);
+    ApplyDecision(decision, DecisionSite::kRequest);
     if (core_.PendingDemand(id) >= before) {
       break;  // no progress; avoid spinning
     }

@@ -28,7 +28,10 @@ class AllocatorProtocol {
   void Connect(Dispatcher* dispatcher) { dispatcher_ = dispatcher; }
 
   // Realises a policy decision: reconcile targets, then explicit assignments.
-  void ApplyDecision(const PolicyDecision& decision);
+  // `site` labels the decision point in provenance records; it changes no
+  // scheduling behaviour.
+  void ApplyDecision(const PolicyDecision& decision,
+                     DecisionSite site = DecisionSite::kUnknown);
   void Reconcile(const std::map<JobId, size_t>& targets);
   void AssignProcessor(const Assignment& assignment);
 
@@ -53,6 +56,11 @@ class AllocatorProtocol {
   void ClearPending(size_t proc);
 
  private:
+  // Assembles and emits one provenance record for a realised assignment.
+  // Callers must check core_.decisions != nullptr first — the candidate
+  // table walk is not free, so it must never run with tracing disabled.
+  void RecordDecision(DecisionSite site, const Assignment& assignment);
+
   EngineCore& core_;
   Accounting& acct_;
   Dispatcher* dispatcher_ = nullptr;

@@ -74,7 +74,7 @@ void Dispatcher::DispatchWorker(size_t proc) {
   const size_t tier = prev == kNoProcessor
                           ? kNoMigrationTier
                           : core_.machine.topology().TierBetween(prev, proc);
-  acct_.RecordDispatch(js, affine, tier);
+  acct_.RecordDispatch(js, proc, affine, tier);
   core_.Emit(TraceEventKind::kDispatch, proc, id, wid, affine);
   core_.machine.processor(proc).RecordDispatch(wid);
   w.processor = proc;

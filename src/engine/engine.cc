@@ -86,11 +86,11 @@ void Engine::OnJobArrival(JobId id) {
   js.par_update = core_.queue.now();
   core_.active_jobs.push_back(id);
   core_.Emit(TraceEventKind::kJobArrival, SIZE_MAX, id);
-  Bump(acct_.m.job_arrivals);
+  acct_.NoteJobArrival(id);
   if (acct_.m.active_jobs != nullptr) {
     acct_.m.active_jobs->Set(static_cast<double>(core_.active_jobs.size()));
   }
-  alloc_.ApplyDecision(core_.policy->OnJobArrival(*this, id));
+  alloc_.ApplyDecision(core_.policy->OnJobArrival(*this, id), DecisionSite::kJobArrival);
   alloc_.RequestLoop(id);
 }
 

@@ -79,6 +79,17 @@ class Engine : public SchedView {
   // must outlive the engine.
   void SetTraceSink(TraceSink* sink) { core_.trace = sink; }
 
+  // Streams decision-provenance records (why each assignment happened,
+  // candidate scores included) to `sink`; nullptr (the default) disables at
+  // the cost of one pointer compare per realised assignment. The sink must
+  // outlive the engine.
+  void SetDecisionSink(DecisionSink* sink) { core_.decisions = sink; }
+
+  // Collects per-job lifecycle spans (arrival, queue wait, dispatches,
+  // migrations, completion); nullptr detaches. The collector must outlive
+  // the engine. Call before Run().
+  void SetSpanCollector(JobSpanCollector* spans) { acct_.SetSpanCollector(spans); }
+
   // Attaches a metrics registry (nullptr detaches). The engine registers its
   // counters/gauges/histograms under "engine.*" and "bus.*" and updates them
   // as the run proceeds; per-job counters are created when Run() starts.

@@ -27,6 +27,7 @@
 #include "src/sim/event_queue.h"
 #include "src/stats/histogram.h"
 #include "src/telemetry/metrics.h"
+#include "src/trace/decision_trace.h"
 #include "src/trace/trace.h"
 #include "src/workload/app_profile.h"
 #include "src/workload/job.h"
@@ -146,6 +147,10 @@ struct EngineCore {
   std::function<void(JobId)> completion_hook;
   bool running = false;
   TraceSink* trace = nullptr;
+  // Decision-provenance sink (nullptr disables; the guard is one pointer
+  // compare before any record assembly happens).
+  DecisionSink* decisions = nullptr;
+  uint64_t next_decision_id = 1;
 
   // True while the run loop must keep going: submitted jobs outstanding or
   // external events (future arrivals) still pending.

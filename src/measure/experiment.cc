@@ -20,6 +20,7 @@ RunResult RunOnce(const MachineConfig& machine, PolicyKind policy_kind,
   }
   RunResult result;
   result.makespan = engine.Run();
+  result.events = engine.event_queue_stats().run;
   for (JobId id = 0; id < engine.job_count(); ++id) {
     result.jobs.push_back(JobResult{engine.job_name(id), engine.job_stats(id)});
   }

@@ -29,6 +29,10 @@ struct JobResult {
 struct RunResult {
   std::vector<JobResult> jobs;  // in submission order
   SimTime makespan = 0;
+  // Simulation events executed by the run's EventQueue — a deterministic
+  // proxy for how much work the cell was, used by live-progress reporting
+  // (events/sec). Not part of any serialized result.
+  uint64_t events = 0;
 };
 
 // Runs one replication of `jobs` (all arriving at t = 0) under `policy_kind`.

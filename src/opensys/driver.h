@@ -117,6 +117,8 @@ class OpenSystemDriver {
   void SetSampler(Sampler* sampler);
   void SetMetrics(MetricsRegistry* registry);
   void SetTraceSink(TraceSink* sink);
+  void SetDecisionSink(DecisionSink* sink);
+  void SetSpanCollector(JobSpanCollector* spans);
 
   // Runs the whole plan to completion. Call at most once.
   OpenSystemResult Run();

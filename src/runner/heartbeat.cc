@@ -1,0 +1,80 @@
+#include "src/runner/heartbeat.h"
+
+#include "src/telemetry/json.h"
+
+namespace affsched {
+
+HeartbeatWriter::HeartbeatWriter(const std::string& path) {
+  if (path == "-") {
+    out_ = stderr;
+    owned_ = false;
+    return;
+  }
+  out_ = std::fopen(path.c_str(), "w");
+  owned_ = true;
+}
+
+HeartbeatWriter::~HeartbeatWriter() {
+  if (out_ != nullptr && owned_) {
+    std::fclose(out_);
+  }
+}
+
+void HeartbeatWriter::WriteLine(const std::string& line) {
+  if (out_ == nullptr) {
+    return;
+  }
+  std::fputs(line.c_str(), out_);
+  std::fputc('\n', out_);
+  std::fflush(out_);
+}
+
+void HeartbeatWriter::Start(const std::string& name, size_t cells_min) {
+  std::string line = "{\"kind\":\"start\",\"seq\":" + std::to_string(seq_++);
+  line += ",\"name\":\"" + JsonEscape(name) + "\"";
+  line += ",\"cells_min\":" + std::to_string(cells_min) + "}";
+  WriteLine(line);
+}
+
+void HeartbeatWriter::OnRound(const SweepRoundStats& stats) {
+  const double per_cell =
+      stats.round_cells > 0 ? stats.round_wall_s / static_cast<double>(stats.round_cells) : 0.0;
+  const double events_per_s =
+      stats.round_wall_s > 0.0 ? static_cast<double>(stats.round_events) / stats.round_wall_s
+                               : 0.0;
+  // Extrapolate from overall throughput; `scheduled` is a lower bound on the
+  // final cell count while adaptive replication is still adding work, so the
+  // ETA is a lower bound too.
+  const size_t remaining = stats.scheduled > stats.completed ? stats.scheduled - stats.completed : 0;
+  const double eta_s = stats.completed > 0
+                           ? static_cast<double>(remaining) * stats.total_wall_s /
+                                 static_cast<double>(stats.completed)
+                           : 0.0;
+  std::string line = "{\"kind\":\"round\",\"seq\":" + std::to_string(seq_++);
+  line += ",\"round\":" + std::to_string(stats.round);
+  line += ",\"completed\":" + std::to_string(stats.completed);
+  line += ",\"scheduled\":" + std::to_string(stats.scheduled);
+  line += ",\"round_cells\":" + std::to_string(stats.round_cells);
+  line += ",\"round_wall_s\":" + JsonNumber(stats.round_wall_s);
+  line += ",\"wall_s\":" + JsonNumber(stats.total_wall_s);
+  line += ",\"cell_wall_s\":" + JsonNumber(per_cell);
+  line += ",\"events_per_s\":" + JsonNumber(events_per_s);
+  line += ",\"eta_s\":" + JsonNumber(eta_s) + "}";
+  WriteLine(line);
+}
+
+void HeartbeatWriter::OnProgress(size_t completed, size_t total) {
+  std::string line = "{\"kind\":\"progress\",\"seq\":" + std::to_string(seq_++);
+  line += ",\"completed\":" + std::to_string(completed);
+  line += ",\"total\":" + std::to_string(total) + "}";
+  WriteLine(line);
+}
+
+void HeartbeatWriter::Finish(size_t completed, double wall_s) {
+  std::string line = "{\"kind\":\"done\",\"seq\":" + std::to_string(seq_++);
+  line += ",\"completed\":" + std::to_string(completed);
+  line += ",\"wall_s\":" + JsonNumber(wall_s) + "}";
+  WriteLine(line);
+}
+
+}  // namespace affsched

@@ -1,0 +1,74 @@
+// Live sweep observability: a heartbeat stream for long-running sweeps.
+//
+// A sweep can run for minutes to hours; its deterministic JSON result only
+// exists at the end. HeartbeatWriter emits one JSON line per scheduling round
+// (and per lifecycle event) to a side file that `tail -f` or a dashboard can
+// follow: cells completed / scheduled, wall time, per-cell wall time,
+// simulation events per second, and an ETA extrapolated from throughput so
+// far.
+//
+// Unlike every sweep *result*, heartbeat lines deliberately carry wall-clock
+// readings — they describe the host run, not the simulation, and are never
+// folded into deterministic outputs (golden tests never see them).
+
+#ifndef SRC_RUNNER_HEARTBEAT_H_
+#define SRC_RUNNER_HEARTBEAT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace affsched {
+
+// Per-round scheduling statistics, published by SweepRunner after each round
+// of replications drains (see SweepRunnerOptions::round_stats).
+struct SweepRoundStats {
+  size_t round = 0;          // 1-based round index
+  size_t round_cells = 0;    // cells executed this round
+  size_t completed = 0;      // cells completed so far (all rounds)
+  size_t scheduled = 0;      // cells currently known to be needed; grows as
+                             // adaptive replication schedules more
+  double round_wall_s = 0;   // wall time this round spent in ParallelFor
+  double total_wall_s = 0;   // wall time since Run() started
+  uint64_t round_events = 0; // simulation events executed this round
+};
+
+// Appends JSONL heartbeat records to a file (or stderr when path is "-").
+// Every line is flushed immediately so the stream is live. Not thread-safe;
+// SweepRunner invokes callbacks on the orchestration thread only.
+class HeartbeatWriter {
+ public:
+  // Truncates `path` and opens it for writing; "-" means stderr. On open
+  // failure ok() is false and every write is a no-op.
+  explicit HeartbeatWriter(const std::string& path);
+  ~HeartbeatWriter();
+  HeartbeatWriter(const HeartbeatWriter&) = delete;
+  HeartbeatWriter& operator=(const HeartbeatWriter&) = delete;
+
+  bool ok() const { return out_ != nullptr; }
+
+  // {"kind":"start","name":...,"cells_min":...} — emit once before work.
+  void Start(const std::string& name, size_t cells_min);
+
+  // {"kind":"round",...} with derived events_per_s and eta_s. Intended as
+  // (or from) a SweepRunnerOptions::round_stats callback.
+  void OnRound(const SweepRoundStats& stats);
+
+  // {"kind":"progress","completed":...,"total":...} — coarse progress for
+  // drivers without round structure (open-system mode counts jobs).
+  void OnProgress(size_t completed, size_t total);
+
+  // {"kind":"done","completed":...,"wall_s":...} — emit once after work.
+  void Finish(size_t completed, double wall_s);
+
+ private:
+  void WriteLine(const std::string& line);
+
+  FILE* out_ = nullptr;
+  bool owned_ = false;  // close on destruction (false for stderr)
+  uint64_t seq_ = 0;    // monotonically increasing line number
+};
+
+}  // namespace affsched
+
+#endif  // SRC_RUNNER_HEARTBEAT_H_

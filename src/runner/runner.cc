@@ -68,6 +68,7 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
 
   WorkerPool pool(options_.jobs == 0 ? WorkerPool::DefaultThreadCount() : options_.jobs);
   size_t completed_cells = 0;
+  size_t round_index = 0;
 
   while (true) {
     // Gather this round's cells: per experiment, the replications between
@@ -95,6 +96,7 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
     // position, so the fold below runs in deterministic order no matter
     // which worker finished first.
     std::vector<RunResult> round(batch.size());
+    const auto round_start = std::chrono::steady_clock::now();
     pool.ParallelFor(batch.size(), [&](size_t i) {
       const PendingCell& cell = batch[i];
       const ExperimentState& experiment = experiments[cell.experiment];
@@ -103,6 +105,13 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
       round[i] = run_cell(spec.machine, experiment.policy, mix_jobs[experiment.mix_index], seed,
                           spec.engine);
     });
+    const double round_wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - round_start).count();
+    uint64_t round_events = 0;
+    for (const RunResult& r : round) {
+      round_events += r.events;
+    }
+    ++round_index;
 
     // Fold sequentially; batch construction guarantees ascending replication
     // order within each experiment.
@@ -124,14 +133,28 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
         experiment.done = experiment.folder.Done(spec.replication);
       }
     }
-    if (options_.progress) {
+    if (options_.progress || options_.round_stats) {
       size_t known = completed_cells;
       for (const ExperimentState& experiment : experiments) {
         if (!experiment.done) {
           ++known;  // at least one more replication coming
         }
       }
-      options_.progress(completed_cells, known);
+      if (options_.round_stats) {
+        SweepRoundStats stats;
+        stats.round = round_index;
+        stats.round_cells = batch.size();
+        stats.completed = completed_cells;
+        stats.scheduled = known;
+        stats.round_wall_s = round_wall_s;
+        stats.total_wall_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+        stats.round_events = round_events;
+        options_.round_stats(stats);
+      }
+      if (options_.progress) {
+        options_.progress(completed_cells, known);
+      }
     }
   }
 

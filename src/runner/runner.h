@@ -22,6 +22,7 @@
 
 #include <functional>
 
+#include "src/runner/heartbeat.h"
 #include "src/runner/sweep.h"
 
 namespace affsched {
@@ -36,6 +37,10 @@ struct SweepRunnerOptions {
   // completed, cells currently known to be needed). Totals can grow between
   // calls as adaptive replication schedules more work.
   std::function<void(size_t completed, size_t scheduled)> progress;
+  // Richer per-round statistics (wall times, simulation events) for live
+  // observability, invoked on the orchestration thread after each round, just
+  // before `progress`. Typically bound to HeartbeatWriter::OnRound.
+  std::function<void(const SweepRoundStats&)> round_stats;
   // Replaces the per-cell simulation (testing/instrumentation). Defaults to
   // measure's RunOnce. Must be thread-safe.
   std::function<RunResult(const MachineConfig& machine, PolicyKind policy,

@@ -190,6 +190,15 @@ bool ParseSweepSpec(const std::string& text, SweepSpec* spec, std::string* error
       spec->machine.processor_speed = std::atof(value.c_str());
     } else if (key == "cache") {
       spec->machine.cache_size_factor = std::atof(value.c_str());
+    } else if (key == "observability") {
+      if (value == "1" || value == "true" || value == "on") {
+        spec->observability = true;
+      } else if (value == "0" || value == "false" || value == "off") {
+        spec->observability = false;
+      } else {
+        *error = "observability must be 0 or 1, got '" + value + "'";
+        return false;
+      }
     } else if (key == "topology") {
       // topology=preset or topology=preset,key=value,... (comma-separated;
       // see src/topology). Cell seeds do not depend on the topology, so
@@ -257,7 +266,9 @@ std::string StatsJson(const JobStats& stats, bool tiered) {
 
 std::string SweepResult::ToJson() const {
   std::ostringstream o;
-  o << "{\"schema_version\":1,\"tool\":\"sweep_runner\"";
+  // schema_version 3 = 1 + the opt-in "observability" block; the default
+  // document is byte-identical to schema 1 so golden baselines stay pinned.
+  o << "{\"schema_version\":" << (spec.observability ? 3 : 1) << ",\"tool\":\"sweep_runner\"";
 
   o << ",\"spec\":{\"name\":\"" << JsonEscape(spec.name) << "\""
     << ",\"root_seed\":" << spec.root_seed << ",\"machine\":{\"procs\":"
@@ -307,6 +318,43 @@ std::string SweepResult::ToJson() const {
     o << "]}";
   }
   o << "]";
+
+  if (spec.observability) {
+    // Affinity efficiency per experiment, derived from the replicated mean
+    // stats: how much of the consumed machine time went to rebuilding cache
+    // context, how often dispatches landed on it, and where migrations went.
+    o << ",\"observability\":{\"experiments\":[";
+    for (size_t e = 0; e < experiments.size(); ++e) {
+      const ExperimentResult& experiment = experiments[e];
+      double useful = 0, reload = 0, steady = 0, switching = 0;
+      uint64_t dispatches = 0, affine = 0;
+      uint64_t mig_core = 0, mig_cluster = 0, mig_node = 0, mig_cross = 0;
+      for (const JobStats& stats : experiment.replicated.mean_stats) {
+        useful += stats.useful_work_s;
+        reload += stats.reload_stall_s;
+        steady += stats.steady_stall_s;
+        switching += stats.switch_s;
+        dispatches += stats.reallocations;
+        affine += stats.affinity_dispatches;
+        mig_core += stats.migrations_same_core;
+        mig_cluster += stats.migrations_same_cluster;
+        mig_node += stats.migrations_same_node;
+        mig_cross += stats.migrations_cross_node;
+      }
+      const double busy = useful + reload + steady + switching;
+      o << (e > 0 ? "," : "") << "{\"policy\":\"" << PolicyKindCliName(experiment.policy) << "\""
+        << ",\"mix\":" << experiment.mix.number
+        << ",\"reload_transient_fraction\":" << JsonNumber(busy > 0 ? reload / busy : 0.0)
+        << ",\"affine_fraction\":"
+        << JsonNumber(dispatches > 0
+                          ? static_cast<double>(affine) / static_cast<double>(dispatches)
+                          : 0.0)
+        << ",\"migrations\":{\"same_core\":" << mig_core
+        << ",\"same_cluster\":" << mig_cluster << ",\"same_node\":" << mig_node
+        << ",\"cross_node\":" << mig_cross << "}}";
+    }
+    o << "]}";
+  }
 
   // Relative response times vs Equipartition (the Figure 5 quantities) —
   // emitted when the grid includes Equipartition, so CI can gate on the

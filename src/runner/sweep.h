@@ -7,7 +7,14 @@
 // order yields the same SweepResult. ToJson() emits a stable, schema-
 // versioned document (no wall-clock, no hostnames) that is byte-identical
 // across worker counts and machines; CI diffs it against a committed
-// baseline.
+// baseline. With SweepSpec::observability the document becomes
+// schema_version 3 and gains a top-level "observability" object holding a
+// per-experiment affinity-efficiency summary:
+//   "observability": {"experiments": [
+//     {"policy": "dyn-aff", "mix": 5,
+//      "reload_transient_fraction": ..., "affine_fraction": ...,
+//      "migrations": {"same_core": ..., "same_cluster": ...,
+//                     "same_node": ..., "cross_node": ...}}]}
 //
 // JSON schema (schema_version 1), field order fixed:
 //   {
@@ -61,6 +68,12 @@ struct SweepSpec {
   ReplicationOptions replication;
   EngineOptions engine;
   uint64_t root_seed = 1000;
+  // Opt-in schema-v3 "observability" block in ToJson(): per-experiment
+  // affinity-efficiency derivations (reload-transient fraction, affine
+  // fraction, the per-tier migration matrix). Off by default so the default
+  // document stays byte-identical to schema_version 1 (pinned by
+  // tests/golden/). Spec key: observability=1.
+  bool observability = false;
 
   // Total cells at the minimum replication count (scheduling lower bound).
   size_t MinCells() const;
@@ -76,7 +89,8 @@ SweepSpec SmokeSpec();   // 3 policies x mixes {1,5}, fixed 2 reps, seed 1000
 // "future", "smoke"), a "key=value;key=value" list, or a preset followed by
 // overrides ("fig5;reps=2;procs=8"). Keys: policies (comma-separated CLI
 // names), mixes (comma-separated Table 2 numbers), reps (N fixed or MIN-MAX
-// adaptive), precision, seed, procs, speed, cache. Returns false and sets
+// adaptive), precision, seed, procs, speed, cache, topology, observability
+// (0/1 — schema-v3 affinity-efficiency block). Returns false and sets
 // `error` on malformed input.
 bool ParseSweepSpec(const std::string& text, SweepSpec* spec, std::string* error);
 

@@ -81,7 +81,8 @@ PolicyDecision DynamicPolicy::OnProcessorAvailable(const SchedView& view, size_t
               !options_.enforce_priority || requesters.empty() ||
               view.Priority(candidate_job) >= view.Priority(requesters.front());
           if (priority_ok && view.PendingDemand(candidate_job) > 0) {
-            decision.assignments.push_back(Assignment{proc, candidate_job, candidate});
+            decision.assignments.push_back(
+                Assignment{proc, candidate_job, candidate, DecisionReason::kAffinityReunite});
             return decision;
           }
         }
@@ -94,7 +95,12 @@ PolicyDecision DynamicPolicy::OnProcessorAvailable(const SchedView& view, size_t
     // (it has no work for it); any other requester may take it.
     for (JobId j : requesters) {
       if (j != view.ProcessorJob(proc)) {
-        decision.assignments.push_back(Assignment{proc, j, kNoOwner});
+        // Distinguish a genuinely free processor from a willing-to-yield one
+        // in the provenance record; the mechanics are identical.
+        const DecisionReason reason = view.ProcessorJob(proc) == kInvalidJobId
+                                          ? DecisionReason::kFreeProcessor
+                                          : DecisionReason::kYieldHandoff;
+        decision.assignments.push_back(Assignment{proc, j, kNoOwner, reason});
         return decision;
       }
     }
@@ -188,7 +194,8 @@ PolicyDecision DynamicPolicy::OnRequest(const SchedView& view, JobId job) {
         }
       }
       if (best != kNoProcessor) {
-        decision.assignments.push_back(Assignment{best, job, kNoOwner});
+        decision.assignments.push_back(
+            Assignment{best, job, kNoOwner, DecisionReason::kAffinityDesired});
         return decision;
       }
     }
@@ -215,7 +222,8 @@ PolicyDecision DynamicPolicy::OnRequest(const SchedView& view, JobId job) {
     }
   }
   if (free_proc != kNoProcessor) {
-    decision.assignments.push_back(Assignment{free_proc, job, kNoOwner});
+    decision.assignments.push_back(
+        Assignment{free_proc, job, kNoOwner, DecisionReason::kFreeProcessor});
     return decision;
   }
 
@@ -240,7 +248,8 @@ PolicyDecision DynamicPolicy::OnRequest(const SchedView& view, JobId job) {
     }
   }
   if (yield_proc != kNoProcessor) {
-    decision.assignments.push_back(Assignment{yield_proc, job, kNoOwner});
+    decision.assignments.push_back(
+        Assignment{yield_proc, job, kNoOwner, DecisionReason::kYieldHandoff});
     return decision;
   }
 
@@ -248,7 +257,8 @@ PolicyDecision DynamicPolicy::OnRequest(const SchedView& view, JobId job) {
   if (options_.enforce_priority) {
     const size_t victim = PickPreemptionVictim(view, job);
     if (victim != kNoProcessor) {
-      decision.assignments.push_back(Assignment{victim, job, kNoOwner});
+      decision.assignments.push_back(
+          Assignment{victim, job, kNoOwner, DecisionReason::kPreemptEquitable});
       return decision;
     }
   }

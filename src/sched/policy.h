@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/cache/exact_cache.h"
+#include "src/trace/decision_trace.h"
 #include "src/workload/job.h"
 #include "src/workload/worker.h"
 
@@ -89,10 +90,13 @@ class SchedView {
 
 // Directive: give `proc` to `job`, preferring to dispatch `prefer_task` on it
 // (kNoOwner lets the engine pick, which itself prefers an affine worker).
+// `reason` is provenance only — the engine realises the assignment the same
+// way regardless, but records the code in the decision trace (src/trace).
 struct Assignment {
   size_t proc = kNoProcessor;
   JobId job = kInvalidJobId;
   CacheOwner prefer_task = kNoOwner;
+  DecisionReason reason = DecisionReason::kUnspecified;
 };
 
 struct PolicyDecision {

@@ -24,7 +24,8 @@ PolicyDecision TimeSharePolicy::OnProcessorAvailable(const SchedView& view, size
     }
   }
   if (best != kInvalidJobId) {
-    decision.assignments.push_back(Assignment{proc, best, kNoOwner});
+    decision.assignments.push_back(
+        Assignment{proc, best, kNoOwner, DecisionReason::kDemandHandoff});
   }
   return decision;
 }
@@ -38,7 +39,8 @@ PolicyDecision TimeSharePolicy::OnRequest(const SchedView& view, JobId job) {
   // moves processors between jobs under time sharing.
   for (size_t p = 0; p < view.NumProcessors(); ++p) {
     if (view.ProcessorJob(p) == kInvalidJobId) {
-      decision.assignments.push_back(Assignment{p, job, kNoOwner});
+      decision.assignments.push_back(
+          Assignment{p, job, kNoOwner, DecisionReason::kFreeProcessor});
       return decision;
     }
   }
@@ -69,7 +71,8 @@ PolicyDecision TimeSharePolicy::OnQuantumExpiry(const SchedView& view, size_t pr
           prefer = last;
         }
       }
-      decision.assignments.push_back(Assignment{proc, candidate, prefer});
+      decision.assignments.push_back(
+          Assignment{proc, candidate, prefer, DecisionReason::kQuantumRotate});
       return decision;
     }
   }

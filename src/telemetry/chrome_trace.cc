@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <sstream>
+#include <utility>
 
 #include "src/telemetry/json.h"
 #include "src/telemetry/sampler.h"
@@ -13,6 +14,7 @@ namespace {
 
 constexpr int kProcessorsPid = 1;
 constexpr int kJobsPid = 2;
+constexpr int kSchedulerPid = 3;
 
 std::string NameForJob(JobId job, const std::vector<std::string>& job_names) {
   if (job == kInvalidJobId) {
@@ -69,6 +71,37 @@ class Emitter {
          << ",\"args\":{\"procs\":" << JsonNumber(value) << "}}";
   }
 
+  // Complete ("X") slice; `args_json` is a pre-rendered JSON object or empty.
+  void Complete(int pid, int tid, SimTime ts, double dur_us, const std::string& name,
+                const std::string& cat, const std::string& args_json = std::string()) {
+    Comma();
+    out_ << "{\"name\":\"" << JsonEscape(name) << "\",\"cat\":\"" << cat
+         << "\",\"ph\":\"X\",\"ts\":" << JsonNumber(ToMicroseconds(ts))
+         << ",\"dur\":" << JsonNumber(dur_us) << ",\"pid\":" << pid << ",\"tid\":" << tid;
+    if (!args_json.empty()) {
+      out_ << ",\"args\":" << args_json;
+    }
+    out_ << "}";
+  }
+
+  // Flow start ("s"): binds to the slice enclosing (pid, tid, ts).
+  void FlowStart(int pid, int tid, SimTime ts, uint64_t id, const std::string& name) {
+    Comma();
+    out_ << "{\"name\":\"" << JsonEscape(name)
+         << "\",\"cat\":\"decision\",\"ph\":\"s\",\"id\":" << id
+         << ",\"ts\":" << JsonNumber(ToMicroseconds(ts)) << ",\"pid\":" << pid
+         << ",\"tid\":" << tid << "}";
+  }
+
+  // Flow finish ("f", binding point "e" = enclosing slice).
+  void FlowFinish(int pid, int tid, SimTime ts, uint64_t id, const std::string& name) {
+    Comma();
+    out_ << "{\"name\":\"" << JsonEscape(name)
+         << "\",\"cat\":\"decision\",\"ph\":\"f\",\"bp\":\"e\",\"id\":" << id
+         << ",\"ts\":" << JsonNumber(ToMicroseconds(ts)) << ",\"pid\":" << pid
+         << ",\"tid\":" << tid << "}";
+  }
+
   const std::string& JobName(JobId job) {
     auto it = name_cache_.find(job);
     if (it == name_cache_.end()) {
@@ -114,6 +147,48 @@ std::string ChromeTraceWriter::ToJson(size_t num_procs,
     emit.ThreadMeta(kProcessorsPid, static_cast<int>(p), "cpu" + std::to_string(p));
   }
   emit.Meta(kJobsPid, "jobs");
+
+  // Decision provenance: a pid-3 slice per decision plus a flow arrow to the
+  // dispatch it caused. Flows are joined here at export time — each decision
+  // for (proc, job) matches the first dispatch of that job on that processor
+  // at or after the decision — so the simulation hot path never threads ids.
+  struct FlowQueue {
+    std::vector<std::pair<SimTime, uint64_t>> pending;  // (decision when, id)
+    size_t next = 0;
+  };
+  std::map<std::pair<size_t, JobId>, FlowQueue> flows;
+  if (decisions_ != nullptr && !decisions_->empty()) {
+    emit.Meta(kSchedulerPid, "scheduler");
+    for (size_t p = 0; p < num_procs; ++p) {
+      emit.ThreadMeta(kSchedulerPid, static_cast<int>(p), "decide cpu" + std::to_string(p));
+    }
+    for (const DecisionRecord& d : *decisions_) {
+      if (d.chosen_proc >= num_procs) {
+        continue;
+      }
+      const int tid = static_cast<int>(d.chosen_proc);
+      std::string args = "{\"site\":\"";
+      args += DecisionSiteName(d.site);
+      args += "\",\"job\":\"" + JsonEscape(emit.JobName(d.job)) + "\"";
+      args += ",\"candidates\":" + std::to_string(d.candidates.size());
+      for (const DecisionCandidate& c : d.candidates) {
+        if (!c.chosen) {
+          continue;
+        }
+        args += ",\"reload_cost_s\":" + JsonNumber(c.reload_cost_s);
+        args += ",\"footprint_blocks\":" + JsonNumber(static_cast<double>(c.footprint_blocks));
+        if (c.tier != SIZE_MAX) {
+          args += ",\"tier\":" + std::to_string(c.tier);
+        }
+        break;
+      }
+      args += "}";
+      emit.Complete(kSchedulerPid, tid, d.when, 0.0, DecisionReasonName(d.reason), "decision",
+                    args);
+      emit.FlowStart(kSchedulerPid, tid, d.when, d.id, "sched");
+      flows[{d.chosen_proc, d.job}].pending.emplace_back(d.when, d.id);
+    }
+  }
 
   // Per-processor open span: what the track is currently showing.
   enum class Open { kNone, kSwitch, kRun, kHold };
@@ -174,6 +249,15 @@ std::string ChromeTraceWriter::ToJson(size_t num_procs,
         if (on_proc) {
           begin_proc(e.proc, e.when, Open::kRun,
                      emit.JobName(e.job) + (e.affine ? " (affine)" : ""), "run");
+          if (e.kind == TraceEventKind::kDispatch) {
+            auto it = flows.find({e.proc, e.job});
+            if (it != flows.end() && it->second.next < it->second.pending.size() &&
+                it->second.pending[it->second.next].first <= e.when) {
+              emit.FlowFinish(kProcessorsPid, static_cast<int>(e.proc), e.when,
+                              it->second.pending[it->second.next].second, "sched");
+              ++it->second.next;
+            }
+          }
         }
         break;
       case TraceEventKind::kHold:
@@ -214,6 +298,27 @@ std::string ChromeTraceWriter::ToJson(size_t num_procs,
   for (const auto& [job, is_open] : job_span_open) {
     if (is_open) {
       emit.End(kJobsPid, static_cast<int>(job), final_ts);
+    }
+  }
+
+  // Lifecycle annotations on the job tracks: admission-queue wait slices and
+  // per-tier migration instants. X slices are self-contained, so these never
+  // disturb the B/E balance above.
+  if (spans_ != nullptr) {
+    for (const JobLifecycle& lc : spans_->jobs()) {
+      if (lc.arrival < 0) {
+        continue;
+      }
+      const int tid = static_cast<int>(lc.job);
+      if (lc.queued_since >= 0 && lc.queued_since < lc.arrival) {
+        emit.Complete(kJobsPid, tid, lc.queued_since,
+                      ToMicroseconds(lc.arrival - lc.queued_since),
+                      "queued " + emit.JobName(lc.job), "queue");
+      }
+      for (const JobMigration& m : lc.migrations) {
+        emit.Instant(kJobsPid, tid, m.when,
+                     std::string("migrate:") + DistanceTierName(m.tier), "migration");
+      }
     }
   }
 

@@ -13,7 +13,12 @@
 //     Thread completions appear as instant events.
 //   * pid 2 "jobs": one thread per job, spanning arrival to completion, plus
 //     a per-job "allocation" counter track ("C" events) replaying processors
-//     held over time.
+//     held over time. With AttachLifecycles, admission-queue waits render as
+//     "queued" slices and per-tier migrations as instant events.
+//   * pid 3 "scheduler" (with AttachDecisions): one thread per processor
+//     carrying a slice per scheduling decision — reason code, site, and the
+//     candidate scoring in args — linked by a flow arrow ("s"/"f") to the
+//     dispatch it caused on the matching pid-1 processor track.
 //
 // Every "B" is closed by a matching "E" on the same track — spans left open
 // by the end of the recorded window (or by a silent processor release) are
@@ -25,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "src/telemetry/job_spans.h"
+#include "src/trace/decision_trace.h"
 #include "src/trace/trace.h"
 
 namespace affsched {
@@ -41,6 +48,17 @@ class ChromeTraceWriter : public TraceSink {
 
   size_t size() const { return events_.size(); }
 
+  // Attaches decision-provenance records (e.g. DecisionTrace::Records());
+  // nullptr detaches. ToJson then renders the pid-3 "scheduler" process and
+  // joins each decision to the dispatch it produced with flow events. The
+  // records must stay alive until after ToJson and be in chronological order.
+  void AttachDecisions(const std::vector<DecisionRecord>* decisions) { decisions_ = decisions; }
+
+  // Attaches per-job lifecycle spans; nullptr detaches. ToJson then adds
+  // admission-queue slices and migration instants to the pid-2 job tracks.
+  // The collector must stay alive until after ToJson.
+  void AttachLifecycles(const JobSpanCollector* spans) { spans_ = spans; }
+
   // Renders the accumulated stream. `num_procs` fixes the processor track
   // count; `job_names[id]` labels job tracks and spans (ids beyond the vector
   // fall back to "job<id>"). Events are replayed in timestamp order.
@@ -53,6 +71,8 @@ class ChromeTraceWriter : public TraceSink {
 
  private:
   std::vector<TraceEvent> events_;
+  const std::vector<DecisionRecord>* decisions_ = nullptr;
+  const JobSpanCollector* spans_ = nullptr;
 };
 
 }  // namespace affsched

@@ -1,0 +1,81 @@
+#include "src/telemetry/job_spans.h"
+
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/telemetry/json.h"
+
+namespace affsched {
+
+JobLifecycle& JobSpanCollector::Slot(JobId job) {
+  AFF_CHECK(job != kInvalidJobId);
+  if (job >= jobs_.size()) {
+    jobs_.resize(job + 1);
+  }
+  JobLifecycle& lc = jobs_[job];
+  lc.job = job;
+  return lc;
+}
+
+void JobSpanCollector::OnArrival(JobId job, SimTime arrival, double queue_wait_s) {
+  JobLifecycle& lc = Slot(job);
+  lc.arrival = arrival;
+  lc.queued_since = arrival - Seconds(queue_wait_s);
+}
+
+void JobSpanCollector::OnDispatch(JobId job, size_t proc, SimTime when, size_t tier,
+                                  bool affine) {
+  JobLifecycle& lc = Slot(job);
+  if (lc.first_dispatch < 0) {
+    lc.first_dispatch = when;
+  }
+  ++lc.dispatches;
+  if (affine) {
+    ++lc.affine_dispatches;
+  }
+  if (tier != SIZE_MAX) {
+    AFF_CHECK(tier < kNumDistanceTiers);
+    ++lc.migrations_by_tier[tier];
+    if (lc.migrations.size() < kMaxRecordedMigrations) {
+      lc.migrations.push_back(JobMigration{when, proc, tier});
+    }
+  }
+}
+
+void JobSpanCollector::OnCompletion(JobId job, SimTime when) {
+  Slot(job).completion = when;
+}
+
+const JobLifecycle* JobSpanCollector::Find(JobId job) const {
+  if (job >= jobs_.size() || jobs_[job].job == kInvalidJobId) {
+    return nullptr;
+  }
+  return &jobs_[job];
+}
+
+std::string JobSpanCollector::ToJsonl() const {
+  std::ostringstream out;
+  for (const JobLifecycle& lc : jobs_) {
+    if (lc.job == kInvalidJobId) {
+      continue;
+    }
+    out << "{\"job\":" << lc.job << ",\"queued_since_us\":"
+        << JsonNumber(lc.queued_since >= 0 ? ToMicroseconds(lc.queued_since) : -1.0)
+        << ",\"arrival_us\":"
+        << JsonNumber(lc.arrival >= 0 ? ToMicroseconds(lc.arrival) : -1.0)
+        << ",\"first_dispatch_us\":"
+        << JsonNumber(lc.first_dispatch >= 0 ? ToMicroseconds(lc.first_dispatch) : -1.0)
+        << ",\"completion_us\":"
+        << JsonNumber(lc.completion >= 0 ? ToMicroseconds(lc.completion) : -1.0)
+        << ",\"dispatches\":" << lc.dispatches
+        << ",\"affine_dispatches\":" << lc.affine_dispatches << ",\"migrations\":{";
+    for (size_t tier = 0; tier < kNumDistanceTiers; ++tier) {
+      out << (tier > 0 ? "," : "") << "\"" << DistanceTierName(tier)
+          << "\":" << lc.migrations_by_tier[tier];
+    }
+    out << "}}\n";
+  }
+  return out.str();
+}
+
+}  // namespace affsched

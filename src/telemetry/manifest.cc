@@ -2,6 +2,12 @@
 
 #include <sstream>
 
+#if defined(_WIN32)
+// No gethostname without winsock initialisation; provenance falls back.
+#else
+#include <unistd.h>
+#endif
+
 #include "src/telemetry/json.h"
 #include "src/telemetry/sampler.h"
 
@@ -54,6 +60,28 @@ void RunManifest::SetBool(const std::string& key, bool value) {
 
 void RunManifest::SetJson(const std::string& key, const std::string& json) {
   members_[key] = json;
+}
+
+void RunManifest::SetProvenance(int argc, const char* const* argv) {
+  SetString("git_rev", GitSha());
+  std::string host = "unknown";
+#if !defined(_WIN32)
+  char buffer[256];
+  if (gethostname(buffer, sizeof(buffer)) == 0) {
+    buffer[sizeof(buffer) - 1] = '\0';
+    host = buffer;
+  }
+#endif
+  SetString("hostname", host);
+  std::string args = "[";
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0) {
+      args += ",";
+    }
+    args += "\"" + JsonEscape(argv[i] != nullptr ? argv[i] : "") + "\"";
+  }
+  args += "]";
+  SetJson("argv", args);
 }
 
 void RunManifest::AddMetrics(const MetricsRegistry& registry) {

@@ -32,6 +32,11 @@ class RunManifest {
   // Attaches a pre-rendered JSON value (object/array) under `key`.
   void SetJson(const std::string& key, const std::string& json);
 
+  // Records invocation provenance: "git_rev" (the built-from commit),
+  // "hostname" (the executing machine), and "argv" (the exact command line,
+  // as a JSON array). Pass main()'s arguments through unchanged.
+  void SetProvenance(int argc, const char* const* argv);
+
   // Embeds the registry's totals as the "metrics" member.
   void AddMetrics(const MetricsRegistry& registry);
   // Embeds the profiler's sections as the "profile" member.

@@ -1,0 +1,136 @@
+#include "src/trace/decision_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+namespace {
+
+// Formats a double as a valid JSON number (JSON has no nan/inf literals).
+std::string Num(double value) {
+  if (!std::isfinite(value)) {
+    return "null";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+long long SignedIndex(size_t value) {
+  return value == SIZE_MAX ? -1LL : static_cast<long long>(value);
+}
+
+}  // namespace
+
+const char* DecisionReasonName(DecisionReason reason) {
+  switch (reason) {
+    case DecisionReason::kUnspecified:
+      return "unspecified";
+    case DecisionReason::kAffinityReunite:
+      return "affinity_reunite";
+    case DecisionReason::kAffinityDesired:
+      return "affinity_desired";
+    case DecisionReason::kFreeProcessor:
+      return "free_processor";
+    case DecisionReason::kYieldHandoff:
+      return "yield_handoff";
+    case DecisionReason::kPreemptEquitable:
+      return "preempt_equitable";
+    case DecisionReason::kRepartition:
+      return "repartition";
+    case DecisionReason::kQuantumRotate:
+      return "quantum_rotate";
+    case DecisionReason::kDemandHandoff:
+      return "demand_handoff";
+  }
+  return "unknown";
+}
+
+const char* DecisionSiteName(DecisionSite site) {
+  switch (site) {
+    case DecisionSite::kUnknown:
+      return "unknown";
+    case DecisionSite::kJobArrival:
+      return "job_arrival";
+    case DecisionSite::kJobDeparture:
+      return "job_departure";
+    case DecisionSite::kProcessorAvailable:
+      return "processor_available";
+    case DecisionSite::kRequest:
+      return "request";
+    case DecisionSite::kQuantumExpiry:
+      return "quantum_expiry";
+    case DecisionSite::kReconcile:
+      return "reconcile";
+  }
+  return "unknown";
+}
+
+std::string DecisionRecord::ToJson() const {
+  std::ostringstream o;
+  o << "{\"id\":" << id << ",\"t_us\":" << Num(ToMicroseconds(when)) << ",\"site\":\""
+    << DecisionSiteName(site) << "\",\"reason\":\"" << DecisionReasonName(reason)
+    << "\",\"job\":" << (job == kInvalidJobId ? -1LL : static_cast<long long>(job))
+    << ",\"proc\":" << SignedIndex(chosen_proc) << ",\"prefer_task\":"
+    << (prefer_task == kNoOwner ? -1LL : static_cast<long long>(prefer_task));
+  if (!candidates.empty()) {
+    o << ",\"candidates\":[";
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const DecisionCandidate& c = candidates[i];
+      o << (i > 0 ? "," : "") << "{\"proc\":" << SignedIndex(c.proc)
+        << ",\"tier\":" << SignedIndex(c.tier)
+        << ",\"footprint_blocks\":" << Num(c.footprint_blocks)
+        << ",\"reload_cost_s\":" << Num(c.reload_cost_s)
+        << ",\"available\":" << (c.available ? "true" : "false")
+        << ",\"chosen\":" << (c.chosen ? "true" : "false") << "}";
+    }
+    o << "]";
+  }
+  o << "}";
+  return o.str();
+}
+
+DecisionTrace::DecisionTrace(size_t capacity) : capacity_(capacity) {
+  AFF_CHECK(capacity_ > 0);
+  ring_.reserve(std::min<size_t>(capacity_, 4096));
+}
+
+void DecisionTrace::Record(DecisionRecord record) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[count_ % capacity_] = std::move(record);
+  }
+  ++count_;
+}
+
+std::vector<DecisionRecord> DecisionTrace::Records() const {
+  std::vector<DecisionRecord> out;
+  out.reserve(size());
+  if (count_ <= capacity_) {
+    out = ring_;
+  } else {
+    const size_t head = count_ % capacity_;
+    out.insert(out.end(), ring_.begin() + static_cast<long>(head), ring_.end());
+    out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<long>(head));
+  }
+  return out;
+}
+
+std::string DecisionTrace::ToJsonl() const {
+  std::ostringstream out;
+  for (const DecisionRecord& record : Records()) {
+    out << record.ToJson() << "\n";
+  }
+  if (dropped() > 0) {
+    out << "{\"dropped\":" << dropped() << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace affsched

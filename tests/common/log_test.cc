@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 namespace affsched {
 namespace {
 
@@ -41,6 +44,32 @@ TEST_F(LogTest, LogfAtDisabledLevelIsSilentlyDropped) {
   // evaluate cheaply when disabled.
   Logf(LogLevel::kDebug, "dropped %d", 42);
   Logf(LogLevel::kError, "emitted %s", "once");
+}
+
+TEST_F(LogTest, GlobalLogStreamIsNeverNull) {
+  EXPECT_NE(GlobalLogStream(), nullptr);
+}
+
+TEST_F(LogTest, SetGlobalLogStreamRedirectsAndRestores) {
+  // SetGlobalLogStream is the programmatic face of AFFSCHED_LOG_FILE: both
+  // route Logf output through GlobalLogStream(), so capturing through a
+  // tmpfile exercises the same path the env var configures.
+  FILE* capture = std::tmpfile();
+  ASSERT_NE(capture, nullptr);
+  SetGlobalLogStream(capture);
+  SetGlobalLogLevel(LogLevel::kInfo);
+  EXPECT_EQ(GlobalLogStream(), capture);
+  Logf(LogLevel::kInfo, "captured %d", 7);
+  Logf(LogLevel::kDebug, "still dropped");  // below level: must not appear
+  SetGlobalLogStream(nullptr);              // restore the default destination
+  EXPECT_NE(GlobalLogStream(), capture);
+
+  std::rewind(capture);
+  char buf[256] = {0};
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, capture);
+  std::fclose(capture);
+  const std::string text(buf, n);
+  EXPECT_EQ(text, "[affsched info] captured 7\n");
 }
 
 }  // namespace

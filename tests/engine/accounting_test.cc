@@ -75,10 +75,10 @@ TEST(AccountingTest, RecordDispatchTracksAffinityFraction) {
   const JobId id = h.AddActiveJob(1, Milliseconds(10));
   JobState& js = h.core.job_state(id);
 
-  h.acct.RecordDispatch(js, /*affine=*/false);
-  h.acct.RecordDispatch(js, /*affine=*/true);
-  h.acct.RecordDispatch(js, /*affine=*/false);
-  h.acct.RecordDispatch(js, /*affine=*/true);
+  h.acct.RecordDispatch(js, /*proc=*/0, /*affine=*/false);
+  h.acct.RecordDispatch(js, /*proc=*/0, /*affine=*/true);
+  h.acct.RecordDispatch(js, /*proc=*/0, /*affine=*/false);
+  h.acct.RecordDispatch(js, /*proc=*/0, /*affine=*/true);
 
   const JobStats& st = js.job->stats();
   EXPECT_EQ(st.reallocations, 4u);
@@ -178,7 +178,7 @@ TEST(AccountingTest, SetMetricsNullptrDetachesAllHandles) {
   // Charges must still be safe with metrics detached.
   const JobId id = h.AddActiveJob(1, Milliseconds(10));
   h.acct.ChargeChunk(h.core.job_state(id), Milliseconds(1), 0, 0);
-  h.acct.RecordDispatch(h.core.job_state(id), true);
+  h.acct.RecordDispatch(h.core.job_state(id), /*proc=*/0, true);
 }
 
 }  // namespace

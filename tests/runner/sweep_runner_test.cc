@@ -170,5 +170,23 @@ TEST(SweepRunnerTest, JsonCarriesSchemaAndRatios) {
   EXPECT_NE(json.find("\"policy\":\"dyn-aff\""), std::string::npos);
 }
 
+TEST(SweepRunnerTest, ObservabilityOptInEmitsSchema3Block) {
+  SweepSpec spec = TinySpec();
+  spec.observability = true;
+  const std::string json = SweepRunner().Run(spec).ToJson();
+  EXPECT_TRUE(IsValidJson(json));
+  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"observability\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"reload_transient_fraction\""), std::string::npos);
+  EXPECT_NE(json.find("\"affine_fraction\""), std::string::npos);
+  EXPECT_NE(json.find("\"migrations\""), std::string::npos);
+
+  // Off by default: the plain document stays schema 1 with no block, so the
+  // golden baselines remain byte-identical.
+  const std::string plain = SweepRunner().Run(TinySpec()).ToJson();
+  EXPECT_NE(plain.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_EQ(plain.find("\"observability\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace affsched

@@ -86,6 +86,25 @@ TEST(SweepSpecTest, RejectsMalformedSpecs) {
   EXPECT_FALSE(error.empty());
 }
 
+TEST(SweepSpecTest, ObservabilityKeyParsesAndDefaultsOff) {
+  SweepSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseSweepSpec("smoke", &spec, &error)) << error;
+  EXPECT_FALSE(spec.observability);
+  for (const char* on : {"smoke;observability=1", "smoke;observability=true",
+                         "smoke;observability=on"}) {
+    ASSERT_TRUE(ParseSweepSpec(on, &spec, &error)) << on << ": " << error;
+    EXPECT_TRUE(spec.observability) << on;
+  }
+  for (const char* off : {"smoke;observability=0", "smoke;observability=false",
+                          "smoke;observability=off"}) {
+    ASSERT_TRUE(ParseSweepSpec(off, &spec, &error)) << off << ": " << error;
+    EXPECT_FALSE(spec.observability) << off;
+  }
+  EXPECT_FALSE(ParseSweepSpec("smoke;observability=maybe", &spec, &error));
+  EXPECT_FALSE(error.empty());
+}
+
 TEST(SweepSpecTest, MinCellsCountsTheGrid) {
   SweepSpec spec;
   std::string error;

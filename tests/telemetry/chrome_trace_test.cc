@@ -112,6 +112,87 @@ TEST(ChromeTraceWriter, RecordAndAddEventsAgree) {
   EXPECT_EQ(recorded.ToJson(1, {"solo"}), bulk.ToJson(1, {"solo"}));
 }
 
+TEST(ChromeTraceWriter, AttachedDecisionJoinsFlowToDispatch) {
+  ChromeTraceWriter writer;
+  writer.AddEvents(TinyFixtureTrace());
+
+  // One decision placing job 0 on processor 0, made before the fixture's
+  // dispatch at ts=760: the writer must join them with an s/f flow pair.
+  DecisionRecord decision;
+  decision.id = 41;
+  decision.when = Microseconds(10);
+  decision.site = DecisionSite::kRequest;
+  decision.reason = DecisionReason::kFreeProcessor;
+  decision.job = 0;
+  decision.chosen_proc = 0;
+  DecisionCandidate c;
+  c.proc = 0;
+  c.available = true;
+  c.chosen = true;
+  c.reload_cost_s = 0.002;
+  c.footprint_blocks = 3;
+  decision.candidates = {c};
+  const std::vector<DecisionRecord> decisions = {decision};
+  writer.AttachDecisions(&decisions);
+
+  const std::string json = writer.ToJson(1, {"solo"});
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  // pid-3 scheduler process with a per-processor decide track.
+  EXPECT_NE(json.find("\"scheduler\""), std::string::npos);
+  EXPECT_NE(json.find("\"decide cpu0\""), std::string::npos);
+  // The decision slice carries the reason name and score breakdown.
+  EXPECT_NE(json.find("\"free_processor\""), std::string::npos);
+  EXPECT_NE(json.find("\"reload_cost_s\":0.002"), std::string::npos);
+  // Flow start at the decision, flow finish (bp "e") at the dispatch.
+  EXPECT_NE(json.find("\"ph\":\"s\",\"id\":41,\"ts\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\",\"bp\":\"e\",\"id\":41,\"ts\":760"), std::string::npos);
+  // Detaching restores the plain golden output byte for byte.
+  writer.AttachDecisions(nullptr);
+  EXPECT_EQ(writer.ToJson(1, {"solo"}), kTinyFixtureGolden);
+}
+
+TEST(ChromeTraceWriter, FullEngineRunWithProvenanceStaysBalanced) {
+  MachineConfig machine;
+  machine.num_processors = 4;
+  ChromeTraceWriter writer;
+  DecisionTrace decisions;
+  JobSpanCollector spans;
+  Engine engine(machine, MakePolicy(PolicyKind::kDynAff), 42);
+  engine.SetTraceSink(&writer);
+  engine.SetDecisionSink(&decisions);
+  engine.SetSpanCollector(&spans);
+  engine.SubmitJob(MakeSmallMvaProfile());
+  engine.SubmitJob(MakeSmallGravityProfile());
+  engine.Run();
+
+  std::vector<std::string> names;
+  for (JobId id = 0; id < engine.job_count(); ++id) {
+    names.push_back(engine.job_name(id));
+  }
+  const std::vector<DecisionRecord> records = decisions.Records();
+  ASSERT_GT(records.size(), 0u);
+  writer.AttachDecisions(&records);
+  writer.AttachLifecycles(&spans);
+
+  const std::string json = writer.ToJson(machine.num_processors, names);
+  EXPECT_TRUE(IsValidJson(json)) << "provenance trace output is not valid JSON";
+  // The extra layers must not disturb the span balance.
+  EXPECT_EQ(CountOf(json, "\"ph\":\"B\""), CountOf(json, "\"ph\":\"E\""));
+  // One decision slice and one flow start per record with a placed processor.
+  size_t placed = 0;
+  for (const DecisionRecord& r : records) {
+    placed += r.chosen_proc < machine.num_processors;
+  }
+  ASSERT_GT(placed, 0u);
+  EXPECT_EQ(CountOf(json, "\"cat\":\"decision\",\"ph\":\"X\""), placed);
+  EXPECT_EQ(CountOf(json, "\"ph\":\"s\""), placed);
+  // Every flow finish consumes a start; a few starts may dangle (decisions
+  // whose dispatch falls outside the recorded window), never the reverse.
+  const size_t finishes = CountOf(json, "\"ph\":\"f\"");
+  EXPECT_GT(finishes, 0u);
+  EXPECT_LE(finishes, placed);
+}
+
 TEST(ChromeTraceWriter, WriteJsonFileRoundTrips) {
   const std::string path = ::testing::TempDir() + "/chrome_trace_test_out.json";
   ChromeTraceWriter writer;

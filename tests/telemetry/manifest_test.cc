@@ -110,6 +110,22 @@ TEST(RunManifest, SetUintRoundTripsFull64BitRange) {
   EXPECT_NE(json.find("\"seed\":9223372036854775815"), std::string::npos) << json;
 }
 
+TEST(RunManifest, SetProvenanceRecordsGitRevHostnameAndArgv) {
+  RunManifest manifest;
+  const char* argv[] = {"simctl", "--mix=5", "--policy=dyn-aff"};
+  manifest.SetProvenance(3, argv);
+  const std::string json = manifest.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"git_rev\":\"" + std::string(RunManifest::GitSha()) + "\""),
+            std::string::npos);
+  // Hostname is host-specific but must be present and non-empty.
+  EXPECT_NE(json.find("\"hostname\":\""), std::string::npos);
+  EXPECT_EQ(json.find("\"hostname\":\"\""), std::string::npos);
+  // The command line round-trips verbatim as a JSON array.
+  EXPECT_NE(json.find("\"argv\":[\"simctl\",\"--mix=5\",\"--policy=dyn-aff\"]"),
+            std::string::npos);
+}
+
 TEST(RunManifest, WriteFileProducesParseableFile) {
   const std::string path = ::testing::TempDir() + "/manifest_test_out.json";
   RunManifest manifest;

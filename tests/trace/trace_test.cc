@@ -66,6 +66,36 @@ TEST(RingTraceTest, CsvMarksDroppedEventsOnOverflow) {
   EXPECT_EQ(csv.substr(csv.size() - tail.size()), tail);
 }
 
+TEST(RingTraceTest, CsvDroppedTrailerStaysExactAcrossMultipleWraps) {
+  RingTrace trace(4);
+  for (SimTime t = 0; t < 13; ++t) {  // wraps the capacity-4 ring three times
+    trace.Record(Ev(t, TraceEventKind::kDispatch));
+  }
+  EXPECT_EQ(trace.dropped(), 9u);
+  const std::string csv = trace.ToCsv();
+  const std::string tail = "# dropped=9\n";
+  ASSERT_GE(csv.size(), tail.size());
+  EXPECT_EQ(csv.substr(csv.size() - tail.size()), tail);
+  // Exactly one marker in the whole document.
+  EXPECT_EQ(csv.find("# dropped="), csv.rfind("# dropped="));
+}
+
+TEST(RingTraceTest, OverflowEvictsOldestFirstAtEveryFillLevel) {
+  // Eviction must always discard the oldest event, whether the ring has
+  // wrapped once or many times over.
+  for (SimTime total : {5, 7, 12, 23}) {
+    RingTrace trace(4);
+    for (SimTime t = 0; t < total; ++t) {
+      trace.Record(Ev(t, TraceEventKind::kDispatch));
+    }
+    const auto events = trace.Events();
+    ASSERT_EQ(events.size(), 4u) << "total=" << total;
+    for (SimTime i = 0; i < 4; ++i) {
+      EXPECT_EQ(events[static_cast<size_t>(i)].when, total - 4 + i) << "total=" << total;
+    }
+  }
+}
+
 TEST(RingTraceTest, KindNamesRoundTripThroughFromName) {
   for (size_t i = 0; i < kNumTraceEventKinds; ++i) {
     const TraceEventKind kind = static_cast<TraceEventKind>(i);

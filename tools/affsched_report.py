@@ -1,0 +1,283 @@
+#!/usr/bin/env python3
+"""Render and diff affsched sweep results.
+
+Usage:
+  tools/affsched_report.py summary RESULT.json
+  tools/affsched_report.py diff CURRENT.json BASELINE.json [--threshold 0.02]
+
+summary: prints human-readable tables for any result document the toolchain
+writes — a closed sweep (schema_version 1 or 3, `simctl --sweep`), an open
+sweep (schema_version 2, `simctl --open`), or a run manifest
+(`simctl --manifest`). Schema-3 documents additionally get the
+affinity-efficiency table from their "observability" block. Statistics that
+are missing or NaN (e.g. percentiles of a cell that completed zero jobs)
+render as "n/a".
+
+diff: compares two result documents of the same kind, prints per-metric
+deltas and a per-policy worst-drift table, and exits nonzero if — and only
+if — some metric drifts beyond --threshold (relative, default 2%). Closed
+sweeps gate mean response times and vs-equi ratios; open sweeps gate
+p50/p95/p99 sojourn and reject rate. Use it to answer "did this change move
+the paper's numbers?" in CI or by hand.
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+# --- formatting --------------------------------------------------------------
+
+def fmt(value, digits=3):
+    """Format a numeric stat; None/NaN/inf render as n/a (zero-job cells)."""
+    if value is None:
+        return "n/a"
+    try:
+        v = float(value)
+    except (TypeError, ValueError):
+        return str(value)
+    if not math.isfinite(v):
+        return "n/a"
+    return f"{v:.{digits}f}"
+
+
+def render_table(header, rows):
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def doc_kind(doc):
+    schema = doc.get("schema_version")
+    if schema in (1, 3):
+        return "sweep"
+    if schema == 2:
+        return "open"
+    if doc.get("tool") in ("simctl", "simctl-open") or "git_sha" in doc:
+        return "manifest"
+    return None
+
+
+# --- summary -----------------------------------------------------------------
+
+def summarize_sweep(doc):
+    spec = doc["spec"]
+    print(f"sweep '{spec['name']}' (schema {doc['schema_version']}): "
+          f"seed {spec['root_seed']}, {spec['machine']['procs']} procs, "
+          f"{len(doc['experiments'])} experiments")
+    print()
+
+    ratios = {(r["mix"], r["policy"], r["job"]): r["ratio"]
+              for r in doc.get("relative_response", [])}
+    rows = []
+    for exp in doc["experiments"]:
+        for job in exp["jobs"]:
+            key = (exp["mix"], exp["policy"], job["index"])
+            rows.append([
+                exp["mix"], exp["policy"],
+                f"{job['app']} ({job['index']})", exp["replications"],
+                fmt(job.get("mean_response_s"), 2),
+                fmt(job.get("ci_half_width_s"), 2),
+                fmt(ratios.get(key), 3) if key in ratios else "-",
+            ])
+    print(render_table(
+        ["mix", "policy", "job", "reps", "mean RT (s)", "ci (s)", "vs equi"],
+        rows))
+
+    obs = doc.get("observability", {}).get("experiments")
+    if obs:
+        print()
+        rows = []
+        for entry in obs:
+            m = entry.get("migrations", {})
+            rows.append([
+                entry["mix"], entry["policy"],
+                fmt(entry.get("reload_transient_fraction"), 4),
+                fmt(entry.get("affine_fraction"), 3),
+                m.get("same_core", 0), m.get("same_cluster", 0),
+                m.get("same_node", 0), m.get("cross_node", 0),
+            ])
+        print(render_table(
+            ["mix", "policy", "reload frac", "affine frac",
+             "mig core", "mig cluster", "mig node", "mig cross"],
+            rows))
+
+
+def summarize_open(doc):
+    spec = doc["spec"]
+    print(f"open sweep '{spec['name']}' (schema 2): seed {spec['root_seed']}, "
+          f"{len(doc['cells'])} cells")
+    print()
+    rows = []
+    for cell in doc["cells"]:
+        rows.append([
+            cell["arrivals"], fmt(cell["rho"], 2), cell["policy"], cell["rep"],
+            fmt(cell.get("p50_sojourn_s"), 2), fmt(cell.get("p95_sojourn_s"), 2),
+            fmt(cell.get("p99_sojourn_s"), 2),
+            fmt(100.0 * cell.get("reject_rate", 0.0), 1),
+            "ok" if cell.get("littles_law", {}).get("ok") else "FAIL",
+        ])
+    print(render_table(
+        ["arrivals", "rho", "policy", "rep", "p50 (s)", "p95 (s)", "p99 (s)",
+         "rej %", "L=lamW"],
+        rows))
+
+
+def summarize_manifest(doc):
+    print(f"run manifest: tool {doc.get('tool', '?')}, "
+          f"git {doc.get('git_rev', doc.get('git_sha', '?'))}, "
+          f"host {doc.get('hostname', '?')}")
+    rows = [[k, json.dumps(v)] for k, v in sorted(doc.items())
+            if k not in ("metrics", "profile", "argv")]
+    print()
+    print(render_table(["key", "value"], rows))
+    if "argv" in doc:
+        print()
+        print("argv:", " ".join(doc["argv"]))
+    metrics = doc.get("metrics")
+    if isinstance(metrics, dict):
+        print(f"\nmetrics: {sum(len(v) for v in metrics.values() if isinstance(v, list))} "
+              "entries (use jq for details)")
+
+
+def cmd_summary(args):
+    doc = load(args.result)
+    kind = doc_kind(doc)
+    if kind == "sweep":
+        summarize_sweep(doc)
+    elif kind == "open":
+        summarize_open(doc)
+    elif kind == "manifest":
+        summarize_manifest(doc)
+    else:
+        sys.exit(f"{args.result}: unrecognized result document")
+    return 0
+
+
+# --- diff --------------------------------------------------------------------
+
+def drift(base, cur):
+    """Relative drift; NaN-aware (NaN vs NaN = no drift, NaN vs number = inf)."""
+    b = float("nan") if base is None else float(base)
+    c = float("nan") if cur is None else float(cur)
+    if math.isnan(b) and math.isnan(c):
+        return 0.0
+    if math.isnan(b) or math.isnan(c):
+        return float("inf")
+    if b == 0.0:
+        return abs(c)
+    return abs(c - b) / abs(b)
+
+
+def sweep_metrics(doc):
+    """Flat {(metric, mix, policy, job): value} map for a closed sweep."""
+    out = {}
+    for exp in doc["experiments"]:
+        for job in exp["jobs"]:
+            out[("mean_response_s", exp["mix"], exp["policy"], job["index"])] = \
+                job.get("mean_response_s")
+    for r in doc.get("relative_response", []):
+        out[("vs_equi_ratio", r["mix"], r["policy"], r["job"])] = r["ratio"]
+    return out
+
+
+def open_metrics(doc):
+    out = {}
+    for cell in doc["cells"]:
+        key = (cell["arrivals"], cell["rho"], cell["policy"], cell["rep"])
+        for field in ("p50_sojourn_s", "p95_sojourn_s", "p99_sojourn_s",
+                      "reject_rate"):
+            out[(field,) + key] = cell.get(field)
+    return out
+
+
+def cmd_diff(args):
+    current, baseline = load(args.current), load(args.baseline)
+    kinds = doc_kind(current), doc_kind(baseline)
+    if kinds[0] != kinds[1] or kinds[0] not in ("sweep", "open"):
+        sys.exit(f"cannot diff a {kinds[0]} document against a {kinds[1]} one")
+    extract = sweep_metrics if kinds[0] == "sweep" else open_metrics
+    cur, base = extract(current), extract(baseline)
+
+    regressions = []
+    worst_by_policy = {}
+    rows = []
+    for key in sorted(base, key=str):
+        policy = key[2]
+        d = drift(base[key], cur.get(key))
+        worst_by_policy[policy] = max(worst_by_policy.get(policy, 0.0), d)
+        exceeded = d > args.threshold
+        if exceeded:
+            regressions.append(
+                f"{key}: {fmt(base[key])} -> {fmt(cur.get(key))} "
+                f"({'missing' if key not in cur else f'{d:+.2%} drift'})")
+        if exceeded or args.all:
+            rows.append([
+                key[0], *key[1:],
+                fmt(base[key]), fmt(cur.get(key)),
+                "n/a" if not math.isfinite(d) else f"{d:.2%}",
+                "<-- DRIFT" if exceeded else "",
+            ])
+    for key in sorted(cur, key=str):
+        if key not in base:
+            rows.append([key[0], *key[1:], "n/a", fmt(cur[key]), "new", ""])
+
+    if rows:
+        n_keys = max(len(r) for r in rows) - 5
+        header = ["metric"] + [f"k{i}" for i in range(n_keys)] + \
+                 ["baseline", "current", "drift", ""]
+        print(render_table(header, rows))
+        print()
+    print(render_table(
+        ["policy", "worst drift"],
+        [[p, "n/a" if not math.isfinite(d) else f"{d:.2%}"]
+         for p, d in sorted(worst_by_policy.items())]))
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} metric(s) drift beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(base)} metrics within {args.threshold:.0%} of baseline")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_summary = sub.add_parser("summary", help="render a result document")
+    p_summary.add_argument("result")
+    p_summary.set_defaults(func=cmd_summary)
+
+    p_diff = sub.add_parser("diff", help="compare two result documents")
+    p_diff.add_argument("current")
+    p_diff.add_argument("baseline")
+    p_diff.add_argument("--threshold", type=float, default=0.02,
+                        help="max allowed relative drift (default 0.02)")
+    p_diff.add_argument("--all", action="store_true",
+                        help="print every compared metric, not just drifts")
+    p_diff.set_defaults(func=cmd_diff)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

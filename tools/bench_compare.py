@@ -45,7 +45,9 @@ import sys
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema_version") not in (1, 2):
+    # Schema 3 is schema 1 plus an opt-in "observability" object; every field
+    # this gate reads is identical.
+    if doc.get("schema_version") not in (1, 2, 3):
         sys.exit(f"{path}: unsupported schema_version {doc.get('schema_version')!r}")
     return doc
 

@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Validate an exported Chrome/Perfetto trace-event JSON file.
+
+Usage:
+  tools/check_perfetto_trace.py TRACE.json [--require-decisions]
+  tools/check_perfetto_trace.py --run-simctl PATH/TO/simctl
+
+A minimal schema check for the files ChromeTraceWriter emits (simctl
+--chrome-trace): enough structure that chrome://tracing and Perfetto will
+load the file, without re-implementing either. Checks:
+
+  * top level is an object with a "traceEvents" array;
+  * every event is an object with a known "ph" and the keys that phase
+    requires (pid/tid everywhere; ts+name on slices; dur >= 0 on "X";
+    id on flow events; "bp":"e" on flow finishes);
+  * "B"/"E" events balance per (pid, tid) track and never go negative;
+  * timestamps are non-negative and non-decreasing within each B/E track;
+  * every flow-finish ("f") id was started by some flow-start ("s").
+
+With --require-decisions the file must additionally carry the decision
+provenance layer: a pid-3 scheduler process with at least one "decision"
+slice, at least one flow start, and at least one flow finish.
+
+--run-simctl builds the fixture itself: it runs the given simctl binary in
+a temp directory with --chrome-trace/--decision-trace/--spans, then
+validates the result with --require-decisions. This is what the tier-1
+ctest uses. Exit status: 0 valid, 1 invalid, 2 usage/IO error.
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+KNOWN_PHASES = {"M", "B", "E", "X", "i", "I", "C", "s", "t", "f"}
+# Keys every event of the phase must carry (beyond pid/tid, checked for all).
+REQUIRED_KEYS = {
+    "M": ("name", "args"),
+    "B": ("name", "ts"),
+    "E": ("ts",),
+    "X": ("name", "ts", "dur"),
+    "i": ("name", "ts", "s"),
+    "I": ("name", "ts"),
+    "C": ("name", "ts", "args"),
+    "s": ("name", "ts", "id"),
+    "t": ("name", "ts", "id"),
+    "f": ("name", "ts", "id", "bp"),
+}
+
+
+def validate(doc, require_decisions=False):
+    """Returns a list of problem strings; empty means the trace is valid."""
+    problems = []
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return ['top level must be an object with a "traceEvents" array']
+    events = doc["traceEvents"]
+    if not events:
+        problems.append("traceEvents is empty")
+
+    depth = {}       # (pid, tid) -> open B count
+    last_ts = {}     # (pid, tid) -> last B/E timestamp
+    flow_starts, flow_finishes = set(), set()
+    pids = set()
+    decision_slices = 0
+
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: event is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            problems.append(f"{where}: unknown or missing ph {ph!r}")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                problems.append(f"{where} (ph={ph}): missing integer {key!r}")
+        for key in REQUIRED_KEYS[ph]:
+            if key not in ev:
+                problems.append(f"{where} (ph={ph}): missing required key {key!r}")
+        ts = ev.get("ts")
+        if ts is not None and (not isinstance(ts, (int, float)) or ts < 0):
+            problems.append(f"{where}: ts must be a non-negative number, got {ts!r}")
+
+        pids.add(ev.get("pid"))
+        track = (ev.get("pid"), ev.get("tid"))
+        if ph == "B":
+            depth[track] = depth.get(track, 0) + 1
+        elif ph == "E":
+            depth[track] = depth.get(track, 0) - 1
+            if depth[track] < 0:
+                problems.append(f'{where}: "E" with no open "B" on track {track}')
+        if ph in ("B", "E") and isinstance(ts, (int, float)):
+            if ts < last_ts.get(track, float("-inf")):
+                problems.append(
+                    f"{where}: ts {ts} goes backwards on track {track} "
+                    f"(last {last_ts[track]})")
+            last_ts[track] = ts
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X slice dur must be >= 0, got {dur!r}")
+            if ev.get("cat") == "decision":
+                decision_slices += 1
+        if ph == "f" and ev.get("bp") != "e":
+            problems.append(f'{where}: flow finish must use "bp":"e", got {ev.get("bp")!r}')
+        if ph == "s":
+            flow_starts.add(ev.get("id"))
+        if ph == "f":
+            flow_finishes.add(ev.get("id"))
+
+    for track, d in sorted(depth.items(), key=str):
+        if d != 0:
+            problems.append(f'track {track}: {d} unbalanced "B" event(s)')
+    orphans = flow_finishes - flow_starts
+    if orphans:
+        sample = sorted(orphans)[:5]
+        problems.append(
+            f"{len(orphans)} flow finish id(s) with no matching start, e.g. {sample}")
+
+    if require_decisions:
+        if 3 not in pids:
+            problems.append("decision layer required but no pid-3 scheduler process found")
+        if decision_slices == 0:
+            problems.append('decision layer required but no "decision" X slices found')
+        if not flow_starts:
+            problems.append("decision layer required but no flow starts found")
+        if not flow_finishes:
+            problems.append("decision layer required but no flow finishes found")
+
+    return problems
+
+
+def check_file(path, require_decisions):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path}: {e}", file=sys.stderr)
+        return 2
+    problems = validate(doc, require_decisions)
+    if problems:
+        print(f"{path}: INVALID — {len(problems)} problem(s):", file=sys.stderr)
+        for p in problems[:25]:
+            print(f"  {p}", file=sys.stderr)
+        if len(problems) > 25:
+            print(f"  ... and {len(problems) - 25} more", file=sys.stderr)
+        return 1
+    n = len(doc["traceEvents"])
+    print(f"{path}: OK ({n} events, pids "
+          f"{sorted(p for p in {e.get('pid') for e in doc['traceEvents']} if p is not None)})")
+    return 0
+
+
+def run_simctl(binary):
+    with tempfile.TemporaryDirectory(prefix="affsched-trace-") as tmp:
+        tmp = Path(tmp)
+        trace = tmp / "trace.json"
+        cmd = [
+            binary, "--mix=5", "--policy=dyn-aff", "--procs=16", "--seed=42",
+            f"--chrome-trace={trace}",
+            f"--decision-trace={tmp / 'decisions.jsonl'}",
+            f"--spans={tmp / 'spans.jsonl'}",
+        ]
+        print("+", " ".join(cmd))
+        result = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+        if result.returncode != 0:
+            print(f"simctl exited {result.returncode}", file=sys.stderr)
+            return 2
+        for side in ("decisions.jsonl", "spans.jsonl"):
+            if not (tmp / side).stat().st_size:
+                print(f"{side}: empty sidecar output", file=sys.stderr)
+                return 1
+        return check_file(trace, require_decisions=True)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", nargs="?", help="trace-event JSON file to check")
+    parser.add_argument("--require-decisions", action="store_true",
+                        help="fail unless the decision provenance layer is present")
+    parser.add_argument("--run-simctl", metavar="BINARY",
+                        help="run this simctl binary to produce the trace, then "
+                             "validate it with --require-decisions")
+    args = parser.parse_args()
+
+    if args.run_simctl:
+        return run_simctl(args.run_simctl)
+    if not args.trace:
+        parser.error("either TRACE.json or --run-simctl is required")
+    return check_file(args.trace, args.require_decisions)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
