@@ -1,0 +1,143 @@
+// Multi-queue benchmark: whole closed sweeps under the MQMS steal family,
+// measured in simulated jobs per wall second. These are the numbers the
+// "microbench_multiqueue" floors in bench/baseline.json gate
+// (tools/bench_compare.py --microbench --floors-key microbench_multiqueue),
+// so a regression in the per-queue hot path (queue homing, tier-scoped
+// victim scans, ReloadCostSeconds scoring, steal accounting) shows up as a
+// throughput drop against the no-steal baseline benchmark.
+//
+// main() additionally prints a Fig-5-style policy comparison for the whole
+// steal family on the mq preset machine — response time relative to
+// Equipartition plus the per-tier steal counters — the source of the
+// measured excerpt in EXPERIMENTS.md — and writes run_manifest.json.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/runner/runner.h"
+#include "src/runner/sweep.h"
+#include "src/sched/factory.h"
+#include "src/telemetry/manifest.h"
+
+namespace affsched {
+namespace {
+
+SweepSpec BenchSpec(const std::string& spec_text) {
+  SweepSpec spec;
+  std::string error;
+  if (!ParseSweepSpec(spec_text, &spec, &error)) {
+    std::fprintf(stderr, "bench_multiqueue_steal: bad spec %s: %s\n", spec_text.c_str(),
+                 error.c_str());
+    std::abort();
+  }
+  return spec;
+}
+
+// Runs the grid single-threaded (the benchmark measures the simulation, not
+// the worker pool) and returns the number of jobs simulated.
+size_t RunSpec(const SweepSpec& spec) {
+  SweepRunnerOptions options;
+  options.jobs = 1;
+  const SweepResult result = SweepRunner(options).Run(spec);
+  size_t jobs = 0;
+  for (const ExperimentResult& experiment : result.experiments) {
+    for (const CellResult& cell : experiment.cells) {
+      jobs += cell.run.jobs.size();
+    }
+  }
+  return jobs;
+}
+
+// One mq-preset cell per steal radius: the NUMA machine, mix 5, one rep.
+// The spread between nosteal and numa is the price of the widest victim
+// scan; nosteal vs the topology benches is the price of per-queue dispatch.
+constexpr const char* kBenchCell = "mq;reps=1;mixes=5;steal=";
+
+void BM_MultiQueueNoSteal(benchmark::State& state) {
+  const SweepSpec spec = BenchSpec(std::string(kBenchCell) + "nosteal");
+  size_t jobs = 0;
+  for (auto _ : state) {
+    jobs += RunSpec(spec);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(jobs));
+}
+BENCHMARK(BM_MultiQueueNoSteal)->UseRealTime();
+
+void BM_MultiQueueStealCluster(benchmark::State& state) {
+  const SweepSpec spec = BenchSpec(std::string(kBenchCell) + "cluster");
+  size_t jobs = 0;
+  for (auto _ : state) {
+    jobs += RunSpec(spec);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(jobs));
+}
+BENCHMARK(BM_MultiQueueStealCluster)->UseRealTime();
+
+void BM_MultiQueueStealNuma(benchmark::State& state) {
+  const SweepSpec spec = BenchSpec(std::string(kBenchCell) + "numa");
+  size_t jobs = 0;
+  for (auto _ : state) {
+    jobs += RunSpec(spec);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(jobs));
+}
+BENCHMARK(BM_MultiQueueStealNuma)->UseRealTime();
+
+// Prints the steal family against Equipartition on the mq preset machine:
+// the Fig-5 relative-response column plus the per-tier steal and balance
+// counters the centralized policies never exercise.
+void PrintPolicyComparison() {
+  const SweepSpec spec = BenchSpec("mq");
+  SweepRunnerOptions options;
+  options.jobs = 0;  // report quality, not wall time: use every core
+  const SweepResult result = SweepRunner(options).Run(spec);
+  TextTable table;
+  table.SetHeader({"mix", "policy", "job", "mean RT (s)", "vs equi", "steals c/n/x",
+                   "balance"});
+  for (const ExperimentResult& experiment : result.experiments) {
+    const ExperimentResult* equi = result.Find(PolicyKind::kEquipartition,
+                                               experiment.mix.number);
+    for (size_t j = 0; j < experiment.replicated.app.size(); ++j) {
+      const JobStats& stats = experiment.replicated.mean_stats[j];
+      std::string ratio = "-";
+      if (equi != nullptr && experiment.policy != PolicyKind::kEquipartition) {
+        ratio = FormatDouble(
+            experiment.replicated.MeanResponse(j) / equi->replicated.MeanResponse(j), 3);
+      }
+      table.AddRow({std::to_string(experiment.mix.number),
+                    PolicyKindCliName(experiment.policy), experiment.replicated.app[j],
+                    FormatDouble(experiment.replicated.MeanResponse(j), 2), ratio,
+                    std::to_string(stats.steals_same_cluster) + "/" +
+                        std::to_string(stats.steals_same_node) + "/" +
+                        std::to_string(stats.steals_cross_node),
+                    std::to_string(stats.balance_migrations)});
+    }
+  }
+  std::printf("\nsteal family on the mq preset (seed %llu):\n%s",
+              static_cast<unsigned long long>(spec.root_seed), table.Render().c_str());
+}
+
+}  // namespace
+}  // namespace affsched
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  affsched::PrintPolicyComparison();
+
+  affsched::RunManifest manifest;
+  manifest.SetString("tool", "bench_multiqueue_steal");
+  manifest.WriteFile("run_manifest.json");
+  std::printf("\nwrote run_manifest.json (git %s)\n", affsched::RunManifest::GitSha());
+  return 0;
+}

@@ -248,7 +248,7 @@ int RunOpenMode(const FlagSet& flags, int argc, char** argv) {
 void ListPresets() {
   TextTable table;
   table.SetHeader({"preset", "seed", "policies", "mixes", "reps", "min cells"});
-  for (const SweepSpec& spec : {Fig5Spec(), Table3Spec(), FutureSpec(), SmokeSpec()}) {
+  for (const SweepSpec& spec : {Fig5Spec(), Table3Spec(), FutureSpec(), SmokeSpec(), MqSpec()}) {
     std::string policies;
     for (PolicyKind kind : spec.policies) {
       policies += (policies.empty() ? "" : ",") + PolicyKindCliName(kind);
@@ -298,10 +298,18 @@ int main(int argc, char** argv) {
   FlagSet flags(
       "simctl: run one workload mix under one policy on a configurable machine.\n"
       "Policies: equi, dynamic, dyn-aff, dyn-aff-nopri, dyn-aff-delay,\n"
-      "dyn-aff-cluster, dyn-aff-node, timeshare, timeshare-aff.\n"
+      "dyn-aff-cluster, dyn-aff-node, timeshare, timeshare-aff,\n"
+      "mq-nosteal, mq-sibling, mq-cluster, mq-numa (per-processor queues;\n"
+      "--steal is shorthand for the mq family).\n"
       "Mixes: 1-6 (Table 2 of the paper).");
   flags.AddInt("mix", 5, "workload mix number (1-6)");
   flags.AddString("policy", "dyn-aff", "allocation policy");
+  flags.AddString("steal", "",
+                  "multi-queue steal radius (nosteal, sibling, cluster, numa); "
+                  "shorthand that overrides --policy with the matching mq-* kind");
+  flags.AddDouble("balance-interval", 0.0,
+                  "periodic load-balance tick in simulated milliseconds "
+                  "(0 = the policy's own default)");
   flags.AddInt("procs", 16, "number of processors");
   flags.AddInt("seed", 42, "random seed");
   flags.AddDouble("speed", 1.0, "processor speed relative to the Symmetry");
@@ -330,7 +338,7 @@ int main(int argc, char** argv) {
                 "print event-core statistics (pool high-water mark, events/sec)");
   flags.AddString("sweep", "",
                   "run an experiment grid instead of one simulation: a preset "
-                  "(fig5, table3, future, smoke) or key=value spec; see README");
+                  "(fig5, table3, future, smoke, mq) or key=value spec; see README");
   flags.AddInt("jobs", 0, "sweep worker threads (0 = hardware concurrency)");
   flags.AddString("out", "", "write sweep results JSON here");
   flags.AddBool("progress", false,
@@ -384,6 +392,16 @@ int main(int argc, char** argv) {
     std::printf("unknown --policy '%s'\n", flags.GetString("policy").c_str());
     return 1;
   }
+  if (!flags.GetString("steal").empty() &&
+      !PolicyKindFromStealName(flags.GetString("steal"), &kind)) {
+    std::printf("unknown --steal '%s' (try nosteal, sibling, cluster, numa)\n",
+                flags.GetString("steal").c_str());
+    return 1;
+  }
+  if (flags.GetDouble("balance-interval") < 0.0) {
+    std::printf("--balance-interval must be >= 0 ms\n");
+    return 1;
+  }
   if (flags.GetDouble("sample-ms") <= 0.0) {
     std::printf("--sample-ms must be > 0\n");
     return 1;
@@ -431,7 +449,10 @@ int main(int argc, char** argv) {
   }
 
   RingTrace trace;
-  Engine engine(machine, std::move(policy), static_cast<uint64_t>(flags.GetInt("seed")));
+  Engine::Options engine_options;
+  engine_options.balance_interval = Milliseconds(flags.GetDouble("balance-interval"));
+  Engine engine(machine, std::move(policy), static_cast<uint64_t>(flags.GetInt("seed")),
+                engine_options);
   if (flags.GetBool("gantt") || flags.GetBool("csv") || !chrome_trace_path.empty()) {
     engine.SetTraceSink(&trace);
   }

@@ -34,7 +34,10 @@ void Accounting::SetMetrics(MetricsRegistry* registry) {
   for (size_t tier = 0; tier < kNumDistanceTiers; ++tier) {
     m.migrations[tier] = registry->FindOrCreateCounter(std::string("engine.migrations.") +
                                                        DistanceTierName(tier));
+    m.steals[tier] =
+        registry->FindOrCreateCounter(std::string("engine.steals.") + DistanceTierName(tier));
   }
+  m.balance_migrations = registry->FindOrCreateCounter("engine.balance_migrations");
   m.active_jobs = registry->FindOrCreateGauge("engine.active_jobs");
   m.reload_stall_us =
       registry->FindOrCreateHistogram("engine.reload_stall_us", DefaultLatencyBucketsUs());
@@ -184,6 +187,28 @@ void Accounting::RecordDispatch(JobState& js, size_t proc, bool affine, size_t t
   }
   Bump(m.dispatches);
   Bump(js.metric_reallocations);
+}
+
+void Accounting::RecordSteal(JobState& js, size_t tier) {
+  AFF_CHECK(tier > 0 && tier < kNumDistanceTiers);
+  JobStats& st = js.job->stats();
+  switch (tier) {
+    case 1:
+      st.steals_same_cluster++;
+      break;
+    case 2:
+      st.steals_same_node++;
+      break;
+    default:
+      st.steals_cross_node++;
+      break;
+  }
+  Bump(m.steals[tier]);
+}
+
+void Accounting::RecordBalanceMigration(JobState& js) {
+  js.job->stats().balance_migrations++;
+  Bump(m.balance_migrations);
 }
 
 void Accounting::UpdateAllocIntegral(JobId id) {

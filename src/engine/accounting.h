@@ -44,6 +44,11 @@ struct MetricHandles {
   Counter* waste_ns = nullptr;
   // Reallocations by migration distance (engine.migrations.<tier-name>).
   Counter* migrations[kNumDistanceTiers] = {nullptr, nullptr, nullptr, nullptr};
+  // Multi-queue steals by the distance tier crossed
+  // (engine.steals.<tier-name>; tier 0 never fires — a same-processor pull is
+  // a local-queue dispatch, not a steal) and balance-tick migrations.
+  Counter* steals[kNumDistanceTiers] = {nullptr, nullptr, nullptr, nullptr};
+  Counter* balance_migrations = nullptr;
   Gauge* active_jobs = nullptr;
   FixedHistogram* reload_stall_us = nullptr;
   FixedHistogram* chunk_wall_us = nullptr;
@@ -107,6 +112,11 @@ class Accounting {
   // migration distance from the task's previous processor
   // (kNoMigrationTier for a first placement); `proc` the landing processor.
   void RecordDispatch(JobState& js, size_t proc, bool affine, size_t tier = kNoMigrationTier);
+  // One realised multi-queue steal of `js` across `tier` (1-based: stealing
+  // from the own queue is a local dispatch).
+  void RecordSteal(JobState& js, size_t tier);
+  // One realised balance-tick migration of `js`.
+  void RecordBalanceMigration(JobState& js);
 
   // --- Allocation/credit/parallelism bookkeeping -----------------------------
 

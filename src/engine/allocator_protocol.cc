@@ -147,6 +147,14 @@ void AllocatorProtocol::AssignProcessor(const Assignment& a) {
     }
     return;
   }
+  // The assignment will be realised (committed now or at the next chunk
+  // boundary): count steal/balance provenance here so the per-tier counters
+  // see only grants that changed hands, not no-op re-assignments.
+  if (a.steal_tier != kNoStealTier) {
+    acct_.RecordSteal(to, a.steal_tier);
+  } else if (a.reason == DecisionReason::kBalanceMigrate) {
+    acct_.RecordBalanceMigration(to);
+  }
   if (ps.running != kNoOwner || ps.switching) {
     SetPending(a.proc, a.job, a.prefer_task);
     return;

@@ -63,6 +63,7 @@ SimTime Engine::Run() {
   if (sampler_ != nullptr) {
     StartSampling();
   }
+  StartBalancing();
   SimTime last_completion = 0;
   while (core_.WorkRemaining()) {
     if (!core_.queue.RunNext()) {
@@ -150,6 +151,31 @@ void Engine::SamplerTick() {
   }
 }
 
+// --- Load balancing ----------------------------------------------------------
+
+void Engine::StartBalancing() {
+  // The EngineOptions override wins so sweeps can vary the cadence without a
+  // per-policy constructor path; 0 everywhere means no tick is ever scheduled
+  // and the run is byte-identical to a pre-balancing engine.
+  const SimDuration cadence = core_.options.balance_interval > 0
+                                  ? core_.options.balance_interval
+                                  : core_.policy->BalanceInterval();
+  if (cadence > 0) {
+    core_.queue.ScheduleAfter(cadence, [this, cadence] { BalanceTick(cadence); });
+  }
+}
+
+void Engine::BalanceTick(SimDuration cadence) {
+  if (core_.jobs_remaining > 0 && !core_.active_jobs.empty()) {
+    alloc_.ApplyDecision(core_.policy->OnBalanceTick(*this), DecisionSite::kBalanceTick);
+  }
+  // Mirror SamplerTick: keep ticking only while the simulation has real
+  // events, so a stalled run still reaches the deadlock diagnostics.
+  if (core_.WorkRemaining() && !core_.queue.empty()) {
+    core_.queue.ScheduleAfter(cadence, [this, cadence] { BalanceTick(cadence); });
+  }
+}
+
 // --- Results -----------------------------------------------------------------
 
 const Job& Engine::job(JobId id) const {
@@ -231,6 +257,28 @@ double Engine::Priority(JobId id) const { return core_.Priority(id); }
 
 size_t Engine::DistanceTier(size_t from, size_t to) const {
   return core_.machine.topology().TierBetween(from, to);
+}
+
+double Engine::ReloadCostSeconds(JobId id, size_t proc) const {
+  AFF_CHECK(proc < core_.procs.size());
+  const JobState& js = core_.job_state(id);
+  // Reference task: the job's first idle worker with a placement history —
+  // the worker the dispatcher is most likely to pick, and the same reference
+  // the decision trace scores candidates with (AllocatorProtocol::
+  // RecordDecision). A job with no history pays the full working-set reload
+  // on any processor.
+  CacheOwner task = kNoOwner;
+  for (CacheOwner wid : js.idle_workers) {
+    if (core_.worker(wid).last_processor() != kNoProcessor) {
+      task = wid;
+      break;
+    }
+  }
+  const CacheModel& cache = const_cast<EngineCore&>(core_).machine.processor(proc).cache();
+  const double resident = task != kNoOwner ? cache.Resident(task) : 0.0;
+  const double target = cache.MaxResident(js.profile->working_set.blocks);
+  return target > resident ? (target - resident) * core_.machine.config().MissServiceSeconds()
+                           : 0.0;
 }
 
 // --- Diagnostics -------------------------------------------------------------

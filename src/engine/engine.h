@@ -136,6 +136,7 @@ class Engine : public SchedView {
   size_t DesiredProcessor(JobId job) const override;
   double Priority(JobId job) const override;
   size_t DistanceTier(size_t from, size_t to) const override;
+  double ReloadCostSeconds(JobId job, size_t proc) const override;
 
  private:
   JobId SubmitJobInternal(const AppProfile& profile, SimTime arrival, SimTime queued_since,
@@ -145,6 +146,11 @@ class Engine : public SchedView {
   // Registers the standard probes and starts the recurring sampling event.
   void StartSampling();
   void SamplerTick();
+
+  // Starts the periodic load-balance tick when the policy (or the
+  // EngineOptions override) asks for one; no-op otherwise.
+  void StartBalancing();
+  void BalanceTick(SimDuration cadence);
 
   // Prints processor and job state to stderr (deadlock diagnosis).
   void DumpState() const;

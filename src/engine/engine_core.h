@@ -46,6 +46,11 @@ struct EngineOptions {
   // evaluates P = 1). Affinity placement may use any remembered processor;
   // %affinity statistics always use the most recent one.
   size_t processor_history_depth = 1;
+  // Cadence of the periodic load-balance tick (multi-queue policies). 0 (the
+  // default) defers to Policy::BalanceInterval(), so runs configured through
+  // RunOnce/sweeps can override the policy without a new plumbing path.
+  // Balancing is off when both are 0.
+  SimDuration balance_interval = 0;
 };
 
 struct ProcState {

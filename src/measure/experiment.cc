@@ -58,6 +58,10 @@ void ReplicationFolder::Fold(const RunResult& run) {
     acc.migrations_cross_node += x.migrations_cross_node;
     acc.reload_llc_s += x.reload_llc_s;
     acc.reload_remote_s += x.reload_remote_s;
+    acc.steals_same_cluster += x.steals_same_cluster;
+    acc.steals_same_node += x.steals_same_node;
+    acc.steals_cross_node += x.steals_cross_node;
+    acc.balance_migrations += x.balance_migrations;
     acc.completion += x.completion - x.arrival;
   }
   ++reps_;
@@ -104,6 +108,14 @@ ReplicatedResult ReplicationFolder::Finish() const {
         static_cast<uint64_t>(static_cast<double>(mean.migrations_cross_node) / r);
     mean.reload_llc_s /= r;
     mean.reload_remote_s /= r;
+    mean.steals_same_cluster =
+        static_cast<uint64_t>(static_cast<double>(mean.steals_same_cluster) / r);
+    mean.steals_same_node =
+        static_cast<uint64_t>(static_cast<double>(mean.steals_same_node) / r);
+    mean.steals_cross_node =
+        static_cast<uint64_t>(static_cast<double>(mean.steals_cross_node) / r);
+    mean.balance_migrations =
+        static_cast<uint64_t>(static_cast<double>(mean.balance_migrations) / r);
     mean.arrival = 0;
     mean.completion = static_cast<SimTime>(static_cast<double>(accum_[j].completion) / r);
     result.mean_stats[j] = mean;

@@ -223,6 +223,18 @@ bool ParseOpenSweepSpec(const std::string& text, OpenSweepSpec* spec, std::strin
       if (!ParseTopologySpec(value, &spec->machine.topology, error)) {
         return false;
       }
+    } else if (key == "steal") {
+      // steal=nosteal,cluster,... — sugar for the multi-queue policy family:
+      // replaces the policy list with the mq-* kind for each steal radius.
+      spec->policies.clear();
+      for (const std::string& name : SplitOn(value, ',')) {
+        PolicyKind kind;
+        if (!PolicyKindFromStealName(name, &kind)) {
+          *error = "unknown steal policy '" + name + "'";
+          return false;
+        }
+        spec->policies.push_back(kind);
+      }
     } else if (key == "mpl-cap") {
       const int n = std::atoi(value.c_str());
       if (n < 0) {

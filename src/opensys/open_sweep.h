@@ -89,8 +89,10 @@ OpenSweepSpec OpenSysSmokeSpec();  // 2 policies x 2 rhos x poisson
 // Parses an open sweep spec string: a preset name ("opensys",
 // "opensys-smoke"), a "key=value;..." list, or a preset plus overrides.
 // Keys: policies, rhos (comma-separated), arrivals (comma-separated kinds),
-// count (arrivals per cell), reps, seed, procs, speed, cache, mpl-cap,
-// max-queue, warmup ("mser" or a fraction), burst (on/off burst factor).
+// count (arrivals per cell), reps, seed, procs, speed, cache, topology,
+// steal (comma-separated steal radii — sugar for the mq-* policy family),
+// mpl-cap, max-queue, warmup ("mser" or a fraction), burst (on/off burst
+// factor).
 bool ParseOpenSweepSpec(const std::string& text, OpenSweepSpec* spec, std::string* error);
 
 // Deterministic mean job demand in seconds of base-machine work: a fixed

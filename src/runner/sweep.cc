@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/apps/apps.h"
+#include "src/common/check.h"
 #include "src/common/time.h"
 #include "src/runner/cell_seed.h"
 #include "src/telemetry/json.h"
@@ -93,6 +94,27 @@ SweepSpec SmokeSpec() {
   return spec;
 }
 
+SweepSpec MqSpec() {
+  SweepSpec spec = BaseSpec();
+  spec.name = "mq";
+  spec.policies = {PolicyKind::kEquipartition};
+  for (PolicyKind kind : MqPolicyFamily()) {
+    spec.policies.push_back(kind);
+  }
+  spec.mixes = {PaperMixes()[0], PaperMixes()[4]};
+  spec.replication.min_replications = 2;
+  spec.replication.max_replications = 2;
+  spec.root_seed = 1000;
+  // 16 procs as 4-core clusters, 2 clusters per node: distance tiers 1, 2
+  // and 3 are all distinct, so every steal radius behaves differently.
+  std::string topo_error;
+  AFF_CHECK_MSG(ParseTopologySpec("numa-4x8,cores-per-cluster=4,clusters-per-node=2",
+                                  &spec.machine.topology, &topo_error),
+                topo_error.c_str());
+  spec.engine.balance_interval = Milliseconds(50);
+  return spec;
+}
+
 bool ParseSweepSpec(const std::string& text, SweepSpec* spec, std::string* error) {
   if (text.empty()) {
     *error = "empty sweep spec";
@@ -110,6 +132,8 @@ bool ParseSweepSpec(const std::string& text, SweepSpec* spec, std::string* error
       *spec = FutureSpec();
     } else if (preset == "smoke") {
       *spec = SmokeSpec();
+    } else if (preset == "mq") {
+      *spec = MqSpec();
     } else {
       *error = "unknown sweep preset '" + preset + "'";
       return false;
@@ -199,6 +223,25 @@ bool ParseSweepSpec(const std::string& text, SweepSpec* spec, std::string* error
         *error = "observability must be 0 or 1, got '" + value + "'";
         return false;
       }
+    } else if (key == "steal") {
+      // steal=nosteal,cluster,... — sugar for the multi-queue policy family:
+      // replaces the policy list with the mq-* kind for each steal radius.
+      spec->policies.clear();
+      for (const std::string& name : SplitOn(value, ',')) {
+        PolicyKind kind;
+        if (!PolicyKindFromStealName(name, &kind)) {
+          *error = "unknown steal policy '" + name + "'";
+          return false;
+        }
+        spec->policies.push_back(kind);
+      }
+    } else if (key == "balance-interval" || key == "balance_interval") {
+      const double ms = std::atof(value.c_str());
+      if (ms < 0) {
+        *error = "balance interval must be >= 0 ms";
+        return false;
+      }
+      spec->engine.balance_interval = Milliseconds(ms);
     } else if (key == "topology") {
       // topology=preset or topology=preset,key=value,... (comma-separated;
       // see src/topology). Cell seeds do not depend on the topology, so
@@ -234,10 +277,11 @@ const ExperimentResult* SweepResult::Find(PolicyKind policy, int mix_number) con
 
 namespace {
 
-// The per-tier blocks are emitted only for hierarchical topologies, so the
+// The per-tier blocks are emitted only for hierarchical topologies, and the
+// steal blocks only for grids containing a multi-queue policy, so the
 // flat-machine JSON stays byte-identical to the pre-topology schema (pinned
 // by tests/golden/).
-std::string StatsJson(const JobStats& stats, bool tiered) {
+std::string StatsJson(const JobStats& stats, bool tiered, bool mq) {
   std::ostringstream o;
   o << "{\"useful_work_s\":" << JsonNumber(stats.useful_work_s)
     << ",\"reload_stall_s\":" << JsonNumber(stats.reload_stall_s)
@@ -257,6 +301,12 @@ std::string StatsJson(const JobStats& stats, bool tiered) {
       << ",\"cross_node\":" << stats.migrations_cross_node << "}"
       << ",\"reload_llc_s\":" << JsonNumber(stats.reload_llc_s)
       << ",\"reload_remote_s\":" << JsonNumber(stats.reload_remote_s);
+  }
+  if (mq) {
+    o << ",\"steals\":{\"same_cluster\":" << stats.steals_same_cluster
+      << ",\"same_node\":" << stats.steals_same_node
+      << ",\"cross_node\":" << stats.steals_cross_node << "}"
+      << ",\"balance_migrations\":" << stats.balance_migrations;
   }
   o << "}";
   return o.str();
@@ -292,6 +342,10 @@ std::string SweepResult::ToJson() const {
     << ",\"confidence\":" << JsonNumber(spec.replication.confidence) << "}}";
 
   const bool tiered = !spec.machine.topology.IsFlat();
+  bool mq = false;
+  for (PolicyKind policy : spec.policies) {
+    mq = mq || IsMqPolicy(policy);
+  }
   o << ",\"experiments\":[";
   for (size_t e = 0; e < experiments.size(); ++e) {
     const ExperimentResult& experiment = experiments[e];
@@ -303,7 +357,7 @@ std::string SweepResult::ToJson() const {
       o << (j > 0 ? "," : "") << "{\"index\":" << j << ",\"app\":\"" << JsonEscape(rep.app[j])
         << "\",\"mean_response_s\":" << JsonNumber(rep.MeanResponse(j)) << ",\"ci_half_width_s\":"
         << JsonNumber(rep.response[j].ConfidenceHalfWidth(spec.replication.confidence))
-        << ",\"mean_stats\":" << StatsJson(rep.mean_stats[j], tiered) << "}";
+        << ",\"mean_stats\":" << StatsJson(rep.mean_stats[j], tiered, mq) << "}";
     }
     o << "],\"cells\":[";
     for (size_t c = 0; c < experiment.cells.size(); ++c) {

@@ -84,14 +84,23 @@ SweepSpec Fig5Spec();    // 4 policies x 6 mixes, adaptive reps 3-5, seed 1000
 SweepSpec Table3Spec();  // dynamic family x mix 5, adaptive reps 3-5, seed 555
 SweepSpec FutureSpec();  // 4 policies x 6 mixes, adaptive reps 3-4, seed 8000
 SweepSpec SmokeSpec();   // 3 policies x mixes {1,5}, fixed 2 reps, seed 1000
+// Equipartition + the MQMS steal family on a hierarchical machine (tiers 1-3
+// all distinct), mixes {1,5}, fixed 2 reps, seed 1000, 50ms balance ticks.
+// When the grid contains an mq-* policy, per-job mean_stats gain a
+// "steals":{"same_cluster","same_node","cross_node"} block and a
+// "balance_migrations" count; non-mq documents are byte-identical to before.
+SweepSpec MqSpec();
 
 // Parses a sweep spec string: either a preset name ("fig5", "table3",
-// "future", "smoke"), a "key=value;key=value" list, or a preset followed by
-// overrides ("fig5;reps=2;procs=8"). Keys: policies (comma-separated CLI
-// names), mixes (comma-separated Table 2 numbers), reps (N fixed or MIN-MAX
-// adaptive), precision, seed, procs, speed, cache, topology, observability
-// (0/1 — schema-v3 affinity-efficiency block). Returns false and sets
-// `error` on malformed input.
+// "future", "smoke", "mq"), a "key=value;key=value" list, or a preset
+// followed by overrides ("fig5;reps=2;procs=8"). Keys: policies
+// (comma-separated CLI names), mixes (comma-separated Table 2 numbers), reps
+// (N fixed or MIN-MAX adaptive), precision, seed, procs, speed, cache,
+// topology, observability (0/1 — schema-v3 affinity-efficiency block), steal
+// (comma-separated steal radii — nosteal/sibling/cluster/numa — sugar that
+// replaces the policy list with the matching mq-* kinds), balance-interval
+// (milliseconds between load-balance ticks, overriding the policy default).
+// Returns false and sets `error` on malformed input.
 bool ParseSweepSpec(const std::string& text, SweepSpec* spec, std::string* error);
 
 // One executed cell: a whole simulation at a derived seed.

@@ -3,6 +3,7 @@
 #include "src/common/check.h"
 #include "src/sched/dynamic.h"
 #include "src/sched/equipartition.h"
+#include "src/sched/multiqueue.h"
 #include "src/sched/timeshare.h"
 
 namespace affsched {
@@ -31,6 +32,14 @@ std::unique_ptr<Policy> MakePolicy(PolicyKind kind) {
       return std::make_unique<TimeSharePolicy>(TimeShareOptions{});
     case PolicyKind::kTimeShareAff:
       return std::make_unique<TimeSharePolicy>(TimeShareOptions{.use_affinity = true});
+    case PolicyKind::kMqNoSteal:
+      return std::make_unique<MultiQueuePolicy>(MultiQueueOptions{.steal_tier = 0});
+    case PolicyKind::kMqSibling:
+      return std::make_unique<MultiQueuePolicy>(MultiQueueOptions{.steal_tier = 1});
+    case PolicyKind::kMqCluster:
+      return std::make_unique<MultiQueuePolicy>(MultiQueueOptions{.steal_tier = 2});
+    case PolicyKind::kMqNuma:
+      return std::make_unique<MultiQueuePolicy>(MultiQueueOptions{.steal_tier = 3});
   }
   AFF_CHECK_MSG(false, "unknown policy kind");
 }
@@ -57,6 +66,14 @@ std::string PolicyKindCliName(PolicyKind kind) {
       return "timeshare";
     case PolicyKind::kTimeShareAff:
       return "timeshare-aff";
+    case PolicyKind::kMqNoSteal:
+      return "mq-nosteal";
+    case PolicyKind::kMqSibling:
+      return "mq-sibling";
+    case PolicyKind::kMqCluster:
+      return "mq-cluster";
+    case PolicyKind::kMqNuma:
+      return "mq-numa";
   }
   AFF_CHECK_MSG(false, "unknown policy kind");
 }
@@ -65,7 +82,9 @@ bool PolicyKindFromName(const std::string& name, PolicyKind* kind) {
   for (PolicyKind candidate :
        {PolicyKind::kEquipartition, PolicyKind::kDynamic, PolicyKind::kDynAff,
         PolicyKind::kDynAffNoPri, PolicyKind::kDynAffDelay, PolicyKind::kDynAffCluster,
-        PolicyKind::kDynAffNode, PolicyKind::kTimeShare, PolicyKind::kTimeShareAff}) {
+        PolicyKind::kDynAffNode, PolicyKind::kTimeShare, PolicyKind::kTimeShareAff,
+        PolicyKind::kMqNoSteal, PolicyKind::kMqSibling, PolicyKind::kMqCluster,
+        PolicyKind::kMqNuma}) {
     if (name == PolicyKindCliName(candidate)) {
       *kind = candidate;
       return true;
@@ -81,6 +100,42 @@ std::vector<PolicyKind> DynamicFamily() {
 std::vector<PolicyKind> TopologyPolicyFamily() {
   return {PolicyKind::kEquipartition, PolicyKind::kDynamic, PolicyKind::kDynAff,
           PolicyKind::kDynAffCluster, PolicyKind::kDynAffNode};
+}
+
+std::vector<PolicyKind> MqPolicyFamily() {
+  return {PolicyKind::kMqNoSteal, PolicyKind::kMqSibling, PolicyKind::kMqCluster,
+          PolicyKind::kMqNuma};
+}
+
+bool IsMqPolicy(PolicyKind kind) {
+  return kind == PolicyKind::kMqNoSteal || kind == PolicyKind::kMqSibling ||
+         kind == PolicyKind::kMqCluster || kind == PolicyKind::kMqNuma;
+}
+
+std::string StealPolicyName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kMqNoSteal:
+      return "nosteal";
+    case PolicyKind::kMqSibling:
+      return "sibling";
+    case PolicyKind::kMqCluster:
+      return "cluster";
+    case PolicyKind::kMqNuma:
+      return "numa";
+    default:
+      break;
+  }
+  AFF_CHECK_MSG(false, "not a multi-queue policy kind");
+}
+
+bool PolicyKindFromStealName(const std::string& name, PolicyKind* kind) {
+  for (PolicyKind candidate : MqPolicyFamily()) {
+    if (name == StealPolicyName(candidate)) {
+      *kind = candidate;
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace affsched

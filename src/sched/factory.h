@@ -21,6 +21,10 @@ enum class PolicyKind {
   kDynAffNode,
   kTimeShare,
   kTimeShareAff,
+  kMqNoSteal,
+  kMqSibling,
+  kMqCluster,
+  kMqNuma,
 };
 
 // Default hold time for Dyn-Aff-Delay.
@@ -36,7 +40,8 @@ std::string PolicyKindCliName(PolicyKind kind);
 
 // Parses the short command-line names used by simctl and the sweep specs
 // ("equi", "dynamic", "dyn-aff", "dyn-aff-nopri", "dyn-aff-delay",
-// "dyn-aff-cluster", "dyn-aff-node", "timeshare", "timeshare-aff").
+// "dyn-aff-cluster", "dyn-aff-node", "timeshare", "timeshare-aff",
+// "mq-nosteal", "mq-sibling", "mq-cluster", "mq-numa").
 // Returns false on an unknown name.
 bool PolicyKindFromName(const std::string& name, PolicyKind* kind);
 
@@ -46,6 +51,19 @@ std::vector<PolicyKind> DynamicFamily();
 // The line-up the topology experiments compare on hierarchical machines:
 // Equipartition, Dynamic, and the exact/cluster/node affinity variants.
 std::vector<PolicyKind> TopologyPolicyFamily();
+
+// The multi-queue (MQMS) steal-policy family, no-steal baseline first, then
+// by widening steal radius (src/sched/multiqueue.h).
+std::vector<PolicyKind> MqPolicyFamily();
+
+// True for the multi-queue kinds (they report per-tier steal/balance
+// counters the centralized policies never touch).
+bool IsMqPolicy(PolicyKind kind);
+
+// For a multi-queue kind, the `steal=` axis value ("nosteal", "sibling",
+// "cluster", "numa"); parses the reverse direction too.
+std::string StealPolicyName(PolicyKind kind);
+bool PolicyKindFromStealName(const std::string& name, PolicyKind* kind);
 
 }  // namespace affsched
 

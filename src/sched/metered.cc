@@ -9,7 +9,7 @@ MeteredPolicy::MeteredPolicy(std::unique_ptr<Policy> inner) : inner_(std::move(i
 void MeteredPolicy::AttachMetrics(MetricsRegistry* registry) {
   if (registry == nullptr) {
     on_arrival_ = on_departure_ = on_available_ = on_request_ = on_quantum_ = nullptr;
-    assignments_ = repartitions_ = nullptr;
+    on_balance_ = assignments_ = repartitions_ = nullptr;
     return;
   }
   on_arrival_ = registry->FindOrCreateCounter("policy.on_arrival");
@@ -17,6 +17,7 @@ void MeteredPolicy::AttachMetrics(MetricsRegistry* registry) {
   on_available_ = registry->FindOrCreateCounter("policy.on_available");
   on_request_ = registry->FindOrCreateCounter("policy.on_request");
   on_quantum_ = registry->FindOrCreateCounter("policy.on_quantum");
+  on_balance_ = registry->FindOrCreateCounter("policy.on_balance");
   assignments_ = registry->FindOrCreateCounter("policy.assignments");
   repartitions_ = registry->FindOrCreateCounter("policy.repartitions");
 }
@@ -57,6 +58,11 @@ PolicyDecision MeteredPolicy::OnRequest(const SchedView& view, JobId job) {
 PolicyDecision MeteredPolicy::OnQuantumExpiry(const SchedView& view, size_t proc) {
   ScopedTimer timer(profile_);
   return Account(on_quantum_, inner_->OnQuantumExpiry(view, proc));
+}
+
+PolicyDecision MeteredPolicy::OnBalanceTick(const SchedView& view) {
+  ScopedTimer timer(profile_);
+  return Account(on_balance_, inner_->OnBalanceTick(view));
 }
 
 }  // namespace affsched

@@ -25,8 +25,9 @@ class MeteredPolicy : public Policy {
   explicit MeteredPolicy(std::unique_ptr<Policy> inner);
 
   // Creates "policy.on_arrival", "policy.on_departure", "policy.on_available",
-  // "policy.on_request", "policy.on_quantum", "policy.assignments", and
-  // "policy.repartitions" counters in `registry`. Pass nullptr to detach.
+  // "policy.on_request", "policy.on_quantum", "policy.on_balance",
+  // "policy.assignments", and "policy.repartitions" counters in `registry`.
+  // Pass nullptr to detach.
   // The registry must outlive this policy.
   void AttachMetrics(MetricsRegistry* registry);
 
@@ -40,9 +41,11 @@ class MeteredPolicy : public Policy {
   PolicyDecision OnProcessorAvailable(const SchedView& view, size_t proc) override;
   PolicyDecision OnRequest(const SchedView& view, JobId job) override;
   PolicyDecision OnQuantumExpiry(const SchedView& view, size_t proc) override;
+  PolicyDecision OnBalanceTick(const SchedView& view) override;
   SimDuration YieldDelay() const override { return inner_->YieldDelay(); }
   bool UsesAffinity() const override { return inner_->UsesAffinity(); }
   SimDuration Quantum() const override { return inner_->Quantum(); }
+  SimDuration BalanceInterval() const override { return inner_->BalanceInterval(); }
 
  private:
   // Counts the decision's side (assignments / full repartition) and returns
@@ -55,6 +58,7 @@ class MeteredPolicy : public Policy {
   Counter* on_available_ = nullptr;
   Counter* on_request_ = nullptr;
   Counter* on_quantum_ = nullptr;
+  Counter* on_balance_ = nullptr;
   Counter* assignments_ = nullptr;
   Counter* repartitions_ = nullptr;
   ProfileSection* profile_ = nullptr;

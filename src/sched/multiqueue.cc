@@ -1,0 +1,224 @@
+#include "src/sched/multiqueue.h"
+
+#include <algorithm>
+
+namespace affsched {
+
+std::string MultiQueueOptions::PolicyName() const {
+  if (steal_tier == 0) {
+    return "MQ-NoSteal";
+  }
+  if (steal_tier == 1) {
+    return "MQ-Steal-Sibling";
+  }
+  if (steal_tier == 2) {
+    return "MQ-Steal-Cluster";
+  }
+  return "MQ-Steal-NUMA";
+}
+
+size_t MultiQueuePolicy::HomeOf(JobId job) const {
+  const auto it = home_.find(job);
+  return it == home_.end() ? kNoProcessor : it->second;
+}
+
+std::vector<size_t> MultiQueuePolicy::QueueLoads(const SchedView& view) const {
+  std::vector<size_t> loads(view.NumProcessors(), 0);
+  for (JobId j : view.ActiveJobs()) {
+    const auto it = home_.find(j);
+    if (it != home_.end() && it->second < loads.size()) {
+      ++loads[it->second];
+    }
+  }
+  return loads;
+}
+
+size_t MultiQueuePolicy::EnsureHome(const SchedView& view, JobId job) {
+  const auto it = home_.find(job);
+  if (it != home_.end()) {
+    return it->second;
+  }
+  // Least-loaded queue, lowest processor number on ties — deterministic and
+  // independent of the policy's observation order.
+  const std::vector<size_t> loads = QueueLoads(view);
+  size_t best = 0;
+  for (size_t p = 1; p < loads.size(); ++p) {
+    if (loads[p] < loads[best]) {
+      best = p;
+    }
+  }
+  home_[job] = best;
+  return best;
+}
+
+std::vector<JobId> MultiQueuePolicy::RankedRequesters(const SchedView& view) const {
+  std::vector<JobId> requesters;
+  for (JobId j : view.ActiveJobs()) {
+    if (view.PendingDemand(j) > 0) {
+      requesters.push_back(j);
+    }
+  }
+  std::stable_sort(requesters.begin(), requesters.end(), [&view](JobId a, JobId b) {
+    return view.Priority(a) > view.Priority(b);
+  });
+  return requesters;
+}
+
+PolicyDecision MultiQueuePolicy::OnJobArrival(const SchedView& view, JobId job) {
+  // Home the job on the least-loaded queue. The engine then drives the
+  // request loop for the arriving job's demand, which lands in OnRequest.
+  EnsureHome(view, job);
+  return {};
+}
+
+PolicyDecision MultiQueuePolicy::OnJobDeparture(const SchedView& /*view*/, JobId job) {
+  home_.erase(job);
+  return {};
+}
+
+PolicyDecision MultiQueuePolicy::OnProcessorAvailable(const SchedView& view, size_t proc) {
+  PolicyDecision decision;
+  const std::vector<JobId> requesters = RankedRequesters(view);
+  if (requesters.empty()) {
+    return decision;
+  }
+
+  // Serve the local queue first: the best-priority requester homed here.
+  // Never hand a willing-to-yield processor back to the job that yielded it.
+  for (JobId j : requesters) {
+    if (j != view.ProcessorJob(proc) && HomeOf(j) == proc) {
+      decision.assignments.push_back(Assignment{proc, j, kNoOwner, DecisionReason::kLocalQueue});
+      return decision;
+    }
+  }
+
+  // Local queue dry: steal, nearest tier first, within the steal radius. At
+  // each tier the victim is the requester whose reload transient at the thief
+  // is smallest — the job whose cache context is cheapest to rebuild here —
+  // with priority order breaking exact-cost ties.
+  for (size_t tier = 1; tier <= options_.steal_tier; ++tier) {
+    JobId victim = kInvalidJobId;
+    double victim_cost = 0.0;
+    for (JobId j : requesters) {
+      if (j == view.ProcessorJob(proc)) {
+        continue;
+      }
+      const size_t home = HomeOf(j);
+      if (home == kNoProcessor || view.DistanceTier(proc, home) != tier) {
+        continue;
+      }
+      const double cost = view.ReloadCostSeconds(j, proc);
+      if (victim == kInvalidJobId || cost < victim_cost) {
+        victim = j;
+        victim_cost = cost;
+      }
+    }
+    if (victim != kInvalidJobId) {
+      // Pull migration: the stolen job's queue entry follows it to the thief.
+      home_[victim] = proc;
+      decision.assignments.push_back(
+          Assignment{proc, victim, kNoOwner, DecisionReason::kSteal, tier});
+      return decision;
+    }
+  }
+  return decision;
+}
+
+PolicyDecision MultiQueuePolicy::OnRequest(const SchedView& view, JobId job) {
+  PolicyDecision decision;
+  if (view.PendingDemand(job) == 0) {
+    return decision;
+  }
+  const size_t home = EnsureHome(view, job);
+
+  // Push placement: the nearest free processor, home queue first. This side
+  // is deliberately unrestricted by steal_tier — a free processor plus unmet
+  // demand must always resolve, or the no-steal baseline deadlocks.
+  size_t best = kNoProcessor;
+  size_t best_tier = SIZE_MAX;
+  for (size_t p = 0; p < view.NumProcessors(); ++p) {
+    if (view.ProcessorJob(p) != kInvalidJobId) {
+      continue;
+    }
+    const size_t tier = view.DistanceTier(home, p);
+    if (tier < best_tier) {
+      best = p;
+      best_tier = tier;
+    }
+  }
+  if (best != kNoProcessor) {
+    const DecisionReason reason =
+        best == home ? DecisionReason::kLocalQueue : DecisionReason::kFreeProcessor;
+    decision.assignments.push_back(Assignment{best, job, kNoOwner, reason});
+    return decision;
+  }
+
+  // No free processor: take the nearest willing-to-yield one held by another
+  // job (a held-idle processor must not outlast unmet demand).
+  best_tier = SIZE_MAX;
+  for (size_t p = 0; p < view.NumProcessors(); ++p) {
+    const JobId holder = view.ProcessorJob(p);
+    if (holder == job || holder == kInvalidJobId || !view.WillingToYield(p)) {
+      continue;
+    }
+    const size_t tier = view.DistanceTier(home, p);
+    if (tier < best_tier) {
+      best = p;
+      best_tier = tier;
+    }
+  }
+  if (best != kNoProcessor) {
+    decision.assignments.push_back(
+        Assignment{best, job, kNoOwner, DecisionReason::kYieldHandoff});
+  }
+  return decision;
+}
+
+PolicyDecision MultiQueuePolicy::OnBalanceTick(const SchedView& view) {
+  PolicyDecision decision;
+  const std::vector<size_t> loads = QueueLoads(view);
+  if (loads.size() < 2) {
+    return decision;
+  }
+  size_t src = 0;
+  size_t dst = 0;
+  for (size_t p = 1; p < loads.size(); ++p) {
+    if (loads[p] > loads[src]) {
+      src = p;
+    }
+    if (loads[p] < loads[dst]) {
+      dst = p;
+    }
+  }
+  if (loads[src] < loads[dst] + 2) {
+    return decision;  // moving one job cannot improve the imbalance
+  }
+  // Migrate the source queue's cheapest-to-move job: smallest reload
+  // transient at the destination, lowest JobId on ties (home_ is ordered).
+  JobId mover = kInvalidJobId;
+  double mover_cost = 0.0;
+  for (const auto& [j, home] : home_) {
+    if (home != src) {
+      continue;
+    }
+    const double cost = view.ReloadCostSeconds(j, dst);
+    if (mover == kInvalidJobId || cost < mover_cost) {
+      mover = j;
+      mover_cost = cost;
+    }
+  }
+  if (mover == kInvalidJobId) {
+    return decision;
+  }
+  home_[mover] = dst;
+  // Realise the migration immediately only when it costs nothing to grant:
+  // the destination is free and the mover can use it now. Otherwise the
+  // re-homing alone redirects future local-queue dispatches.
+  if (view.ProcessorJob(dst) == kInvalidJobId && view.PendingDemand(mover) > 0) {
+    decision.assignments.push_back(
+        Assignment{dst, mover, kNoOwner, DecisionReason::kBalanceMigrate});
+  }
+  return decision;
+}
+
+}  // namespace affsched

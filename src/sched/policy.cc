@@ -4,4 +4,6 @@ namespace affsched {
 
 PolicyDecision Policy::OnQuantumExpiry(const SchedView& /*view*/, size_t /*proc*/) { return {}; }
 
+PolicyDecision Policy::OnBalanceTick(const SchedView& /*view*/) { return {}; }
+
 }  // namespace affsched

@@ -86,7 +86,22 @@ class SchedView {
   // topology; views without one distinguish only same (0) vs other (1), so
   // policies written against tiers degrade gracefully on flat machines.
   virtual size_t DistanceTier(size_t from, size_t to) const { return from == to ? 0 : 1; }
+
+  // Estimated reload transient `job` would pay to rebuild its working set on
+  // `proc`, in seconds: missing blocks x miss service time, evaluated for the
+  // job's next-to-run task (the same score the decision trace records per
+  // candidate). 0 when nothing would need reloading — including on views
+  // without a cache model, so cost-based victim selection degrades to
+  // first-candidate order rather than misbehaving.
+  virtual double ReloadCostSeconds(JobId job, size_t proc) const {
+    (void)job;
+    (void)proc;
+    return 0.0;
+  }
 };
+
+// Sentinel for Assignment::steal_tier: the assignment is not a steal.
+inline constexpr size_t kNoStealTier = static_cast<size_t>(-1);
 
 // Directive: give `proc` to `job`, preferring to dispatch `prefer_task` on it
 // (kNoOwner lets the engine pick, which itself prefers an affine worker).
@@ -97,6 +112,10 @@ struct Assignment {
   JobId job = kInvalidJobId;
   CacheOwner prefer_task = kNoOwner;
   DecisionReason reason = DecisionReason::kUnspecified;
+  // Distance tier the work was pulled across when this assignment is a steal
+  // (multi-queue policies); kNoStealTier otherwise. Provenance and per-tier
+  // steal accounting only — the engine realises the assignment identically.
+  size_t steal_tier = kNoStealTier;
 };
 
 struct PolicyDecision {
@@ -143,6 +162,14 @@ class Policy {
 
   // Called on quantum expiry for `proc` when Quantum() > 0.
   virtual PolicyDecision OnQuantumExpiry(const SchedView& view, size_t proc);
+
+  // Nonzero enables the periodic load-balance tick (multi-queue policies).
+  // EngineOptions::balance_interval overrides this per run when set.
+  virtual SimDuration BalanceInterval() const { return 0; }
+
+  // Called on each balance tick when balancing is enabled; may migrate work
+  // between local queues by returning assignments.
+  virtual PolicyDecision OnBalanceTick(const SchedView& view);
 };
 
 }  // namespace affsched

@@ -47,6 +47,12 @@ const char* DecisionReasonName(DecisionReason reason) {
       return "quantum_rotate";
     case DecisionReason::kDemandHandoff:
       return "demand_handoff";
+    case DecisionReason::kLocalQueue:
+      return "local_queue";
+    case DecisionReason::kSteal:
+      return "steal";
+    case DecisionReason::kBalanceMigrate:
+      return "balance";
   }
   return "unknown";
 }
@@ -67,6 +73,8 @@ const char* DecisionSiteName(DecisionSite site) {
       return "quantum_expiry";
     case DecisionSite::kReconcile:
       return "reconcile";
+    case DecisionSite::kBalanceTick:
+      return "balance_tick";
   }
   return "unknown";
 }

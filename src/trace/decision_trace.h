@@ -36,13 +36,16 @@ enum class DecisionReason : uint8_t {
   kRepartition,       // a full-target reconcile moved this processor
   kQuantumRotate,     // time-sharing quantum expiry rotation
   kDemandHandoff,     // largest-unmet-demand handoff (TimeShare baseline)
+  kLocalQueue,        // multi-queue: work served from the processor's own queue
+  kSteal,             // multi-queue: work pulled from another queue's home
+  kBalanceMigrate,    // multi-queue: periodic load-balance migration
 };
 
 const char* DecisionReasonName(DecisionReason reason);
 
 // Number of distinct DecisionReason values (for iteration in tests).
 inline constexpr size_t kNumDecisionReasons =
-    static_cast<size_t>(DecisionReason::kDemandHandoff) + 1;
+    static_cast<size_t>(DecisionReason::kBalanceMigrate) + 1;
 
 // Which engine decision point produced the record.
 enum class DecisionSite : uint8_t {
@@ -53,12 +56,13 @@ enum class DecisionSite : uint8_t {
   kRequest,
   kQuantumExpiry,
   kReconcile,
+  kBalanceTick,
 };
 
 const char* DecisionSiteName(DecisionSite site);
 
 inline constexpr size_t kNumDecisionSites =
-    static_cast<size_t>(DecisionSite::kReconcile) + 1;
+    static_cast<size_t>(DecisionSite::kBalanceTick) + 1;
 
 // One candidate processor's affinity score breakdown at decision time.
 struct DecisionCandidate {

@@ -75,9 +75,21 @@ struct JobStats {
   double reload_llc_s = 0.0;
   double reload_remote_s = 0.0;
 
+  // Multi-queue (MQMS) policies only: times this job was pulled off another
+  // processor's queue, by the distance tier the steal crossed, plus periodic
+  // load-balance migrations. All zero under the centralized policies.
+  uint64_t steals_same_cluster = 0;
+  uint64_t steals_same_node = 0;
+  uint64_t steals_cross_node = 0;
+  uint64_t balance_migrations = 0;
+
   uint64_t TotalMigrations() const {
     return migrations_same_core + migrations_same_cluster + migrations_same_node +
            migrations_cross_node;
+  }
+
+  uint64_t TotalSteals() const {
+    return steals_same_cluster + steals_same_node + steals_cross_node;
   }
 
   double ResponseSeconds() const {

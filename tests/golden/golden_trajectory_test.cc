@@ -95,5 +95,23 @@ TEST(GoldenTrajectoryTest, CmpTopologySmoke) {
   RunGoldenCase("smoke;topology=cmp-2x10", "sweep_smoke_cmp2x10.json");
 }
 
+// The MQMS preset: Equipartition plus every steal radius of the multi-queue
+// family on a NUMA machine with 50 ms balance ticks. Pins the per-queue
+// dispatch trajectory, the steal/balance counters and their JSON blocks.
+TEST(GoldenTrajectoryTest, MqSeed1000) { RunGoldenCase("mq", "sweep_mq_seed1000.json"); }
+
+// Worker-count invariance for the mq preset: five workers must reproduce the
+// two-worker golden byte for byte (cell seeds come from DeriveCellSeed, so
+// scheduling order cannot leak into the document).
+TEST(GoldenTrajectoryTest, MqSeed1000AtFiveWorkers) {
+  SweepSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseSweepSpec("mq", &spec, &error)) << error;
+  SweepRunnerOptions options;
+  options.jobs = 5;
+  const SweepResult result = SweepRunner(options).Run(spec);
+  ExpectBytesIdentical(result.ToJson() + "\n", ReadGolden("sweep_mq_seed1000.json"));
+}
+
 }  // namespace
 }  // namespace affsched

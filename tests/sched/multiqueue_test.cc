@@ -1,0 +1,283 @@
+// The multi-queue (MQMS) family: queue homing, local-first dispatch,
+// distance-tier-limited affinity-aware stealing, push placement, and the
+// periodic balance tick.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/sched/factory.h"
+#include "src/sched/multiqueue.h"
+#include "src/topology/topology.h"
+#include "tests/sched/fake_view.h"
+
+namespace affsched {
+namespace {
+
+// FakeSchedView over a real Topology plus a programmable reload-cost table:
+// 8 processors as clusters of 2, two clusters per node, exercises tiers 0-3.
+class StealView : public FakeSchedView {
+ public:
+  StealView(size_t num_procs, size_t cores_per_cluster, size_t clusters_per_node)
+      : FakeSchedView(num_procs),
+        topology_(MakeSpec(cores_per_cluster, clusters_per_node), num_procs) {}
+
+  size_t DistanceTier(size_t from, size_t to) const override {
+    return topology_.TierBetween(from, to);
+  }
+
+  double ReloadCostSeconds(JobId job, size_t proc) const override {
+    const auto it = reload_cost.find({job, proc});
+    return it == reload_cost.end() ? 0.0 : it->second;
+  }
+
+  std::map<std::pair<JobId, size_t>, double> reload_cost;
+
+ private:
+  static TopologySpec MakeSpec(size_t cores_per_cluster, size_t clusters_per_node) {
+    TopologySpec spec;
+    spec.name = "test";
+    spec.cores_per_cluster = cores_per_cluster;
+    spec.clusters_per_node = clusters_per_node;
+    return spec;
+  }
+  Topology topology_;
+};
+
+MultiQueuePolicy Mq(size_t steal_tier) {
+  return MultiQueuePolicy(MultiQueueOptions{.steal_tier = steal_tier});
+}
+
+TEST(MultiQueueTest, NamesMatchTheStealRadii) {
+  EXPECT_EQ(Mq(0).name(), "MQ-NoSteal");
+  EXPECT_EQ(Mq(1).name(), "MQ-Steal-Sibling");
+  EXPECT_EQ(Mq(2).name(), "MQ-Steal-Cluster");
+  EXPECT_EQ(Mq(3).name(), "MQ-Steal-NUMA");
+}
+
+TEST(MultiQueueTest, CliNamesRoundTrip) {
+  for (PolicyKind kind : MqPolicyFamily()) {
+    PolicyKind parsed;
+    ASSERT_TRUE(PolicyKindFromName(PolicyKindCliName(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+    EXPECT_TRUE(IsMqPolicy(kind));
+  }
+  EXPECT_FALSE(IsMqPolicy(PolicyKind::kDynAff));
+}
+
+TEST(MultiQueueTest, StealNamesMapToTheFamily) {
+  const std::vector<std::string> names = {"nosteal", "sibling", "cluster", "numa"};
+  for (size_t i = 0; i < names.size(); ++i) {
+    PolicyKind kind;
+    ASSERT_TRUE(PolicyKindFromStealName(names[i], &kind)) << names[i];
+    EXPECT_EQ(StealPolicyName(kind), names[i]);
+  }
+  PolicyKind kind;
+  EXPECT_FALSE(PolicyKindFromStealName("everywhere", &kind));
+}
+
+TEST(MultiQueueTest, ArrivalsSpreadOverLeastLoadedQueues) {
+  StealView view(4, 2, 0);
+  MultiQueuePolicy policy = Mq(0);
+  std::vector<JobId> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1}));
+    policy.OnJobArrival(view, jobs.back());
+  }
+  // Least-loaded with lowest-index ties: one job per queue, in order.
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(policy.HomeOf(jobs[i]), i);
+  }
+  policy.OnJobDeparture(view, jobs[0]);
+  EXPECT_EQ(policy.HomeOf(jobs[0]), kNoProcessor);
+}
+
+TEST(MultiQueueTest, LocalQueueServedBeforeAnySteal) {
+  StealView view(4, 2, 0);
+  MultiQueuePolicy policy = Mq(3);
+  const JobId remote = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1,
+                                    .priority = 5.0});
+  const JobId local = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1});
+  policy.OnJobArrival(view, remote);  // homes at 0
+  policy.OnJobArrival(view, local);   // homes at 1
+  const auto decision = policy.OnProcessorAvailable(view, 1);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(decision.assignments[0].job, local);
+  EXPECT_EQ(decision.assignments[0].reason, DecisionReason::kLocalQueue);
+  EXPECT_EQ(decision.assignments[0].steal_tier, kNoStealTier);
+}
+
+TEST(MultiQueueTest, NoStealBaselineLeavesRemoteWorkAlone) {
+  StealView view(4, 2, 0);
+  MultiQueuePolicy policy = Mq(0);
+  const JobId job = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1});
+  policy.OnJobArrival(view, job);  // homes at 0
+  EXPECT_TRUE(policy.OnProcessorAvailable(view, 1).assignments.empty());
+  EXPECT_TRUE(policy.OnProcessorAvailable(view, 3).assignments.empty());
+}
+
+TEST(MultiQueueTest, StealStopsAtTheRadius) {
+  // 8 procs, clusters of 2, 2 clusters per node: from proc 0 the victim's
+  // home 2 is tier 2 (same node, other cluster) and 4 is tier 3.
+  MultiQueuePolicy sibling = Mq(1);
+  MultiQueuePolicy cluster = Mq(2);
+  for (MultiQueuePolicy* policy : {&sibling, &cluster}) {
+    StealView v(8, 2, 2);
+    const JobId a = v.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1});
+    const JobId b = v.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1});
+    const JobId c = v.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1});
+    policy->OnJobArrival(v, a);  // home 0
+    policy->OnJobArrival(v, b);  // home 1
+    policy->OnJobArrival(v, c);  // home 2
+    // Occupy the tier-1 sibling's job so only the tier-2 victim remains.
+    v.jobs[a].demand = 0;
+    v.jobs[b].demand = 0;
+    const auto decision = policy->OnProcessorAvailable(v, 0);
+    if (policy == &sibling) {
+      EXPECT_TRUE(decision.assignments.empty());  // tier 2 is out of range
+    } else {
+      ASSERT_EQ(decision.assignments.size(), 1u);
+      EXPECT_EQ(decision.assignments[0].job, c);
+      EXPECT_EQ(decision.assignments[0].reason, DecisionReason::kSteal);
+      EXPECT_EQ(decision.assignments[0].steal_tier, 2u);
+      EXPECT_EQ(policy->HomeOf(c), 0u);  // pull migration re-homes the victim
+    }
+  }
+}
+
+TEST(MultiQueueTest, NearerVictimBeatsCheaperFartherOne) {
+  StealView view(8, 2, 2);
+  MultiQueuePolicy policy = Mq(3);
+  const JobId a = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 0});
+  const JobId near = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1});
+  const JobId far = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1});
+  policy.OnJobArrival(view, a);     // home 0
+  policy.OnJobArrival(view, near);  // home 1: tier 1 from proc 0
+  policy.OnJobArrival(view, far);   // home 2: tier 2 from proc 0
+  view.reload_cost[{near, 0}] = 10.0;
+  view.reload_cost[{far, 0}] = 0.1;
+  const auto decision = policy.OnProcessorAvailable(view, 0);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(decision.assignments[0].job, near);
+  EXPECT_EQ(decision.assignments[0].steal_tier, 1u);
+}
+
+TEST(MultiQueueTest, VictimWithSmallestReloadCostWinsWithinATier) {
+  // Both victims are tier 3 from the thief (procs 4 and 6 seen from 0): the
+  // one whose working set is cheaper to rebuild at the thief is stolen.
+  StealView view(8, 2, 2);
+  MultiQueuePolicy policy = Mq(3);
+  std::vector<JobId> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back(view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 0}));
+    policy.OnJobArrival(view, jobs.back());  // one job per queue
+  }
+  view.jobs[jobs[4]].demand = 1;
+  view.jobs[jobs[6]].demand = 1;
+  view.reload_cost[{jobs[4], 0}] = 3.0;
+  view.reload_cost[{jobs[6], 0}] = 1.0;
+  const auto decision = policy.OnProcessorAvailable(view, 0);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(decision.assignments[0].job, jobs[6]);
+  EXPECT_EQ(decision.assignments[0].steal_tier, 3u);
+}
+
+TEST(MultiQueueTest, RequestTakesTheNearestFreeProcessorFromHome) {
+  StealView view(8, 2, 2);
+  MultiQueuePolicy policy = Mq(0);
+  const JobId job = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1});
+  policy.OnJobArrival(view, job);  // home 0
+  const JobId other = view.AddJob({.allocation = 2, .max_parallelism = 8});
+  view.procs[0].holder = other;
+  view.procs[1].holder = other;
+  // Free procs: 2 (tier 2 from home) and 4 (tier 3): the nearer one wins,
+  // even under the no-steal policy — push placement ignores the radius.
+  for (size_t p = 5; p < 8; ++p) {
+    view.procs[p].holder = other;
+  }
+  const auto decision = policy.OnRequest(view, job);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(decision.assignments[0].proc, 2u);
+  EXPECT_EQ(decision.assignments[0].reason, DecisionReason::kFreeProcessor);
+}
+
+TEST(MultiQueueTest, RequestPrefersTheHomeQueueItself) {
+  StealView view(4, 2, 0);
+  MultiQueuePolicy policy = Mq(0);
+  const JobId job = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1});
+  policy.OnJobArrival(view, job);  // home 0, and proc 0 is free
+  const auto decision = policy.OnRequest(view, job);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(decision.assignments[0].proc, 0u);
+  EXPECT_EQ(decision.assignments[0].reason, DecisionReason::kLocalQueue);
+}
+
+TEST(MultiQueueTest, RequestFallsBackToNearestWillingYielder) {
+  StealView view(4, 2, 0);
+  MultiQueuePolicy policy = Mq(0);
+  const JobId job = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1});
+  policy.OnJobArrival(view, job);  // home 0
+  const JobId other = view.AddJob({.allocation = 4, .max_parallelism = 8});
+  for (size_t p = 0; p < 4; ++p) {
+    view.procs[p].holder = other;
+  }
+  view.procs[3].willing = true;
+  const auto decision = policy.OnRequest(view, job);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(decision.assignments[0].proc, 3u);
+  EXPECT_EQ(decision.assignments[0].reason, DecisionReason::kYieldHandoff);
+}
+
+TEST(MultiQueueTest, BalanceTickMovesOneJobFromLongestToShortestQueue) {
+  StealView view(2, 2, 0);
+  MultiQueuePolicy policy = Mq(0);
+  std::vector<JobId> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1}));
+    policy.OnJobArrival(view, jobs.back());  // homes alternate 0,1,0,1
+  }
+  // Drain queue 1: its two jobs depart, leaving loads {2, 0}.
+  for (JobId j : {jobs[1], jobs[3]}) {
+    policy.OnJobDeparture(view, j);
+    view.order.erase(std::find(view.order.begin(), view.order.end(), j));
+    view.jobs.erase(j);
+  }
+  // The mover is the source job with the smallest reload cost at queue 1.
+  view.reload_cost[{jobs[0], 1}] = 5.0;
+  view.reload_cost[{jobs[2], 1}] = 1.0;
+  const auto decision = policy.OnBalanceTick(view);
+  ASSERT_EQ(decision.assignments.size(), 1u);
+  EXPECT_EQ(decision.assignments[0].proc, 1u);
+  EXPECT_EQ(decision.assignments[0].job, jobs[2]);
+  EXPECT_EQ(decision.assignments[0].reason, DecisionReason::kBalanceMigrate);
+  EXPECT_EQ(policy.HomeOf(jobs[2]), 1u);
+  EXPECT_EQ(policy.HomeOf(jobs[0]), 0u);
+}
+
+TEST(MultiQueueTest, BalanceTickSkipsWhenMovingCannotHelp) {
+  StealView view(2, 2, 0);
+  MultiQueuePolicy policy = Mq(0);
+  const JobId a = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1});
+  const JobId b = view.AddJob({.allocation = 0, .max_parallelism = 8, .demand = 1});
+  policy.OnJobArrival(view, a);
+  policy.OnJobArrival(view, b);
+  // Loads {1, 1}: perfectly balanced — and a 1-0 split would only swap the
+  // imbalance, so both stay put.
+  EXPECT_TRUE(policy.OnBalanceTick(view).assignments.empty());
+  EXPECT_EQ(policy.HomeOf(a), 0u);
+  EXPECT_EQ(policy.HomeOf(b), 1u);
+}
+
+TEST(MultiQueueTest, FactoryBuildsTheFamily) {
+  EXPECT_EQ(MakePolicy(PolicyKind::kMqNoSteal)->name(), "MQ-NoSteal");
+  EXPECT_EQ(MakePolicy(PolicyKind::kMqSibling)->name(), "MQ-Steal-Sibling");
+  EXPECT_EQ(MakePolicy(PolicyKind::kMqCluster)->name(), "MQ-Steal-Cluster");
+  EXPECT_EQ(MakePolicy(PolicyKind::kMqNuma)->name(), "MQ-Steal-NUMA");
+  EXPECT_TRUE(MakePolicy(PolicyKind::kMqNuma)->UsesAffinity());
+}
+
+}  // namespace
+}  // namespace affsched

@@ -2,6 +2,7 @@
 """Compare a sweep-runner BENCH json against the committed baseline.
 
 Usage: tools/bench_compare.py CURRENT.json BASELINE.json [--tolerance 0.10]
+       tools/bench_compare.py --subset CURRENT.json BASELINE.json
        tools/bench_compare.py --microbench GBENCH.json BASELINE.json
 
 Default mode: both files are `simctl --sweep` output (schema_version 1) or
@@ -24,6 +25,16 @@ With a deterministic sweep (fixed replication count, derived per-cell
 seeds) the expected drift is exactly zero, so any nonzero delta means the
 simulation changed; the tolerance only forgives intentional, reviewed
 model changes that come with a baseline refresh.
+
+--subset mode (closed sweeps only): CURRENT ran a slice of BASELINE's
+grid — e.g. the CI policy matrix runs `mq;steal=<name>` one steal policy
+at a time against the full committed mq golden. The spec gate relaxes to
+"CURRENT's policies and mixes are subsets of BASELINE's" (name, seed and
+machine must still match), and only the keys present in CURRENT are
+value-compared; a current key absent from the baseline still fails. Cell
+seeds derive from (root_seed, mix, rep) alone, so a subset run reproduces
+the full run's trajectories exactly and the same zero-drift expectation
+applies.
 
 --microbench mode: GBENCH.json is Google Benchmark output
 (`bench_sim_microbench --benchmark_out=... --benchmark_out_format=json`,
@@ -65,6 +76,26 @@ def spec_key(doc):
         tuple(spec["mixes"]),
         spec["machine"]["procs"],
     )
+
+
+def subset_spec_failure(current, baseline):
+    """Spec check for --subset: same grid, but a slice of policies/mixes."""
+    cur, base = current["spec"], baseline["spec"]
+    problems = []
+    for field, c, b in (
+        ("name", cur["name"].split(";")[0], base["name"].split(";")[0]),
+        ("root_seed", cur["root_seed"], base["root_seed"]),
+        ("procs", cur["machine"]["procs"], base["machine"]["procs"]),
+    ):
+        if c != b:
+            problems.append(f"{field} {c!r} vs baseline {b!r}")
+    for field in ("policies", "mixes"):
+        extra = set(cur[field]) - set(base[field])
+        if extra:
+            problems.append(f"{field} {sorted(extra)} not in baseline {base[field]}")
+    if problems:
+        return "spec mismatch (--subset): " + "; ".join(problems)
+    return None
 
 
 def ratio_map(doc):
@@ -207,6 +238,10 @@ def main():
                         help="max allowed relative drift (default 0.10)")
     parser.add_argument("--max-ratio", type=float, default=1.10,
                         help="sanity bound on policy-vs-equi response ratios")
+    parser.add_argument("--subset", action="store_true",
+                        help="CURRENT ran a slice of BASELINE's grid: allow "
+                             "policies/mixes to be subsets and gate only the "
+                             "keys CURRENT produced (closed sweeps only)")
     parser.add_argument("--microbench", action="store_true",
                         help="treat CURRENT as Google Benchmark JSON and gate "
                              "items/sec against BASELINE's floors")
@@ -225,17 +260,28 @@ def main():
         sys.exit("mode mismatch: one file is an open sweep (schema 2), the "
                  "other a closed sweep (schema 1)")
     if is_open(current):
+        if args.subset:
+            sys.exit("--subset is only supported for closed sweeps")
         return compare_open(current, baseline, args)
 
     failures = []
-    if spec_key(current) != spec_key(baseline):
+    if args.subset:
+        mismatch = subset_spec_failure(current, baseline)
+        if mismatch:
+            failures.append(mismatch)
+    elif spec_key(current) != spec_key(baseline):
         failures.append(
             f"spec mismatch: current {spec_key(current)} vs baseline {spec_key(baseline)}")
 
     cur_ratios, base_ratios = ratio_map(current), ratio_map(baseline)
-    for key in sorted(base_ratios):
+    # --subset gates the keys CURRENT produced; full mode demands every
+    # baseline key shows up in the current run.
+    for key in sorted(cur_ratios if args.subset else base_ratios):
         if key not in cur_ratios:
             failures.append(f"ratio missing from current run: {key}")
+            continue
+        if key not in base_ratios:
+            failures.append(f"ratio not in baseline: {key}")
             continue
         base, cur = base_ratios[key], cur_ratios[key]
         drift = abs(cur - base) / abs(base) if base else abs(cur)
@@ -250,9 +296,12 @@ def main():
                 f"ratio {key}: {cur:.4f} exceeds sanity bound {args.max_ratio}")
 
     cur_resp, base_resp = response_map(current), response_map(baseline)
-    for key in sorted(base_resp):
+    for key in sorted(cur_resp if args.subset else base_resp):
         if key not in cur_resp:
             failures.append(f"experiment missing from current run: {key}")
+            continue
+        if key not in base_resp:
+            failures.append(f"experiment not in baseline: {key}")
             continue
         base, cur = base_resp[key], cur_resp[key]
         drift = abs(cur - base) / base
@@ -266,8 +315,11 @@ def main():
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print(f"\nOK: {len(base_ratios)} ratios and {len(base_resp)} response times "
-          f"within {args.tolerance:.0%} of baseline")
+    gated_ratios = len(cur_ratios if args.subset else base_ratios)
+    gated_resp = len(cur_resp if args.subset else base_resp)
+    scope = " (subset)" if args.subset else ""
+    print(f"\nOK: {gated_ratios} ratios and {gated_resp} response times "
+          f"within {args.tolerance:.0%} of baseline{scope}")
     return 0
 
 

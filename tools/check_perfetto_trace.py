@@ -2,8 +2,8 @@
 """Validate an exported Chrome/Perfetto trace-event JSON file.
 
 Usage:
-  tools/check_perfetto_trace.py TRACE.json [--require-decisions]
-  tools/check_perfetto_trace.py --run-simctl PATH/TO/simctl
+  tools/check_perfetto_trace.py TRACE.json [--require-decisions] [--require-steals]
+  tools/check_perfetto_trace.py --run-simctl PATH/TO/simctl [--steals]
 
 A minimal schema check for the files ChromeTraceWriter emits (simctl
 --chrome-trace): enough structure that chrome://tracing and Perfetto will
@@ -21,10 +21,18 @@ With --require-decisions the file must additionally carry the decision
 provenance layer: a pid-3 scheduler process with at least one "decision"
 slice, at least one flow start, and at least one flow finish.
 
+With --require-steals (implies the decision checks) the trace must carry
+multi-queue steal provenance: at least one "decision" slice whose name is
+the "steal" reason code, each such slice carrying a "site" arg and paired
+with a flow start on the same (pid, tid, ts) — the arrow from the steal
+decision to the dispatch it caused.
+
 --run-simctl builds the fixture itself: it runs the given simctl binary in
 a temp directory with --chrome-trace/--decision-trace/--spans, then
-validates the result with --require-decisions. This is what the tier-1
-ctest uses. Exit status: 0 valid, 1 invalid, 2 usage/IO error.
+validates the result with --require-decisions. With --steals it runs the
+mq-numa steal policy on the hierarchical mq-preset machine instead and
+validates with --require-steals. This is what the tier-1 ctests use.
+Exit status: 0 valid, 1 invalid, 2 usage/IO error.
 
 Stdlib only; no third-party dependencies.
 """
@@ -52,8 +60,9 @@ REQUIRED_KEYS = {
 }
 
 
-def validate(doc, require_decisions=False):
+def validate(doc, require_decisions=False, require_steals=False):
     """Returns a list of problem strings; empty means the trace is valid."""
+    require_decisions = require_decisions or require_steals
     problems = []
     if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
         return ['top level must be an object with a "traceEvents" array']
@@ -64,6 +73,8 @@ def validate(doc, require_decisions=False):
     depth = {}       # (pid, tid) -> open B count
     last_ts = {}     # (pid, tid) -> last B/E timestamp
     flow_starts, flow_finishes = set(), set()
+    flow_start_sites = set()     # (pid, tid, ts) of each flow start
+    steal_slices = []            # (index, (pid, tid, ts)) of "steal" decisions
     pids = set()
     decision_slices = 0
 
@@ -106,10 +117,19 @@ def validate(doc, require_decisions=False):
                 problems.append(f"{where}: X slice dur must be >= 0, got {dur!r}")
             if ev.get("cat") == "decision":
                 decision_slices += 1
+                if ev.get("name") == "steal":
+                    steal_slices.append((i, track + (ts,)))
+                    args_obj = ev.get("args")
+                    if not isinstance(args_obj, dict) or \
+                            not isinstance(args_obj.get("site"), str):
+                        problems.append(
+                            f'{where}: steal decision slice must carry a '
+                            f'"site" string in args')
         if ph == "f" and ev.get("bp") != "e":
             problems.append(f'{where}: flow finish must use "bp":"e", got {ev.get("bp")!r}')
         if ph == "s":
             flow_starts.add(ev.get("id"))
+            flow_start_sites.add(track + (ts,))
         if ph == "f":
             flow_finishes.add(ev.get("id"))
 
@@ -132,17 +152,27 @@ def validate(doc, require_decisions=False):
         if not flow_finishes:
             problems.append("decision layer required but no flow finishes found")
 
+    if require_steals:
+        if not steal_slices:
+            problems.append(
+                'steal provenance required but no "steal" decision slices found')
+        for i, site in steal_slices:
+            if site not in flow_start_sites:
+                problems.append(
+                    f"traceEvents[{i}]: steal decision slice has no flow start "
+                    f"on its (pid, tid, ts) {site}")
+
     return problems
 
 
-def check_file(path, require_decisions):
+def check_file(path, require_decisions, require_steals=False):
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"{path}: {e}", file=sys.stderr)
         return 2
-    problems = validate(doc, require_decisions)
+    problems = validate(doc, require_decisions, require_steals)
     if problems:
         print(f"{path}: INVALID — {len(problems)} problem(s):", file=sys.stderr)
         for p in problems[:25]:
@@ -156,12 +186,21 @@ def check_file(path, require_decisions):
     return 0
 
 
-def run_simctl(binary):
+def run_simctl(binary, steals=False):
     with tempfile.TemporaryDirectory(prefix="affsched-trace-") as tmp:
         tmp = Path(tmp)
         trace = tmp / "trace.json"
+        if steals:
+            # The mq-preset machine: widest steal radius on the hierarchical
+            # topology, so the trace carries tier-1..3 steal decisions.
+            scenario = [
+                "--mix=5", "--policy=mq-numa", "--procs=16", "--seed=42",
+                "--topology=numa-4x8,cores-per-cluster=4,clusters-per-node=2",
+            ]
+        else:
+            scenario = ["--mix=5", "--policy=dyn-aff", "--procs=16", "--seed=42"]
         cmd = [
-            binary, "--mix=5", "--policy=dyn-aff", "--procs=16", "--seed=42",
+            binary, *scenario,
             f"--chrome-trace={trace}",
             f"--decision-trace={tmp / 'decisions.jsonl'}",
             f"--spans={tmp / 'spans.jsonl'}",
@@ -175,7 +214,7 @@ def run_simctl(binary):
             if not (tmp / side).stat().st_size:
                 print(f"{side}: empty sidecar output", file=sys.stderr)
                 return 1
-        return check_file(trace, require_decisions=True)
+        return check_file(trace, require_decisions=True, require_steals=steals)
 
 
 def main():
@@ -183,16 +222,23 @@ def main():
     parser.add_argument("trace", nargs="?", help="trace-event JSON file to check")
     parser.add_argument("--require-decisions", action="store_true",
                         help="fail unless the decision provenance layer is present")
+    parser.add_argument("--require-steals", action="store_true",
+                        help="fail unless the trace carries paired 'steal' "
+                             "decision slices (implies --require-decisions)")
     parser.add_argument("--run-simctl", metavar="BINARY",
                         help="run this simctl binary to produce the trace, then "
                              "validate it with --require-decisions")
+    parser.add_argument("--steals", action="store_true",
+                        help="with --run-simctl: run the mq-numa steal policy "
+                             "on the hierarchical machine and validate with "
+                             "--require-steals")
     args = parser.parse_args()
 
     if args.run_simctl:
-        return run_simctl(args.run_simctl)
+        return run_simctl(args.run_simctl, steals=args.steals)
     if not args.trace:
         parser.error("either TRACE.json or --run-simctl is required")
-    return check_file(args.trace, args.require_decisions)
+    return check_file(args.trace, args.require_decisions, args.require_steals)
 
 
 if __name__ == "__main__":
