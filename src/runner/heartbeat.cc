@@ -70,6 +70,15 @@ void HeartbeatWriter::OnProgress(size_t completed, size_t total) {
   WriteLine(line);
 }
 
+void HeartbeatWriter::Custom(const std::string& kind, const std::string& members_json) {
+  std::string line = "{\"kind\":\"" + JsonEscape(kind) + "\",\"seq\":" + std::to_string(seq_++);
+  if (!members_json.empty()) {
+    line += "," + members_json;
+  }
+  line += "}";
+  WriteLine(line);
+}
+
 void HeartbeatWriter::Finish(size_t completed, double wall_s) {
   std::string line = "{\"kind\":\"done\",\"seq\":" + std::to_string(seq_++);
   line += ",\"completed\":" + std::to_string(completed);

@@ -61,6 +61,12 @@ class HeartbeatWriter {
   // {"kind":"done","completed":...,"wall_s":...} — emit once after work.
   void Finish(size_t completed, double wall_s);
 
+  // {"kind":"<kind>",<members>} — extension point for subsystems that reuse
+  // the heartbeat stream with their own record shapes (the serve daemon
+  // appends "cache" lines with hit/miss counters). `members_json` is the
+  // caller's comma-joined `"key":value` list, already valid JSON.
+  void Custom(const std::string& kind, const std::string& members_json);
+
  private:
   void WriteLine(const std::string& line);
 

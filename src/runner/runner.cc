@@ -42,7 +42,7 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
 
   auto run_cell = options_.run_cell;
   if (!run_cell) {
-    run_cell = [](const MachineConfig& machine, PolicyKind policy,
+    run_cell = [](const SweepCellRef&, const MachineConfig& machine, PolicyKind policy,
                   const std::vector<AppProfile>& jobs, uint64_t seed,
                   const EngineOptions& engine_options) {
       return RunOnce(machine, policy, jobs, seed, engine_options);
@@ -94,16 +94,37 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
 
     // Execute the round. Cell results land in slots indexed by batch
     // position, so the fold below runs in deterministic order no matter
-    // which worker finished first.
+    // which worker finished first. The cache probe runs first, on the
+    // orchestration thread: hits fill their slots directly and only the
+    // misses go to the pool. Neither path can change the fold order, so
+    // caching is invisible to the stopping rule and the serialized result.
     std::vector<RunResult> round(batch.size());
-    const auto round_start = std::chrono::steady_clock::now();
-    pool.ParallelFor(batch.size(), [&](size_t i) {
+    std::vector<SweepCellRef> refs(batch.size());
+    std::vector<char> from_cache(batch.size(), 0);
+    std::vector<size_t> todo;
+    todo.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
       const PendingCell& cell = batch[i];
       const ExperimentState& experiment = experiments[cell.experiment];
       const WorkloadMix& mix = spec.mixes[experiment.mix_index];
-      const uint64_t seed = DeriveCellSeed(spec.root_seed, mix.number, cell.replication);
-      round[i] = run_cell(spec.machine, experiment.policy, mix_jobs[experiment.mix_index], seed,
+      refs[i] = SweepCellRef{experiment.policy, mix.number, experiment.mix_index,
+                             cell.replication,
+                             DeriveCellSeed(spec.root_seed, mix.number, cell.replication)};
+      if (options_.probe_cell && options_.probe_cell(refs[i], &round[i])) {
+        from_cache[i] = 1;
+      } else {
+        todo.push_back(i);
+      }
+    }
+    const auto round_start = std::chrono::steady_clock::now();
+    pool.ParallelFor(todo.size(), [&](size_t k) {
+      const size_t i = todo[k];
+      const SweepCellRef& ref = refs[i];
+      round[i] = run_cell(ref, spec.machine, ref.policy, mix_jobs[ref.mix_index], ref.seed,
                           spec.engine);
+      if (options_.store_cell) {
+        options_.store_cell(ref, round[i]);
+      }
     });
     const double round_wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - round_start).count();
@@ -118,12 +139,13 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
     for (size_t i = 0; i < batch.size(); ++i) {
       const PendingCell& cell = batch[i];
       ExperimentState& experiment = experiments[cell.experiment];
-      const WorkloadMix& mix = spec.mixes[experiment.mix_index];
       experiment.folder.Fold(round[i]);
+      if (options_.on_cell) {
+        options_.on_cell(refs[i], round[i], from_cache[i] != 0);
+      }
       if (options_.record_cells) {
         experiment.cells.push_back(
-            CellResult{cell.replication, DeriveCellSeed(spec.root_seed, mix.number, cell.replication),
-                       std::move(round[i])});
+            CellResult{cell.replication, refs[i].seed, std::move(round[i])});
       }
       ++completed_cells;
     }

@@ -27,6 +27,17 @@
 
 namespace affsched {
 
+// One cell's identity in the grid, as seen by the cell-level hooks below.
+// The seed is the DeriveCellSeed value — policy-independent (CRN), so two
+// refs differing only in policy carry the same seed by design.
+struct SweepCellRef {
+  PolicyKind policy = PolicyKind::kDynamic;
+  int mix_number = 0;      // Table 2 workload number
+  size_t mix_index = 0;    // position in SweepSpec::mixes
+  size_t replication = 0;
+  uint64_t seed = 0;
+};
+
 struct SweepRunnerOptions {
   // Worker threads; 0 means WorkerPool::DefaultThreadCount().
   size_t jobs = 0;
@@ -43,10 +54,26 @@ struct SweepRunnerOptions {
   std::function<void(const SweepRoundStats&)> round_stats;
   // Replaces the per-cell simulation (testing/instrumentation). Defaults to
   // measure's RunOnce. Must be thread-safe.
-  std::function<RunResult(const MachineConfig& machine, PolicyKind policy,
-                          const std::vector<AppProfile>& jobs, uint64_t seed,
+  std::function<RunResult(const SweepCellRef& ref, const MachineConfig& machine,
+                          PolicyKind policy, const std::vector<AppProfile>& jobs, uint64_t seed,
                           const EngineOptions& options)>
       run_cell;
+  // Cache probe seam (the serve layer's content-addressed result cache).
+  // Called on the orchestration thread for every cell of a round before the
+  // round executes; returning true (and filling `out`) satisfies the cell
+  // without simulating it. Because results are deterministic functions of
+  // the cell identity, substituting a cached result cannot change the fold
+  // or the stopping rule — only skip work.
+  std::function<bool(const SweepCellRef& ref, RunResult* out)> probe_cell;
+  // Checkpoint seam: called on the WORKER thread immediately after a cell is
+  // simulated (never for probe hits), so completed cells can persist before
+  // the sweep finishes — a killed sweep resumes from them. Must be
+  // thread-safe.
+  std::function<void(const SweepCellRef& ref, const RunResult& result)> store_cell;
+  // Streaming seam: called on the orchestration thread in deterministic fold
+  // order as each cell's result folds in; `from_cache` distinguishes probe
+  // hits from fresh simulations.
+  std::function<void(const SweepCellRef& ref, const RunResult& result, bool from_cache)> on_cell;
 };
 
 class SweepRunner {

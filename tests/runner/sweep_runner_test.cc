@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "src/apps/apps.h"
 #include "src/runner/cell_seed.h"
@@ -132,7 +136,7 @@ TEST(SweepRunnerTest, RecordCellsFalseKeepsAggregatesOnly) {
 TEST(SweepRunnerTest, ThrowingCellPropagatesAfterCleanShutdown) {
   SweepRunnerOptions options;
   options.jobs = 4;
-  options.run_cell = [](const MachineConfig& machine, PolicyKind policy,
+  options.run_cell = [](const SweepCellRef&, const MachineConfig& machine, PolicyKind policy,
                         const std::vector<AppProfile>& jobs, uint64_t seed,
                         const EngineOptions& engine_options) -> RunResult {
     if (policy == PolicyKind::kDynAff) {
@@ -186,6 +190,108 @@ TEST(SweepRunnerTest, ObservabilityOptInEmitsSchema3Block) {
   const std::string plain = SweepRunner().Run(TinySpec()).ToJson();
   EXPECT_NE(plain.find("\"schema_version\":1"), std::string::npos);
   EXPECT_EQ(plain.find("\"observability\""), std::string::npos);
+}
+
+TEST(SweepRunnerTest, ProbeHitsSkipSimulationWithoutChangingResults) {
+  // First pass: run everything, recording each cell's result by identity.
+  std::map<std::string, RunResult> recorded;
+  std::mutex mu;
+  SweepRunnerOptions record;
+  record.jobs = 4;
+  record.store_cell = [&](const SweepCellRef& ref, const RunResult& result) {
+    std::lock_guard<std::mutex> lock(mu);
+    recorded[std::to_string(ref.mix_number) + "/" + PolicyKindCliName(ref.policy) + "/" +
+             std::to_string(ref.replication)] = result;
+  };
+  const std::string baseline = SweepRunner(record).Run(TinySpec()).ToJson();
+  EXPECT_EQ(recorded.size(), 8u);
+
+  // Second pass: every cell is answered by the probe; run_cell must never be
+  // called, and the folded document must be byte-identical.
+  size_t probes = 0;
+  SweepRunnerOptions cached;
+  cached.jobs = 4;
+  cached.probe_cell = [&](const SweepCellRef& ref, RunResult* out) {
+    ++probes;
+    *out = recorded.at(std::to_string(ref.mix_number) + "/" + PolicyKindCliName(ref.policy) +
+                       "/" + std::to_string(ref.replication));
+    return true;
+  };
+  cached.run_cell = [](const SweepCellRef&, const MachineConfig&, PolicyKind,
+                       const std::vector<AppProfile>&, uint64_t,
+                       const EngineOptions&) -> RunResult {
+    ADD_FAILURE() << "run_cell called despite universal probe hits";
+    return RunResult{};
+  };
+  EXPECT_EQ(SweepRunner(cached).Run(TinySpec()).ToJson(), baseline);
+  EXPECT_EQ(probes, 8u);
+}
+
+TEST(SweepRunnerTest, OnCellStreamsInDeterministicFoldOrder) {
+  // A partial cache: mix 1 hits, mix 5 misses. The stream must arrive in
+  // fold order (mix-major, then policy, then replication) regardless, with
+  // from_cache telling the two sources apart.
+  std::map<std::string, RunResult> recorded;
+  std::mutex mu;
+  SweepRunnerOptions record;
+  record.jobs = 4;
+  record.store_cell = [&](const SweepCellRef& ref, const RunResult& result) {
+    std::lock_guard<std::mutex> lock(mu);
+    recorded[std::to_string(ref.mix_number) + "/" + PolicyKindCliName(ref.policy) + "/" +
+             std::to_string(ref.replication)] = result;
+  };
+  SweepRunner(record).Run(TinySpec());
+
+  std::vector<std::string> stream;
+  size_t cache_hits = 0;
+  SweepRunnerOptions partial;
+  partial.jobs = 4;
+  partial.probe_cell = [&](const SweepCellRef& ref, RunResult* out) {
+    if (ref.mix_number != 1) {
+      return false;
+    }
+    *out = recorded.at("1/" + std::string(PolicyKindCliName(ref.policy)) + "/" +
+                       std::to_string(ref.replication));
+    return true;
+  };
+  partial.on_cell = [&](const SweepCellRef& ref, const RunResult&, bool from_cache) {
+    stream.push_back(std::to_string(ref.mix_number) + "/" + PolicyKindCliName(ref.policy) +
+                     "/" + std::to_string(ref.replication));
+    EXPECT_EQ(from_cache, ref.mix_number == 1);
+    cache_hits += from_cache ? 1 : 0;
+  };
+  SweepRunner(partial).Run(TinySpec());
+  const std::vector<std::string> want = {"1/equi/0",    "1/equi/1",    "1/dyn-aff/0",
+                                         "1/dyn-aff/1", "5/equi/0",    "5/equi/1",
+                                         "5/dyn-aff/0", "5/dyn-aff/1"};
+  EXPECT_EQ(stream, want);
+  EXPECT_EQ(cache_hits, 4u);
+}
+
+TEST(SweepRunnerTest, StoreCellNeverFiresForProbeHits) {
+  std::mutex mu;
+  size_t stores = 0;
+  SweepRunnerOptions options;
+  options.jobs = 4;
+  options.probe_cell = [](const SweepCellRef& ref, RunResult* out) {
+    if (ref.mix_number != 1) {
+      return false;
+    }
+    *out = RunResult{};  // a synthetic-but-valid result is fine for the fold
+    out->jobs.resize(2);
+    for (JobResult& job : out->jobs) {
+      job.stats.completion = 1000000000;  // folders require completed jobs
+    }
+    out->makespan = 1000000000;
+    return true;
+  };
+  options.store_cell = [&](const SweepCellRef& ref, const RunResult&) {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_NE(ref.mix_number, 1);  // hits checkpoint nothing
+    ++stores;
+  };
+  SweepRunner(options).Run(TinySpec());
+  EXPECT_EQ(stores, 4u);  // only mix 5's simulated cells
 }
 
 }  // namespace

@@ -1,0 +1,95 @@
+#include "src/serve/spec_canon.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/runner/cell_seed.h"
+#include "src/runner/sweep.h"
+
+namespace affsched {
+namespace {
+
+SweepSpec MustParse(const std::string& text) {
+  SweepSpec spec;
+  std::string error;
+  EXPECT_TRUE(ParseSweepSpec(text, &spec, &error)) << text << ": " << error;
+  return spec;
+}
+
+TEST(SpecCanonTest, EquivalentSpecsCanonicalizeIdentically) {
+  // The caching satellite's core claim: override order and float spelling
+  // are provenance, not identity. These three parse to the same grid.
+  const SweepSpec a = MustParse("smoke;procs=8;speed=2.0;seed=7");
+  const SweepSpec b = MustParse("smoke;seed=7;speed=2;procs=8");
+  const SweepSpec c = MustParse("smoke;speed=2.000;procs=8;seed=7");
+  EXPECT_NE(a.name, b.name);  // provenance differs...
+  EXPECT_EQ(CanonicalSpecText(a), CanonicalSpecText(b));  // ...identity does not
+  EXPECT_EQ(CanonicalSpecText(b), CanonicalSpecText(c));
+  EXPECT_EQ(SweepKey(a), SweepKey(b));
+  EXPECT_EQ(SweepKey(b), SweepKey(c));
+}
+
+TEST(SpecCanonTest, DifferentGridsGetDifferentKeys) {
+  const SweepSpec base = MustParse("smoke");
+  EXPECT_NE(SweepKey(base), SweepKey(MustParse("smoke;procs=8")));
+  EXPECT_NE(SweepKey(base), SweepKey(MustParse("smoke;seed=7")));
+  EXPECT_NE(SweepKey(base), SweepKey(MustParse("smoke;mixes=1")));
+  EXPECT_NE(SweepKey(base), SweepKey(MustParse("smoke;policies=equi")));
+  EXPECT_NE(SweepKey(base), SweepKey(MustParse("smoke;observability=1")));
+  EXPECT_NE(SweepKey(base), SweepKey(MustParse("smoke;balance-interval=10")));
+  EXPECT_NE(SweepKey(base), SweepKey(MustParse("smoke;topology=cmp-2x10")));
+}
+
+TEST(SpecCanonTest, CellKeyIgnoresGridShape) {
+  // A cell is addressed by what its simulation consumes; which *other*
+  // policies ran, the replication bounds, and the observability flag are
+  // grid shape. Widening the sweep must reuse the narrow sweep's cells.
+  const SweepSpec narrow = MustParse("smoke;policies=equi;reps=2");
+  const SweepSpec wide = MustParse("smoke;policies=equi,dyn-aff;reps=2-8;observability=1");
+  const uint64_t seed = DeriveCellSeed(narrow.root_seed, 1, 0);
+  EXPECT_EQ(CellKeyWithRev(narrow, PolicyKind::kEquipartition, 1, 0, seed, "rev"),
+            CellKeyWithRev(wide, PolicyKind::kEquipartition, 1, 0, seed, "rev"));
+}
+
+TEST(SpecCanonTest, CellKeyCoversSimulationInputs) {
+  const SweepSpec spec = MustParse("smoke");
+  const uint64_t seed = DeriveCellSeed(spec.root_seed, 1, 0);
+  const std::string base = CellKeyWithRev(spec, PolicyKind::kEquipartition, 1, 0, seed, "rev");
+  // Policy, coordinates, seed, build revision: all identity.
+  EXPECT_NE(base, CellKeyWithRev(spec, PolicyKind::kDynAff, 1, 0, seed, "rev"));
+  EXPECT_NE(base, CellKeyWithRev(spec, PolicyKind::kEquipartition, 5, 0, seed, "rev"));
+  EXPECT_NE(base, CellKeyWithRev(spec, PolicyKind::kEquipartition, 1, 1, seed, "rev"));
+  EXPECT_NE(base, CellKeyWithRev(spec, PolicyKind::kEquipartition, 1, 0, seed + 1, "rev"));
+  EXPECT_NE(base, CellKeyWithRev(spec, PolicyKind::kEquipartition, 1, 0, seed, "rev2"));
+  // Machine fields are identity too.
+  EXPECT_NE(base, CellKeyWithRev(MustParse("smoke;procs=8"), PolicyKind::kEquipartition, 1, 0,
+                                 seed, "rev"));
+  EXPECT_NE(base, CellKeyWithRev(MustParse("smoke;cache=2"), PolicyKind::kEquipartition, 1, 0,
+                                 seed, "rev"));
+}
+
+TEST(SpecCanonTest, KeysAreWellFormedHex) {
+  const SweepSpec spec = MustParse("smoke");
+  const std::string sweep_key = SweepKey(spec);
+  EXPECT_EQ(sweep_key.size(), 16u);
+  const std::string cell_key =
+      CellKeyWithRev(spec, PolicyKind::kEquipartition, 1, 0, 123, "rev");
+  EXPECT_EQ(cell_key.size(), 32u);
+  for (const char c : cell_key) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << cell_key;
+  }
+}
+
+TEST(SpecCanonTest, Fnv1aIsStable) {
+  // Pin the digest so cache keys never drift silently across refactors
+  // (entries written by older builds of the *same* git revision must stay
+  // reachable).
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(Fnv1a64("a"), 12638187200555641996ull);
+  EXPECT_EQ(HashHex(0), "0000000000000000");
+  EXPECT_EQ(HashHex(0xdeadbeefull), "00000000deadbeef");
+}
+
+}  // namespace
+}  // namespace affsched
