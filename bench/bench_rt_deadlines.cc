@@ -1,0 +1,138 @@
+// Real-time benchmark: whole closed sweeps of the rt preset's policies on
+// the 8-color partitioned machine, measured in simulated jobs per wall
+// second. These are the numbers the "microbench_rt" floors in
+// bench/baseline.json gate (tools/bench_compare.py --microbench --floors-key
+// microbench_rt), so a regression in the partitioned-cache hot path (per-
+// color interference accounting, reservation-capped reload buildup) or in
+// the static planner (ComputeStaticAssignment on every arrival/departure)
+// shows up as a throughput drop against the dyn-aff baseline benchmark.
+//
+// main() additionally prints the rt preset's deadline/tardiness/worst-reload
+// comparison across its policy line-up — the source of the measured excerpt
+// in EXPERIMENTS.md — and writes run_manifest.json.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/table.h"
+#include "src/runner/runner.h"
+#include "src/runner/sweep.h"
+#include "src/sched/factory.h"
+#include "src/telemetry/manifest.h"
+
+namespace affsched {
+namespace {
+
+SweepSpec BenchSpec(const std::string& spec_text) {
+  SweepSpec spec;
+  std::string error;
+  if (!ParseSweepSpec(spec_text, &spec, &error)) {
+    std::fprintf(stderr, "bench_rt_deadlines: bad spec %s: %s\n", spec_text.c_str(),
+                 error.c_str());
+    std::abort();
+  }
+  return spec;
+}
+
+// Runs the grid single-threaded (the benchmark measures the simulation, not
+// the worker pool) and returns the number of jobs simulated.
+size_t RunSpec(const SweepSpec& spec) {
+  SweepRunnerOptions options;
+  options.jobs = 1;
+  const SweepResult result = SweepRunner(options).Run(spec);
+  size_t jobs = 0;
+  for (const ExperimentResult& experiment : result.experiments) {
+    for (const CellResult& cell : experiment.cells) {
+      jobs += cell.run.jobs.size();
+    }
+  }
+  return jobs;
+}
+
+// One rt-preset cell per policy: the 8-color machine, mix 5, one rep. The
+// dyn-aff run pays the partitioned substrate without static planning, so the
+// spread against it prices the planner; color-iso additionally pays the
+// per-slice interference bookkeeping.
+constexpr const char* kBenchCell = "rt;reps=1;mixes=5;policies=";
+
+void BM_RtDynAff(benchmark::State& state) {
+  const SweepSpec spec = BenchSpec(std::string(kBenchCell) + "dyn-aff");
+  size_t jobs = 0;
+  for (auto _ : state) {
+    jobs += RunSpec(spec);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(jobs));
+}
+BENCHMARK(BM_RtDynAff)->UseRealTime();
+
+void BM_RtStaticAffinity(benchmark::State& state) {
+  const SweepSpec spec = BenchSpec(std::string(kBenchCell) + "rt-static-affinity");
+  size_t jobs = 0;
+  for (auto _ : state) {
+    jobs += RunSpec(spec);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(jobs));
+}
+BENCHMARK(BM_RtStaticAffinity)->UseRealTime();
+
+void BM_RtColorIso(benchmark::State& state) {
+  const SweepSpec spec = BenchSpec(std::string(kBenchCell) + "rt-color-iso");
+  size_t jobs = 0;
+  for (auto _ : state) {
+    jobs += RunSpec(spec);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(jobs));
+}
+BENCHMARK(BM_RtColorIso)->UseRealTime();
+
+// Prints the rt preset's line-up: deadline misses, mean tardiness and the
+// worst-case-observed reload per (policy, mix) — the quantity the static
+// plans exist to bound.
+void PrintRtComparison() {
+  const SweepSpec spec = BenchSpec("rt");
+  SweepRunnerOptions options;
+  options.jobs = 0;  // report quality, not wall time: use every core
+  const SweepResult result = SweepRunner(options).Run(spec);
+  TextTable table;
+  table.SetHeader({"mix", "policy", "misses", "tardiness (s)", "worst reload (s)"});
+  for (const ExperimentResult& experiment : result.experiments) {
+    uint64_t misses = 0;
+    double tardiness = 0.0;
+    double worst_reload = 0.0;
+    for (const JobStats& stats : experiment.replicated.mean_stats) {
+      misses += stats.deadline_misses;
+      tardiness += stats.tardiness_s;
+      worst_reload = std::max(worst_reload, stats.worst_reload_s);
+    }
+    table.AddRow({std::to_string(experiment.mix.number),
+                  PolicyKindCliName(experiment.policy), std::to_string(misses),
+                  FormatDouble(tardiness, 4), FormatDouble(worst_reload, 9)});
+  }
+  std::printf("\nrt policy line-up on the rt preset (seed %llu, %s deadline mix):\n%s",
+              static_cast<unsigned long long>(spec.root_seed), spec.deadline_mix.c_str(),
+              table.Render().c_str());
+}
+
+}  // namespace
+}  // namespace affsched
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  affsched::PrintRtComparison();
+
+  affsched::RunManifest manifest;
+  manifest.SetString("tool", "bench_rt_deadlines");
+  manifest.WriteFile("run_manifest.json");
+  std::printf("\nwrote run_manifest.json (git %s)\n", affsched::RunManifest::GitSha());
+  return 0;
+}

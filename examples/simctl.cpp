@@ -10,6 +10,7 @@
 //   ./build/examples/simctl --open --rho=0.7,0.9 --arrivals=onoff --mpl-cap=8
 //   ./build/examples/simctl --help
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -24,6 +25,7 @@
 #include "src/measure/mixes.h"
 #include "src/measure/report.h"
 #include "src/opensys/open_sweep.h"
+#include "src/rt/deadline_mix.h"
 #include "src/runner/heartbeat.h"
 #include "src/runner/runner.h"
 #include "src/runner/sweep.h"
@@ -54,8 +56,21 @@ std::string FormatStat(double value, int digits) {
 // Runs a whole experiment grid on a worker pool (--sweep mode). Consults
 // --sweep, --jobs, --out, --progress and --heartbeat; the spec string
 // carries everything else.
+// Folds the --rt/--colors/--deadline-mix flags into a sweep/open spec string
+// as trailing overrides (later keys win, so explicit spec keys and flags
+// compose predictably).
+std::string AppendRtOverrides(std::string spec_text, const FlagSet& flags) {
+  if (flags.GetBool("rt")) {
+    spec_text += ";rt=1;deadline-mix=" + flags.GetString("deadline-mix");
+  }
+  if (flags.GetInt("colors") > 0) {
+    spec_text += ";colors=" + std::to_string(flags.GetInt("colors"));
+  }
+  return spec_text;
+}
+
 int RunSweepMode(const FlagSet& flags) {
-  const std::string spec_text = flags.GetString("sweep");
+  const std::string spec_text = AppendRtOverrides(flags.GetString("sweep"), flags);
   const size_t jobs = static_cast<size_t>(flags.GetInt("jobs"));
   const std::string out_path = flags.GetString("out");
   SweepSpec spec;
@@ -277,6 +292,7 @@ int RunOpenMode(const FlagSet& flags, int argc, char** argv) {
   if (flags.GetInt("max-queue") >= 0) {
     spec_text += ";max-queue=" + std::to_string(flags.GetInt("max-queue"));
   }
+  spec_text = AppendRtOverrides(spec_text, flags);
 
   OpenSweepSpec spec;
   std::string error;
@@ -362,7 +378,8 @@ int RunOpenMode(const FlagSet& flags, int argc, char** argv) {
 void ListPresets() {
   TextTable table;
   table.SetHeader({"preset", "seed", "policies", "mixes", "reps", "min cells"});
-  for (const SweepSpec& spec : {Fig5Spec(), Table3Spec(), FutureSpec(), SmokeSpec(), MqSpec()}) {
+  for (const SweepSpec& spec :
+       {Fig5Spec(), Table3Spec(), FutureSpec(), SmokeSpec(), MqSpec(), RtSpec()}) {
     std::string policies;
     for (PolicyKind kind : spec.policies) {
       policies += (policies.empty() ? "" : ",") + PolicyKindCliName(kind);
@@ -414,7 +431,9 @@ int main(int argc, char** argv) {
       "Policies: equi, dynamic, dyn-aff, dyn-aff-nopri, dyn-aff-delay,\n"
       "dyn-aff-cluster, dyn-aff-node, timeshare, timeshare-aff,\n"
       "mq-nosteal, mq-sibling, mq-cluster, mq-numa (per-processor queues;\n"
-      "--steal is shorthand for the mq family).\n"
+      "--steal is shorthand for the mq family),\n"
+      "rt-static-affinity, rt-color-iso (static real-time assignment;\n"
+      "pair with --rt and --colors).\n"
       "Mixes: 1-6 (Table 2 of the paper).");
   flags.AddInt("mix", 5, "workload mix number (1-6)");
   flags.AddString("policy", "dyn-aff", "allocation policy");
@@ -481,6 +500,16 @@ int main(int argc, char** argv) {
   flags.AddInt("mpl-cap", 0, "admission MPL cap for --open (0 = unbounded)");
   flags.AddInt("max-queue", -1,
                "admission queue bound for --open (-1 = unbounded; needs --mpl-cap)");
+  flags.AddBool("rt", false,
+                "real-time mode: stamp the --deadline-mix onto every job and "
+                "report deadline misses/tardiness; composes with --sweep and "
+                "--open (rt=1 spec override)");
+  flags.AddInt("colors", 0,
+               "page colors for the partitioned cache substrate (0 = footprint "
+               "model); composes with --sweep and --open (colors=N override)");
+  flags.AddString("deadline-mix", "soft",
+                  "deadline mix for --rt: soft, hard, mixed, or tight "
+                  "(tight is a guaranteed-miss fixture)");
   if (!flags.Parse(argc, argv)) {
     std::printf("%s\n", flags.help_requested() ? flags.Help().c_str() : flags.error().c_str());
     return flags.help_requested() ? 0 : 1;
@@ -541,6 +570,15 @@ int main(int argc, char** argv) {
   machine.num_processors = static_cast<size_t>(flags.GetInt("procs"));
   machine.processor_speed = flags.GetDouble("speed");
   machine.cache_size_factor = flags.GetDouble("cache");
+  const int colors = static_cast<int>(flags.GetInt("colors"));
+  if (colors < 0 || colors > 64) {
+    std::printf("--colors must be in 0..64 (0 = footprint model)\n");
+    return 1;
+  }
+  if (colors > 0) {
+    machine.num_colors = static_cast<size_t>(colors);
+    machine.cache_model = CacheModelKind::kPartitioned;
+  }
   if (!flags.GetString("topology").empty()) {
     std::string topology_error;
     if (!ParseTopologySpec(flags.GetString("topology"), &machine.topology, &topology_error)) {
@@ -599,7 +637,16 @@ int main(int argc, char** argv) {
   if (!samples_path.empty()) {
     engine.SetSampler(&sampler);
   }
-  for (const AppProfile& job : mix.Expand(DefaultProfiles())) {
+  std::vector<AppProfile> mix_jobs = mix.Expand(DefaultProfiles());
+  if (flags.GetBool("rt")) {
+    std::string mix_error;
+    if (!ApplyDeadlineMix(flags.GetString("deadline-mix"), machine.num_processors, &mix_jobs,
+                          &mix_error)) {
+      std::printf("bad --deadline-mix: %s\n", mix_error.c_str());
+      return 1;
+    }
+  }
+  for (const AppProfile& job : mix_jobs) {
     engine.SubmitJob(job);
   }
   const auto run_start = std::chrono::steady_clock::now();
@@ -612,6 +659,23 @@ int main(int argc, char** argv) {
   table.SetHeader(JobReportHeader());
   AppendJobReport(table, PolicyKindName(kind), engine);
   std::printf("%s\nmakespan: %s\n", table.Render().c_str(), FormatDuration(end).c_str());
+
+  if (flags.GetBool("rt")) {
+    uint64_t misses = 0;
+    double tardiness_s = 0.0;
+    double worst_reload_s = 0.0;
+    for (JobId id = 0; id < engine.job_count(); ++id) {
+      const JobStats& stats = engine.job_stats(id);
+      misses += stats.deadline_misses;
+      tardiness_s += stats.tardiness_s;
+      worst_reload_s = std::max(worst_reload_s, stats.worst_reload_s);
+    }
+    std::printf("rt (%s mix): %llu/%zu deadline misses, total tardiness %.3fs, "
+                "worst observed reload %.6fs\n",
+                flags.GetString("deadline-mix").c_str(),
+                static_cast<unsigned long long>(misses), engine.job_count(), tardiness_s,
+                worst_reload_s);
+  }
 
   if (flags.GetBool("gantt")) {
     std::printf("\n%s", trace.RenderGantt(machine.num_processors, 0, end).c_str());

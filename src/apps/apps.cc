@@ -40,6 +40,8 @@ AppProfile MakeMvaProfile(const MvaParams& params) {
   // Wavefront threads consume their predecessors' outputs: high reuse.
   profile.thread_overlap = 0.70;
   profile.max_parallelism = params.grid;
+  profile.expected_work_s =
+      ToSeconds(params.node_work) * static_cast<double>(params.grid * params.grid);
   profile.build_graph = [params](Rng& rng) {
     auto graph = std::make_unique<ThreadGraph>();
     const size_t n = params.grid;
@@ -83,6 +85,7 @@ AppProfile MakeMatrixProfile(const MatrixParams& params) {
   // threads.
   profile.thread_overlap = 0.15;
   profile.max_parallelism = params.threads;
+  profile.expected_work_s = ToSeconds(params.thread_work) * static_cast<double>(params.threads);
   profile.build_graph = [params](Rng& rng) {
     auto graph = std::make_unique<ThreadGraph>();
     for (size_t t = 0; t < params.threads; ++t) {
@@ -115,6 +118,11 @@ AppProfile MakeGravityProfile(const GravityParams& params) {
     widest = std::max(widest, c);
   }
   profile.max_parallelism = widest;
+  SimDuration step_work = params.sequential_work;
+  for (SimDuration w : params.phase_work) {
+    step_work += w;
+  }
+  profile.expected_work_s = ToSeconds(step_work) * static_cast<double>(params.timesteps);
   profile.build_graph = [params](Rng& rng) {
     auto graph = std::make_unique<ThreadGraph>();
     std::vector<size_t> previous_phase;  // nodes the next phase must wait on

@@ -1,0 +1,190 @@
+#include "src/cache/partitioned.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace affsched {
+
+namespace {
+
+size_t PopCount(ColorMask mask) { return static_cast<size_t>(std::popcount(mask)); }
+
+}  // namespace
+
+PartitionedCacheModel::PartitionedCacheModel(double capacity_blocks, size_t ways,
+                                             size_t num_colors)
+    : capacity_(capacity_blocks), ways_(ways), num_colors_(num_colors) {
+  AFF_CHECK(capacity_ > 0.0);
+  AFF_CHECK(ways_ >= 1);
+  AFF_CHECK_MSG(num_colors_ >= 1 && num_colors_ <= 64, "num_colors must be in 1..64");
+}
+
+void PartitionedCacheModel::ReserveColors(CacheOwner owner, ColorMask mask) {
+  AFF_CHECK(owner != kNoOwner);
+  reserved_[owner] = mask & FullColorMask(num_colors_);
+}
+
+ColorMask PartitionedCacheModel::ReservedColors(CacheOwner owner) const {
+  auto it = reserved_.find(owner);
+  return it == reserved_.end() ? FullColorMask(num_colors_) : it->second;
+}
+
+double PartitionedCacheModel::ReservedCapacity(ColorMask mask) const {
+  return ColorCapacity() * static_cast<double>(PopCount(mask & FullColorMask(num_colors_)));
+}
+
+double PartitionedCacheModel::InterferenceOn(CacheOwner owner) const {
+  auto it = interference_on_.find(owner);
+  return it == interference_on_.end() ? 0.0 : it->second;
+}
+
+double PartitionedCacheModel::MaxResident(double blocks) const {
+  return ExpectedMaxResident(capacity_, ways_, blocks);
+}
+
+double PartitionedCacheModel::Resident(CacheOwner owner) const {
+  auto it = resident_.find(owner);
+  return it == resident_.end() ? 0.0 : it->second;
+}
+
+void PartitionedCacheModel::SetResidentInternal(CacheOwner owner, double blocks) {
+  auto it = resident_.find(owner);
+  const double old = it == resident_.end() ? 0.0 : it->second;
+  occupied_ += blocks - old;
+  if (blocks <= 0.0) {
+    if (it != resident_.end()) {
+      resident_.erase(it);
+    }
+  } else if (it == resident_.end()) {
+    resident_.emplace(owner, blocks);
+  } else {
+    it->second = blocks;
+  }
+}
+
+void PartitionedCacheModel::SetResident(CacheOwner owner, double blocks) {
+  AFF_CHECK(blocks >= 0.0 && blocks <= capacity_);
+  SetResidentInternal(owner, blocks);
+}
+
+CacheChunkResult PartitionedCacheModel::RunChunk(CacheOwner owner, const WorkingSetParams& ws,
+                                                 double seconds) {
+  AFF_CHECK(owner != kNoOwner);
+  AFF_CHECK(seconds >= 0.0);
+  CacheChunkResult result;
+  if (seconds == 0.0) {
+    return result;
+  }
+
+  const ColorMask mask = ReservedColors(owner);
+  const double touch_fraction =
+      ws.buildup_tau_s > 0.0 ? 1.0 - std::exp(-seconds / ws.buildup_tau_s) : 1.0;
+  result.steady_misses = ws.steady_miss_per_s * seconds;
+
+  // Zero reserved colors: always-cold. Every distinct block the chunk touches
+  // misses, nothing survives, and — with nowhere to insert — no other owner's
+  // footprint is disturbed.
+  if (mask == 0) {
+    result.reload_misses = MaxResident(ws.blocks) * touch_fraction;
+    SetResidentInternal(owner, 0.0);
+    return result;
+  }
+
+  const size_t n_own = PopCount(mask);
+  const double own_capacity = ReservedCapacity(mask);
+  const double w_eff = ExpectedMaxResident(own_capacity, ways_, ws.blocks);
+  const double f = Resident(owner);
+  result.reload_misses = std::max(0.0, (w_eff - f) * touch_fraction);
+
+  // FootprintCache's random-replacement ejection, restricted to the colors an
+  // insertion can actually land in. The running owner's insertions spread
+  // uniformly over its n_own reserved colors; a victim with footprint r on
+  // n_o colors keeps r * n_sh / n_o blocks on the n_sh contested colors, and
+  // each of the evicting insertions directed at those colors (a n_sh / n_own
+  // share) sweeps a slice of capacity C_shared. Disjoint reservations are
+  // untouched: the isolation guarantee.
+  const double new_self = std::min(w_eff, f + result.reload_misses);
+  const double evicting = result.reload_misses + result.steady_misses;
+  if (evicting > 0.0 && !resident_.empty()) {
+    double others = 0.0;
+    for (auto it = resident_.begin(); it != resident_.end();) {
+      if (it->first == owner) {
+        ++it;
+        continue;
+      }
+      const ColorMask victim_mask = ReservedColors(it->first);
+      const ColorMask shared = victim_mask & mask;
+      if (shared != 0 && victim_mask != 0) {
+        const size_t n_sh = PopCount(shared);
+        const size_t n_o = PopCount(victim_mask);
+        const double vulnerable =
+            it->second * static_cast<double>(n_sh) / static_cast<double>(n_o);
+        const double shared_capacity = ColorCapacity() * static_cast<double>(n_sh);
+        const double directed =
+            evicting * static_cast<double>(n_sh) / static_cast<double>(n_own);
+        const double survival = std::pow(1.0 - 1.0 / shared_capacity, directed);
+        const double lost = vulnerable * (1.0 - survival);
+        it->second -= lost;
+        interference_evictions_ += lost;
+        interference_on_[it->first] += lost;
+      }
+      if (it->second < 1e-9) {
+        it = resident_.erase(it);
+      } else {
+        others += it->second;
+        ++it;
+      }
+    }
+    occupied_ = others + Resident(owner);
+  }
+  SetResidentInternal(owner, new_self);
+
+  // Numerical safety: keep total occupancy within capacity by squeezing the
+  // owners other than the one that just ran.
+  if (occupied_ > capacity_) {
+    const double excess = occupied_ - capacity_;
+    double others = occupied_ - new_self;
+    if (others > 0.0) {
+      const double scale = std::max(0.0, (others - excess) / others);
+      for (auto& [o, blocks] : resident_) {
+        if (o != owner) {
+          blocks *= scale;
+        }
+      }
+      occupied_ = new_self + others * scale;
+    } else {
+      SetResidentInternal(owner, std::min(capacity_, new_self));
+    }
+  }
+  return result;
+}
+
+void PartitionedCacheModel::Flush() {
+  resident_.clear();
+  occupied_ = 0.0;
+}
+
+void PartitionedCacheModel::EjectFraction(CacheOwner owner, double fraction) {
+  AFF_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  SetResidentInternal(owner, Resident(owner) * (1.0 - fraction));
+}
+
+void PartitionedCacheModel::EjectBlocks(CacheOwner owner, double blocks) {
+  AFF_CHECK(blocks >= 0.0);
+  SetResidentInternal(owner, std::max(0.0, Resident(owner) - blocks));
+}
+
+void PartitionedCacheModel::ReplaceOwnerData(CacheOwner owner, double keep_fraction) {
+  AFF_CHECK(keep_fraction >= 0.0 && keep_fraction <= 1.0);
+  SetResidentInternal(owner, Resident(owner) * keep_fraction);
+}
+
+void PartitionedCacheModel::RemoveOwner(CacheOwner owner) {
+  SetResidentInternal(owner, 0.0);
+  reserved_.erase(owner);
+}
+
+}  // namespace affsched

@@ -1,5 +1,6 @@
 #include "src/engine/accounting.h"
 
+#include <algorithm>
 #include <string>
 
 #include "src/common/check.h"
@@ -38,6 +39,8 @@ void Accounting::SetMetrics(MetricsRegistry* registry) {
         registry->FindOrCreateCounter(std::string("engine.steals.") + DistanceTierName(tier));
   }
   m.balance_migrations = registry->FindOrCreateCounter("engine.balance_migrations");
+  m.deadline_misses = registry->FindOrCreateCounter("engine.deadline_misses");
+  m.tardiness_ns = registry->FindOrCreateCounter("engine.tardiness_ns");
   m.active_jobs = registry->FindOrCreateGauge("engine.active_jobs");
   m.reload_stall_us =
       registry->FindOrCreateHistogram("engine.reload_stall_us", DefaultLatencyBucketsUs());
@@ -110,6 +113,22 @@ void Accounting::NoteJobArrival(JobId id) {
 
 void Accounting::NoteJobCompletion(JobId id) {
   Bump(m.job_completions);
+  JobState& js = core_.job_state(id);
+  const RtParams& rt = js.profile->rt;
+  if (rt.Active()) {
+    // The deadline is relative to service start (stats().arrival); open-system
+    // queue wait is accounted separately, matching the sojourn the rt sweep
+    // compares against.
+    JobStats& st = js.job->stats();
+    const SimTime deadline = st.arrival + Seconds(rt.deadline_s);
+    const SimTime now = core_.queue.now();
+    if (now > deadline) {
+      st.deadline_misses = 1;
+      st.tardiness_s = ToSeconds(now - deadline);
+      Bump(m.deadline_misses);
+      Bump(m.tardiness_ns, static_cast<double>(now - deadline));
+    }
+  }
   if (spans_ != nullptr) {
     spans_->OnCompletion(id, core_.queue.now());
   }
@@ -121,6 +140,9 @@ void Accounting::ChargeChunk(JobState& js, SimDuration work_done, SimDuration re
   st.useful_work_s += ToSeconds(core_.machine.config().ComputeTime(work_done));
   st.reload_stall_s += ToSeconds(reload_stall);
   st.steady_stall_s += ToSeconds(steady_stall);
+  // Worst single-chunk reload transient: the latency spike partitioning
+  // exists to bound.
+  st.worst_reload_s = std::max(st.worst_reload_s, ToSeconds(reload_stall));
   Bump(m.chunks);
   Bump(m.reload_stall_ns, static_cast<double>(reload_stall));
   Bump(m.steady_stall_ns, static_cast<double>(steady_stall));

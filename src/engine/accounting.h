@@ -49,6 +49,10 @@ struct MetricHandles {
   // a local-queue dispatch, not a steal) and balance-tick migrations.
   Counter* steals[kNumDistanceTiers] = {nullptr, nullptr, nullptr, nullptr};
   Counter* balance_migrations = nullptr;
+  // Real-time terms: completions past their relative deadline, and the summed
+  // lateness of those completions.
+  Counter* deadline_misses = nullptr;
+  Counter* tardiness_ns = nullptr;
   Gauge* active_jobs = nullptr;
   FixedHistogram* reload_stall_us = nullptr;
   FixedHistogram* chunk_wall_us = nullptr;

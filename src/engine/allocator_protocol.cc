@@ -329,6 +329,9 @@ void AllocatorProtocol::HandleJobCompletion(JobId id, size_t completing_proc) {
   AFF_CHECK(it != core_.active_jobs.end());
   core_.active_jobs.erase(it);
   acct_.NoteJobCompletion(id);
+  if (js.job->stats().deadline_misses > 0) {
+    core_.Emit(TraceEventKind::kDeadlineMiss, SIZE_MAX, id);
+  }
   if (acct_.m.active_jobs != nullptr) {
     acct_.m.active_jobs->Set(static_cast<double>(core_.active_jobs.size()));
   }

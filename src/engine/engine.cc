@@ -91,7 +91,14 @@ void Engine::OnJobArrival(JobId id) {
   if (acct_.m.active_jobs != nullptr) {
     acct_.m.active_jobs->Set(static_cast<double>(core_.active_jobs.size()));
   }
-  alloc_.ApplyDecision(core_.policy->OnJobArrival(*this, id), DecisionSite::kJobArrival);
+  PolicyDecision decision = core_.policy->OnJobArrival(*this, id);
+  // Color reservation is consulted once, after the arrival decision (so the
+  // policy has already folded the job into its plan) and before any worker
+  // exists (so every worker inherits the mask).
+  if (core_.machine.config().cache_model == CacheModelKind::kPartitioned) {
+    core_.job_state(id).color_mask = core_.policy->ColorMask(*this, id);
+  }
+  alloc_.ApplyDecision(std::move(decision), DecisionSite::kJobArrival);
   alloc_.RequestLoop(id);
 }
 
@@ -280,6 +287,20 @@ double Engine::ReloadCostSeconds(JobId id, size_t proc) const {
   return target > resident ? (target - resident) * core_.machine.config().MissServiceSeconds()
                            : 0.0;
 }
+
+double Engine::WorkingSetBlocks(JobId id) const {
+  return core_.job_state(id).profile->working_set.blocks;
+}
+
+double Engine::SharedWriteRate(JobId id) const {
+  return core_.job_state(id).profile->working_set.shared_write_per_s;
+}
+
+double Engine::DeadlineSeconds(JobId id) const {
+  return core_.job_state(id).profile->rt.deadline_s;
+}
+
+size_t Engine::NumColors() const { return core_.machine.config().num_colors; }
 
 // --- Diagnostics -------------------------------------------------------------
 

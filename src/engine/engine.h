@@ -137,6 +137,10 @@ class Engine : public SchedView {
   double Priority(JobId job) const override;
   size_t DistanceTier(size_t from, size_t to) const override;
   double ReloadCostSeconds(JobId job, size_t proc) const override;
+  double WorkingSetBlocks(JobId job) const override;
+  double SharedWriteRate(JobId job) const override;
+  double DeadlineSeconds(JobId job) const override;
+  size_t NumColors() const override;
 
  private:
   JobId SubmitJobInternal(const AppProfile& profile, SimTime arrival, SimTime queued_since,

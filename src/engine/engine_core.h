@@ -100,6 +100,10 @@ struct JobState {
   // Per-job metric handles (nullptr while metrics are detached).
   Counter* metric_reallocations = nullptr;
   Counter* metric_reload_stall_ns = nullptr;
+  // Cache-color reservation (partitioned cache model only): the mask the
+  // policy answered at arrival, applied to every worker this job creates.
+  // All-ones — every color — for jobs under non-partitioning policies.
+  uint64_t color_mask = ~0ull;
 };
 
 struct EngineCore {

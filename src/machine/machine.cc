@@ -5,6 +5,7 @@
 
 #include "src/cache/exact_model.h"
 #include "src/cache/footprint.h"
+#include "src/cache/partitioned.h"
 #include "src/common/check.h"
 #include "src/common/rng.h"
 
@@ -30,6 +31,13 @@ std::string MachineConfig::Validate() const {
     return "hierarchical topologies require the footprint cache model "
            "(the exact per-line model has no LLC tier)";
   }
+  if (cache_model == CacheModelKind::kPartitioned) {
+    if (num_colors < 1 || num_colors > 64) {
+      return "partitioned cache model requires colors in 1..64";
+    }
+  } else if (num_colors != 0) {
+    return "colors is only meaningful with the partitioned cache model";
+  }
   return topology.Validate(num_processors);
 }
 
@@ -46,6 +54,9 @@ std::unique_ptr<CacheModel> BuildCacheModel(const MachineConfig& config, size_t 
       }
       return std::make_unique<FootprintCache>(config.CapacityBlocks(),
                                               config.geometry.ways);
+    case CacheModelKind::kPartitioned:
+      return std::make_unique<PartitionedCacheModel>(config.CapacityBlocks(),
+                                                     config.geometry.ways, config.num_colors);
     case CacheModelKind::kExact: {
       // The exact model's capacity is set by its geometry, so the future-
       // machine cache-size factor scales the byte size directly.

@@ -28,8 +28,9 @@ namespace affsched {
 
 // Which CacheModel implementation each processor's private cache uses.
 enum class CacheModelKind {
-  kFootprint,  // analytic working-set model (the experiments' default)
-  kExact,      // per-line set-associative simulation driven by refstreams
+  kFootprint,    // analytic working-set model (the experiments' default)
+  kExact,        // per-line set-associative simulation driven by refstreams
+  kPartitioned,  // colored/partitioned analytic model (rt workloads)
 };
 
 struct MachineConfig {
@@ -45,6 +46,10 @@ struct MachineConfig {
   SimDuration miss_service = kSymmetryMissService;
   // Kernel path-length cost of a reallocation on the base machine.
   SimDuration switch_cost = kSymmetrySwitchCost;
+  // Number of page colors the partitioned cache model divides each cache
+  // into (1..64). Only meaningful — and only validated — when cache_model is
+  // kPartitioned; 0 otherwise.
+  size_t num_colors = 0;
   // Speed of this machine's processors relative to the base Symmetry.
   double processor_speed = 1.0;
   // Cache size relative to the base Symmetry.

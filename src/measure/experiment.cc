@@ -1,5 +1,7 @@
 #include "src/measure/experiment.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 
 namespace affsched {
@@ -62,6 +64,11 @@ void ReplicationFolder::Fold(const RunResult& run) {
     acc.steals_same_node += x.steals_same_node;
     acc.steals_cross_node += x.steals_cross_node;
     acc.balance_migrations += x.balance_migrations;
+    acc.deadline_misses += x.deadline_misses;
+    acc.tardiness_s += x.tardiness_s;
+    // Worst-case-observed, not an average: the replicated value answers
+    // "what is the worst reload this job ever saw across replications".
+    acc.worst_reload_s = std::max(acc.worst_reload_s, x.worst_reload_s);
     acc.completion += x.completion - x.arrival;
   }
   ++reps_;
@@ -116,6 +123,10 @@ ReplicatedResult ReplicationFolder::Finish() const {
         static_cast<uint64_t>(static_cast<double>(mean.steals_cross_node) / r);
     mean.balance_migrations =
         static_cast<uint64_t>(static_cast<double>(mean.balance_migrations) / r);
+    mean.deadline_misses =
+        static_cast<uint64_t>(static_cast<double>(mean.deadline_misses) / r);
+    mean.tardiness_s /= r;
+    // worst_reload_s stays the max folded above.
     mean.arrival = 0;
     mean.completion = static_cast<SimTime>(static_cast<double>(accum_[j].completion) / r);
     result.mean_stats[j] = mean;

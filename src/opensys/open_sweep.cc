@@ -11,6 +11,7 @@
 #include "src/apps/apps.h"
 #include "src/common/check.h"
 #include "src/measure/experiment.h"
+#include "src/rt/deadline_mix.h"
 #include "src/runner/cell_seed.h"
 #include "src/runner/worker_pool.h"
 #include "src/telemetry/json.h"
@@ -263,6 +264,30 @@ bool ParseOpenSweepSpec(const std::string& text, OpenSweepSpec* spec, std::strin
         return false;
       }
       spec->onoff_burst_factor = factor;
+    } else if (key == "colors") {
+      const int n = std::atoi(value.c_str());
+      if (n < 0 || n > 64) {
+        *error = "colors must be in 0..64 (0 = footprint model)";
+        return false;
+      }
+      spec->machine.num_colors = static_cast<size_t>(n);
+      spec->machine.cache_model =
+          n > 0 ? CacheModelKind::kPartitioned : CacheModelKind::kFootprint;
+    } else if (key == "rt") {
+      if (value == "1" || value == "true" || value == "on") {
+        spec->rt = true;
+      } else if (value == "0" || value == "false" || value == "off") {
+        spec->rt = false;
+      } else {
+        *error = "rt must be 0 or 1, got '" + value + "'";
+        return false;
+      }
+    } else if (key == "deadline-mix" || key == "deadline_mix") {
+      if (!IsDeadlineMix(value)) {
+        *error = "unknown deadline mix '" + value + "' (expected soft|hard|mixed|tight)";
+        return false;
+      }
+      spec->deadline_mix = value;
     } else {
       *error = "unknown open sweep spec key '" + key + "'";
       return false;
@@ -305,8 +330,9 @@ std::unique_ptr<ArrivalProcess> MakeArrivalProcess(const OpenSweepSpec& spec, Ar
   return nullptr;
 }
 
-OpenSystemResult RunOpenCell(const OpenSweepSpec& spec, PolicyKind policy, ArrivalKind kind,
-                             double rho, uint64_t seed, double mean_demand_s) {
+OpenSystemResult RunOpenCell(const OpenSweepSpec& spec, const std::vector<AppProfile>& apps,
+                             PolicyKind policy, ArrivalKind kind, double rho, uint64_t seed,
+                             double mean_demand_s) {
   const double capacity =
       static_cast<double>(spec.machine.num_processors) * spec.machine.processor_speed;
   AFF_CHECK(capacity > 0.0);
@@ -316,7 +342,7 @@ OpenSystemResult RunOpenCell(const OpenSweepSpec& spec, PolicyKind policy, Arriv
       GenerateArrivals(*process, seed, spec.jobs_per_cell, /*t_end=*/0);
   std::unique_ptr<AdmissionController> admission =
       MakeAdmissionController(spec.mpl_cap, spec.max_queue);
-  OpenSystemDriver driver(spec.machine, policy, spec.apps, std::move(plan), admission.get(),
+  OpenSystemDriver driver(spec.machine, policy, apps, std::move(plan), admission.get(),
                           seed, spec.open);
   return driver.Run();
 }
@@ -332,6 +358,17 @@ OpenSweepResult OpenSweepRunner::Run(const OpenSweepSpec& spec) const {
   OpenSweepResult result;
   result.spec = spec;
   result.mean_demand_s = MeanServiceDemandSeconds(spec.apps, spec.app_weights);
+
+  // In rt mode every cell draws from the deadline-stamped application set.
+  // The stamping happens once, here, so the rho -> rate calibration above
+  // (which only depends on work, not deadlines) is unaffected.
+  std::vector<AppProfile> apps = spec.apps;
+  if (spec.rt) {
+    std::string mix_error;
+    AFF_CHECK_MSG(ApplyDeadlineMix(spec.deadline_mix, spec.machine.num_processors, &apps,
+                                   &mix_error),
+                  mix_error.c_str());
+  }
 
   // Expand the grid in serialization order; every cell folds into its
   // preallocated slot, so worker count and execution order cannot reorder
@@ -377,7 +414,22 @@ OpenSweepResult OpenSweepRunner::Run(const OpenSweepSpec& spec) const {
       cell.rho = d.rho;
       cell.replication = d.replication;
       cell.seed = d.seed;
-      cell.result = RunOpenCell(spec, d.policy, d.arrivals, d.rho, d.seed, result.mean_demand_s);
+      cell.result =
+          RunOpenCell(spec, apps, d.policy, d.arrivals, d.rho, d.seed, result.mean_demand_s);
+      if (spec.rt) {
+        // A completed job misses when queue wait + service exceeds its
+        // relative deadline; rejected jobs appear in neither count.
+        for (const OpenJobRecord& job : cell.result.jobs) {
+          const double deadline_s = apps[job.app_index].rt.deadline_s;
+          if (job.rejected || deadline_s <= 0.0) {
+            continue;
+          }
+          ++cell.deadline_checked;
+          if (job.sojourn_s > deadline_s) {
+            ++cell.deadline_misses;
+          }
+        }
+      }
     });
     if (options_.progress) {
       options_.progress(begin + count, descs.size());
@@ -417,6 +469,9 @@ std::string OpenSweepResult::ToJson() const {
     << ",\"root_seed\":" << spec.root_seed << ",\"machine\":{\"procs\":"
     << spec.machine.num_processors << ",\"speed\":" << JsonNumber(spec.machine.processor_speed)
     << ",\"cache\":" << JsonNumber(spec.machine.cache_size_factor);
+  if (spec.machine.cache_model == CacheModelKind::kPartitioned) {
+    o << ",\"colors\":" << spec.machine.num_colors;
+  }
   if (!spec.machine.topology.IsFlat()) {
     o << ",\"topology\":\"" << JsonEscape(spec.machine.topology.ToSpecString()) << "\"";
   }
@@ -441,7 +496,11 @@ std::string OpenSweepResult::ToJson() const {
     << (spec.open.warmup_rule == WarmupRule::kMser ? "mser" : "fraction")
     << "\",\"fraction\":" << JsonNumber(spec.open.warmup_fraction) << "}"
     << ",\"littles_tolerance\":" << JsonNumber(spec.open.littles_tolerance)
-    << ",\"mean_demand_s\":" << JsonNumber(mean_demand_s) << "}";
+    << ",\"mean_demand_s\":" << JsonNumber(mean_demand_s);
+  if (spec.rt) {
+    o << ",\"rt\":true,\"deadline_mix\":\"" << JsonEscape(spec.deadline_mix) << "\"";
+  }
+  o << "}";
 
   o << ",\"cells\":[";
   for (size_t c = 0; c < cells.size(); ++c) {
@@ -462,8 +521,16 @@ std::string OpenSweepResult::ToJson() const {
       << ",\"mean_queue_wait_s\":" << JsonNumber(r.mean_queue_wait_s)
       << ",\"mean_queue_len\":" << JsonNumber(r.mean_queue_len)
       << ",\"mean_jobs_in_system\":" << JsonNumber(r.mean_jobs_in_system)
-      << ",\"affinity_fraction\":" << JsonNumber(r.affinity_fraction)
-      << ",\"throughput_per_s\":" << JsonNumber(r.throughput_per_s)
+      << ",\"affinity_fraction\":" << JsonNumber(r.affinity_fraction);
+    if (spec.rt) {
+      o << ",\"deadline_checked\":" << cell.deadline_checked
+        << ",\"deadline_misses\":" << cell.deadline_misses << ",\"deadline_miss_rate\":"
+        << JsonNumber(cell.deadline_checked > 0
+                          ? static_cast<double>(cell.deadline_misses) /
+                                static_cast<double>(cell.deadline_checked)
+                          : 0.0);
+    }
+    o << ",\"throughput_per_s\":" << JsonNumber(r.throughput_per_s)
       << ",\"end_s\":" << JsonNumber(ToSeconds(r.end_time))
       << ",\"littles_law\":{\"l\":" << JsonNumber(r.littles.mean_jobs_in_system)
       << ",\"lambda_per_s\":" << JsonNumber(r.littles.arrival_rate_per_s)

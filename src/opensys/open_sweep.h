@@ -70,6 +70,16 @@ struct OpenSweepSpec {
   double onoff_burst_factor = 4.0;
   double onoff_burst_arrivals = 12.0;
 
+  // Real-time mode: stamp the deadline mix onto the application set before
+  // any cell runs, and report per-cell deadline-miss counts (a completed job
+  // misses when its sojourn — queue wait plus service — exceeds its relative
+  // deadline; rejected jobs are excluded). The document stays schema 2; the
+  // extra fields only appear when rt is set, so non-rt documents are
+  // byte-identical. Spec keys: rt=1, deadline-mix=soft|hard|mixed|tight,
+  // colors=N (partitioned cache substrate).
+  bool rt = false;
+  std::string deadline_mix = "soft";
+
   uint64_t root_seed = 2000;
   OpenSystemOptions open;
 
@@ -92,7 +102,9 @@ OpenSweepSpec OpenSysSmokeSpec();  // 2 policies x 2 rhos x poisson
 // count (arrivals per cell), reps, seed, procs, speed, cache, topology,
 // steal (comma-separated steal radii — sugar for the mq-* policy family),
 // mpl-cap, max-queue, warmup ("mser" or a fraction), burst (on/off burst
-// factor).
+// factor), colors (partitioned cache model with N page colors; 0 restores
+// footprint), rt (0/1 — deadline accounting), deadline-mix
+// (soft|hard|mixed|tight).
 bool ParseOpenSweepSpec(const std::string& text, OpenSweepSpec* spec, std::string* error);
 
 // Deterministic mean job demand in seconds of base-machine work: a fixed
@@ -108,6 +120,10 @@ struct OpenCellResult {
   size_t replication = 0;
   uint64_t seed = 0;
   OpenSystemResult result;
+  // Real-time accounting (populated only when the spec has rt set):
+  // completed jobs carrying an active deadline, and how many missed it.
+  size_t deadline_checked = 0;
+  uint64_t deadline_misses = 0;
 };
 
 struct OpenSweepResult {

@@ -1,0 +1,80 @@
+#include "src/rt/deadline_mix.h"
+
+#include <algorithm>
+
+namespace affsched {
+
+namespace {
+
+struct MixEntry {
+  const char* name;
+  // Slack factors applied alternately (index parity); equal for pure mixes.
+  double slack_even;
+  double slack_odd;
+  bool hard_even;
+  bool hard_odd;
+};
+
+// Soft mixes leave headroom for scheduling noise, hard mixes little; the
+// tight mix is infeasible by construction (slack < 1 of the *ideal* makespan)
+// so every completion is tardy.
+constexpr MixEntry kMixes[] = {
+    {"soft", 1.6, 1.6, false, false},
+    {"hard", 1.25, 1.25, true, true},
+    {"mixed", 1.25, 1.6, true, false},
+    {"tight", 0.5, 0.5, true, true},
+};
+
+const MixEntry* FindMix(const std::string& name) {
+  for (const MixEntry& entry : kMixes) {
+    if (name == entry.name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<std::string> DeadlineMixNames() {
+  std::vector<std::string> names;
+  for (const MixEntry& entry : kMixes) {
+    names.emplace_back(entry.name);
+  }
+  return names;
+}
+
+bool IsDeadlineMix(const std::string& name) { return FindMix(name) != nullptr; }
+
+bool ApplyDeadlineMix(const std::string& mix, size_t num_processors,
+                      std::vector<AppProfile>* profiles, std::string* error) {
+  const MixEntry* entry = FindMix(mix);
+  if (entry == nullptr) {
+    if (error != nullptr) {
+      *error = "unknown deadline mix '" + mix + "' (expected soft|hard|mixed|tight)";
+    }
+    return false;
+  }
+  if (profiles == nullptr || profiles->empty()) {
+    return true;
+  }
+  // The share each job can count on under an equipartition-style policy.
+  const size_t share = std::max<size_t>(1, num_processors / profiles->size());
+  for (size_t i = 0; i < profiles->size(); ++i) {
+    AppProfile& profile = (*profiles)[i];
+    if (profile.expected_work_s <= 0.0) {
+      continue;  // no work estimate, stays best-effort
+    }
+    const size_t width = std::max<size_t>(1, std::min(profile.max_parallelism, share));
+    const double ideal_s = profile.expected_work_s / static_cast<double>(width);
+    const bool odd = (i % 2) != 0;
+    const double slack = odd ? entry->slack_odd : entry->slack_even;
+    profile.rt.wcet_s = ideal_s;
+    profile.rt.deadline_s = slack * ideal_s;
+    profile.rt.period_s = profile.rt.deadline_s;
+    profile.rt.hard = odd ? entry->hard_odd : entry->hard_even;
+  }
+  return true;
+}
+
+}  // namespace affsched

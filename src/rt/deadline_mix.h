@@ -1,0 +1,36 @@
+// Named deadline mixes: how an rt sweep turns a plain application mix into a
+// deadline-bearing one.
+//
+// A mix stamps RtParams onto every profile from two machine-level facts — the
+// job's expected useful work and the processor share it can count on — so the
+// same application set can be run as soft, hard, or mixed real-time load
+// without new workload definitions. The "tight" mix (slack < 1) is a
+// guaranteed-miss fixture for exercising the miss-accounting path.
+
+#ifndef SRC_RT_DEADLINE_MIX_H_
+#define SRC_RT_DEADLINE_MIX_H_
+
+#include <string>
+#include <vector>
+
+#include "src/workload/app_profile.h"
+
+namespace affsched {
+
+// The mixes ApplyDeadlineMix accepts: "soft", "hard", "mixed", "tight".
+std::vector<std::string> DeadlineMixNames();
+
+bool IsDeadlineMix(const std::string& name);
+
+// Stamps RtParams onto every profile in `profiles`. The relative deadline is
+// slack x the job's ideal makespan on its equipartition share of
+// `num_processors` (soft 1.6, hard 1.25, mixed alternating, tight 0.5); the
+// WCET estimate is that ideal makespan and the period equals the deadline.
+// Profiles with no expected_work_s estimate are left best-effort. Returns
+// false (and sets *error when non-null) on an unknown mix name.
+bool ApplyDeadlineMix(const std::string& mix, size_t num_processors,
+                      std::vector<AppProfile>* profiles, std::string* error = nullptr);
+
+}  // namespace affsched
+
+#endif  // SRC_RT_DEADLINE_MIX_H_

@@ -59,6 +59,7 @@ void HeartbeatWriter::OnRound(const SweepRoundStats& stats) {
   line += ",\"wall_s\":" + JsonNumber(stats.total_wall_s);
   line += ",\"cell_wall_s\":" + JsonNumber(per_cell);
   line += ",\"events_per_s\":" + JsonNumber(events_per_s);
+  line += ",\"deadline_misses\":" + std::to_string(stats.round_deadline_misses);
   line += ",\"eta_s\":" + JsonNumber(eta_s) + "}";
   WriteLine(line);
 }

@@ -31,6 +31,9 @@ struct SweepRoundStats {
   double round_wall_s = 0;   // wall time this round spent in ParallelFor
   double total_wall_s = 0;   // wall time since Run() started
   uint64_t round_events = 0; // simulation events executed this round
+  // Deadline misses across this round's cells (0 outside rt sweeps) — lets a
+  // dashboard watch an rt sweep's miss behaviour before the result exists.
+  uint64_t round_deadline_misses = 0;
 };
 
 // Appends JSONL heartbeat records to a file (or stderr when path is "-").

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/rt/deadline_mix.h"
 #include "src/runner/cell_seed.h"
 #include "src/runner/worker_pool.h"
 
@@ -55,6 +56,12 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
   for (const WorkloadMix& mix : spec.mixes) {
     mix_jobs.push_back(mix.Expand(spec.apps));
     AFF_CHECK_MSG(!mix_jobs.back().empty(), "mix expands to zero jobs");
+    if (spec.rt) {
+      std::string mix_error;
+      AFF_CHECK_MSG(ApplyDeadlineMix(spec.deadline_mix, spec.machine.num_processors,
+                                     &mix_jobs.back(), &mix_error),
+                    mix_error.c_str());
+    }
   }
 
   // Mix-major, then policy — the order experiments appear in the result.
@@ -129,8 +136,12 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
     const double round_wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - round_start).count();
     uint64_t round_events = 0;
+    uint64_t round_deadline_misses = 0;
     for (const RunResult& r : round) {
       round_events += r.events;
+      for (const JobResult& job : r.jobs) {
+        round_deadline_misses += job.stats.deadline_misses;
+      }
     }
     ++round_index;
 
@@ -172,6 +183,7 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
         stats.total_wall_s =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
         stats.round_events = round_events;
+        stats.round_deadline_misses = round_deadline_misses;
         options_.round_stats(stats);
       }
       if (options_.progress) {

@@ -4,9 +4,12 @@
 #include <fstream>
 #include <sstream>
 
+#include <algorithm>
+
 #include "src/apps/apps.h"
 #include "src/common/check.h"
 #include "src/common/time.h"
+#include "src/rt/deadline_mix.h"
 #include "src/runner/cell_seed.h"
 #include "src/telemetry/json.h"
 
@@ -115,6 +118,21 @@ SweepSpec MqSpec() {
   return spec;
 }
 
+SweepSpec RtSpec() {
+  SweepSpec spec = BaseSpec();
+  spec.name = "rt";
+  spec.policies = {PolicyKind::kDynAff, PolicyKind::kRtStaticAffinity, PolicyKind::kRtColorIso};
+  spec.mixes = {PaperMixes()[0], PaperMixes()[4]};
+  spec.replication.min_replications = 2;
+  spec.replication.max_replications = 2;
+  spec.root_seed = 1000;
+  spec.rt = true;
+  spec.deadline_mix = "soft";
+  spec.machine.cache_model = CacheModelKind::kPartitioned;
+  spec.machine.num_colors = 8;
+  return spec;
+}
+
 bool ParseSweepSpec(const std::string& text, SweepSpec* spec, std::string* error) {
   if (text.empty()) {
     *error = "empty sweep spec";
@@ -134,6 +152,8 @@ bool ParseSweepSpec(const std::string& text, SweepSpec* spec, std::string* error
       *spec = SmokeSpec();
     } else if (preset == "mq") {
       *spec = MqSpec();
+    } else if (preset == "rt") {
+      *spec = RtSpec();
     } else {
       *error = "unknown sweep preset '" + preset + "'";
       return false;
@@ -242,6 +262,30 @@ bool ParseSweepSpec(const std::string& text, SweepSpec* spec, std::string* error
         return false;
       }
       spec->engine.balance_interval = Milliseconds(ms);
+    } else if (key == "colors") {
+      const int n = std::atoi(value.c_str());
+      if (n < 0 || n > 64) {
+        *error = "colors must be in 0..64 (0 = footprint model)";
+        return false;
+      }
+      spec->machine.num_colors = static_cast<size_t>(n);
+      spec->machine.cache_model =
+          n > 0 ? CacheModelKind::kPartitioned : CacheModelKind::kFootprint;
+    } else if (key == "rt") {
+      if (value == "1" || value == "true" || value == "on") {
+        spec->rt = true;
+      } else if (value == "0" || value == "false" || value == "off") {
+        spec->rt = false;
+      } else {
+        *error = "rt must be 0 or 1, got '" + value + "'";
+        return false;
+      }
+    } else if (key == "deadline-mix" || key == "deadline_mix") {
+      if (!IsDeadlineMix(value)) {
+        *error = "unknown deadline mix '" + value + "' (expected soft|hard|mixed|tight)";
+        return false;
+      }
+      spec->deadline_mix = value;
     } else if (key == "topology") {
       // topology=preset or topology=preset,key=value,... (comma-separated;
       // see src/topology). Cell seeds do not depend on the topology, so
@@ -281,7 +325,7 @@ namespace {
 // steal blocks only for grids containing a multi-queue policy, so the
 // flat-machine JSON stays byte-identical to the pre-topology schema (pinned
 // by tests/golden/).
-std::string StatsJson(const JobStats& stats, bool tiered, bool mq) {
+std::string StatsJson(const JobStats& stats, bool tiered, bool mq, bool rt) {
   std::ostringstream o;
   o << "{\"useful_work_s\":" << JsonNumber(stats.useful_work_s)
     << ",\"reload_stall_s\":" << JsonNumber(stats.reload_stall_s)
@@ -308,6 +352,11 @@ std::string StatsJson(const JobStats& stats, bool tiered, bool mq) {
       << ",\"cross_node\":" << stats.steals_cross_node << "}"
       << ",\"balance_migrations\":" << stats.balance_migrations;
   }
+  if (rt) {
+    o << ",\"deadline_misses\":" << stats.deadline_misses
+      << ",\"tardiness_s\":" << JsonNumber(stats.tardiness_s)
+      << ",\"worst_reload_s\":" << JsonNumber(stats.worst_reload_s);
+  }
   o << "}";
   return o.str();
 }
@@ -316,14 +365,19 @@ std::string StatsJson(const JobStats& stats, bool tiered, bool mq) {
 
 std::string SweepResult::ToJson() const {
   std::ostringstream o;
-  // schema_version 3 = 1 + the opt-in "observability" block; the default
-  // document is byte-identical to schema 1 so golden baselines stay pinned.
-  o << "{\"schema_version\":" << (spec.observability ? 3 : 1) << ",\"tool\":\"sweep_runner\"";
+  // schema_version 3 = 1 + the opt-in "observability" and/or "rt" blocks; the
+  // default document is byte-identical to schema 1 so golden baselines stay
+  // pinned.
+  o << "{\"schema_version\":" << ((spec.observability || spec.rt) ? 3 : 1)
+    << ",\"tool\":\"sweep_runner\"";
 
   o << ",\"spec\":{\"name\":\"" << JsonEscape(spec.name) << "\""
     << ",\"root_seed\":" << spec.root_seed << ",\"machine\":{\"procs\":"
     << spec.machine.num_processors << ",\"speed\":" << JsonNumber(spec.machine.processor_speed)
     << ",\"cache\":" << JsonNumber(spec.machine.cache_size_factor);
+  if (spec.machine.cache_model == CacheModelKind::kPartitioned) {
+    o << ",\"colors\":" << spec.machine.num_colors;
+  }
   if (!spec.machine.topology.IsFlat()) {
     o << ",\"topology\":\"" << JsonEscape(spec.machine.topology.ToSpecString()) << "\"";
   }
@@ -339,7 +393,11 @@ std::string SweepResult::ToJson() const {
   o << "],\"replications\":{\"min\":" << spec.replication.min_replications
     << ",\"max\":" << spec.replication.max_replications
     << ",\"precision\":" << JsonNumber(spec.replication.relative_precision)
-    << ",\"confidence\":" << JsonNumber(spec.replication.confidence) << "}}";
+    << ",\"confidence\":" << JsonNumber(spec.replication.confidence) << "}";
+  if (spec.rt) {
+    o << ",\"rt\":true,\"deadline_mix\":\"" << JsonEscape(spec.deadline_mix) << "\"";
+  }
+  o << "}";
 
   const bool tiered = !spec.machine.topology.IsFlat();
   bool mq = false;
@@ -357,7 +415,7 @@ std::string SweepResult::ToJson() const {
       o << (j > 0 ? "," : "") << "{\"index\":" << j << ",\"app\":\"" << JsonEscape(rep.app[j])
         << "\",\"mean_response_s\":" << JsonNumber(rep.MeanResponse(j)) << ",\"ci_half_width_s\":"
         << JsonNumber(rep.response[j].ConfidenceHalfWidth(spec.replication.confidence))
-        << ",\"mean_stats\":" << StatsJson(rep.mean_stats[j], tiered, mq) << "}";
+        << ",\"mean_stats\":" << StatsJson(rep.mean_stats[j], tiered, mq, spec.rt) << "}";
     }
     o << "],\"cells\":[";
     for (size_t c = 0; c < experiment.cells.size(); ++c) {
@@ -406,6 +464,65 @@ std::string SweepResult::ToJson() const {
         << ",\"migrations\":{\"same_core\":" << mig_core
         << ",\"same_cluster\":" << mig_cluster << ",\"same_node\":" << mig_node
         << ",\"cross_node\":" << mig_cross << "}}";
+    }
+    o << "]}";
+  }
+
+  if (spec.rt) {
+    // Real-time summary per experiment, derived from the recorded cells (or
+    // from the replicated means when cells were not recorded): deadline-miss
+    // rate over all (job, replication) completions, mean and p99 tardiness,
+    // and the worst-case-observed reload across the whole experiment.
+    o << ",\"rt\":{\"deadline_mix\":\"" << JsonEscape(spec.deadline_mix)
+      << "\",\"experiments\":[";
+    for (size_t e = 0; e < experiments.size(); ++e) {
+      const ExperimentResult& experiment = experiments[e];
+      uint64_t misses = 0;
+      uint64_t completions = 0;
+      double worst_reload = 0.0;
+      std::vector<double> tardiness;
+      if (!experiment.cells.empty()) {
+        for (const CellResult& cell : experiment.cells) {
+          for (const JobResult& job : cell.run.jobs) {
+            misses += job.stats.deadline_misses;
+            ++completions;
+            tardiness.push_back(job.stats.tardiness_s);
+            worst_reload = std::max(worst_reload, job.stats.worst_reload_s);
+          }
+        }
+      } else {
+        for (const JobStats& stats : experiment.replicated.mean_stats) {
+          misses += stats.deadline_misses;
+          ++completions;
+          tardiness.push_back(stats.tardiness_s);
+          worst_reload = std::max(worst_reload, stats.worst_reload_s);
+        }
+      }
+      std::sort(tardiness.begin(), tardiness.end());
+      double sum_tardiness = 0.0;
+      for (double t : tardiness) {
+        sum_tardiness += t;
+      }
+      const double mean_tardiness =
+          completions > 0 ? sum_tardiness / static_cast<double>(completions) : 0.0;
+      double p99 = 0.0;
+      if (!tardiness.empty()) {
+        const size_t n = tardiness.size();
+        size_t idx = (99 * n + 99) / 100;  // ceil(0.99 * n)
+        if (idx == 0) {
+          idx = 1;
+        }
+        p99 = tardiness[idx - 1];
+      }
+      o << (e > 0 ? "," : "") << "{\"policy\":\"" << PolicyKindCliName(experiment.policy)
+        << "\",\"mix\":" << experiment.mix.number << ",\"completions\":" << completions
+        << ",\"deadline_misses\":" << misses << ",\"deadline_miss_rate\":"
+        << JsonNumber(completions > 0
+                          ? static_cast<double>(misses) / static_cast<double>(completions)
+                          : 0.0)
+        << ",\"mean_tardiness_s\":" << JsonNumber(mean_tardiness)
+        << ",\"p99_tardiness_s\":" << JsonNumber(p99)
+        << ",\"worst_reload_s\":" << JsonNumber(worst_reload) << "}";
     }
     o << "]}";
   }

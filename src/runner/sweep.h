@@ -74,6 +74,15 @@ struct SweepSpec {
   // document stays byte-identical to schema_version 1 (pinned by
   // tests/golden/). Spec key: observability=1.
   bool observability = false;
+  // Real-time mode: stamp the deadline mix onto every expanded job list
+  // before simulating, add per-job deadline/tardiness/worst-reload fields to
+  // mean_stats, and emit a schema-v3 top-level "rt" block (deadline-miss
+  // rate, tardiness percentiles, worst-case-observed reload per experiment).
+  // Off by default so non-rt documents stay byte-identical. Spec keys: rt=1,
+  // deadline-mix=soft|hard|mixed|tight (colors=N selects the partitioned
+  // cache substrate independently).
+  bool rt = false;
+  std::string deadline_mix = "soft";
 
   // Total cells at the minimum replication count (scheduling lower bound).
   size_t MinCells() const;
@@ -90,16 +99,23 @@ SweepSpec SmokeSpec();   // 3 policies x mixes {1,5}, fixed 2 reps, seed 1000
 // "steals":{"same_cluster","same_node","cross_node"} block and a
 // "balance_migrations" count; non-mq documents are byte-identical to before.
 SweepSpec MqSpec();
+// Real-time preset: dyn-aff vs the static rt policies on an 8-color
+// partitioned machine, mixes {1,5}, fixed 2 reps, seed 1000, soft deadline
+// mix. The document is schema v3 with the "rt" block described above.
+SweepSpec RtSpec();
 
 // Parses a sweep spec string: either a preset name ("fig5", "table3",
-// "future", "smoke", "mq"), a "key=value;key=value" list, or a preset
+// "future", "smoke", "mq", "rt"), a "key=value;key=value" list, or a preset
 // followed by overrides ("fig5;reps=2;procs=8"). Keys: policies
 // (comma-separated CLI names), mixes (comma-separated Table 2 numbers), reps
 // (N fixed or MIN-MAX adaptive), precision, seed, procs, speed, cache,
 // topology, observability (0/1 — schema-v3 affinity-efficiency block), steal
 // (comma-separated steal radii — nosteal/sibling/cluster/numa — sugar that
 // replaces the policy list with the matching mq-* kinds), balance-interval
-// (milliseconds between load-balance ticks, overriding the policy default).
+// (milliseconds between load-balance ticks, overriding the policy default),
+// colors (N >= 1 selects the partitioned cache model with N page colors; 0
+// restores the footprint model), rt (0/1 — deadline accounting + "rt"
+// block), deadline-mix (soft|hard|mixed|tight).
 // Returns false and sets `error` on malformed input.
 bool ParseSweepSpec(const std::string& text, SweepSpec* spec, std::string* error);
 

@@ -4,6 +4,7 @@
 #include "src/sched/dynamic.h"
 #include "src/sched/equipartition.h"
 #include "src/sched/multiqueue.h"
+#include "src/sched/rt_static.h"
 #include "src/sched/timeshare.h"
 
 namespace affsched {
@@ -40,6 +41,10 @@ std::unique_ptr<Policy> MakePolicy(PolicyKind kind) {
       return std::make_unique<MultiQueuePolicy>(MultiQueueOptions{.steal_tier = 2});
     case PolicyKind::kMqNuma:
       return std::make_unique<MultiQueuePolicy>(MultiQueueOptions{.steal_tier = 3});
+    case PolicyKind::kRtStaticAffinity:
+      return std::make_unique<RtStaticPolicy>(RtStaticOptions{});
+    case PolicyKind::kRtColorIso:
+      return std::make_unique<RtStaticPolicy>(RtStaticOptions{.isolate_colors = true});
   }
   AFF_CHECK_MSG(false, "unknown policy kind");
 }
@@ -74,6 +79,10 @@ std::string PolicyKindCliName(PolicyKind kind) {
       return "mq-cluster";
     case PolicyKind::kMqNuma:
       return "mq-numa";
+    case PolicyKind::kRtStaticAffinity:
+      return "rt-static-affinity";
+    case PolicyKind::kRtColorIso:
+      return "rt-color-iso";
   }
   AFF_CHECK_MSG(false, "unknown policy kind");
 }
@@ -84,7 +93,7 @@ bool PolicyKindFromName(const std::string& name, PolicyKind* kind) {
         PolicyKind::kDynAffNoPri, PolicyKind::kDynAffDelay, PolicyKind::kDynAffCluster,
         PolicyKind::kDynAffNode, PolicyKind::kTimeShare, PolicyKind::kTimeShareAff,
         PolicyKind::kMqNoSteal, PolicyKind::kMqSibling, PolicyKind::kMqCluster,
-        PolicyKind::kMqNuma}) {
+        PolicyKind::kMqNuma, PolicyKind::kRtStaticAffinity, PolicyKind::kRtColorIso}) {
     if (name == PolicyKindCliName(candidate)) {
       *kind = candidate;
       return true;
@@ -136,6 +145,14 @@ bool PolicyKindFromStealName(const std::string& name, PolicyKind* kind) {
     }
   }
   return false;
+}
+
+std::vector<PolicyKind> RtPolicyFamily() {
+  return {PolicyKind::kRtStaticAffinity, PolicyKind::kRtColorIso};
+}
+
+bool IsRtPolicy(PolicyKind kind) {
+  return kind == PolicyKind::kRtStaticAffinity || kind == PolicyKind::kRtColorIso;
 }
 
 }  // namespace affsched

@@ -25,6 +25,8 @@ enum class PolicyKind {
   kMqSibling,
   kMqCluster,
   kMqNuma,
+  kRtStaticAffinity,
+  kRtColorIso,
 };
 
 // Default hold time for Dyn-Aff-Delay.
@@ -41,7 +43,8 @@ std::string PolicyKindCliName(PolicyKind kind);
 // Parses the short command-line names used by simctl and the sweep specs
 // ("equi", "dynamic", "dyn-aff", "dyn-aff-nopri", "dyn-aff-delay",
 // "dyn-aff-cluster", "dyn-aff-node", "timeshare", "timeshare-aff",
-// "mq-nosteal", "mq-sibling", "mq-cluster", "mq-numa").
+// "mq-nosteal", "mq-sibling", "mq-cluster", "mq-numa", "rt-static-affinity",
+// "rt-color-iso").
 // Returns false on an unknown name.
 bool PolicyKindFromName(const std::string& name, PolicyKind* kind);
 
@@ -64,6 +67,14 @@ bool IsMqPolicy(PolicyKind kind);
 // "cluster", "numa"); parses the reverse direction too.
 std::string StealPolicyName(PolicyKind kind);
 bool PolicyKindFromStealName(const std::string& name, PolicyKind* kind);
+
+// The static real-time policies (src/sched/rt_static.h), span-only variant
+// first, then with per-job color isolation.
+std::vector<PolicyKind> RtPolicyFamily();
+
+// True for the static real-time kinds (their runs report deadline/tardiness
+// terms the best-effort policies never produce).
+bool IsRtPolicy(PolicyKind kind);
 
 }  // namespace affsched
 

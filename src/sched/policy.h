@@ -98,6 +98,33 @@ class SchedView {
     (void)proc;
     return 0.0;
   }
+
+  // Per-job profile facts the static rt policies plan from. Defaulted to
+  // zero so views without job profiles (unit-test harnesses) degrade to
+  // uniform clustering rather than misbehaving.
+
+  // Working-set size of one worker of `job`, in cache blocks.
+  virtual double WorkingSetBlocks(JobId job) const {
+    (void)job;
+    return 0.0;
+  }
+
+  // Shared-data write rate of `job`'s workers (writes/sec) — the coherence
+  // traffic that makes co-locating communicating threads on one LLC pay off.
+  virtual double SharedWriteRate(JobId job) const {
+    (void)job;
+    return 0.0;
+  }
+
+  // Relative deadline of `job` in seconds; 0 for best-effort jobs.
+  virtual double DeadlineSeconds(JobId job) const {
+    (void)job;
+    return 0.0;
+  }
+
+  // Number of cache colors on the machine; 0 when the cache is not
+  // partitioned (color-slicing policies then fall back to full masks).
+  virtual size_t NumColors() const { return 0; }
 };
 
 // Sentinel for Assignment::steal_tier: the assignment is not a steal.
@@ -170,6 +197,18 @@ class Policy {
   // Called on each balance tick when balancing is enabled; may migrate work
   // between local queues by returning assignments.
   virtual PolicyDecision OnBalanceTick(const SchedView& view);
+
+  // Cache-color reservation for `job`, consulted once at arrival when the
+  // machine runs the partitioned cache model (bit i = color i; the engine
+  // trims the mask to the machine's color count). The default all-ones mask
+  // reserves every color, which keeps non-partitioning policies byte-
+  // identical to their flat-cache behaviour on a 1-color machine and merely
+  // unisolated on a many-color one.
+  virtual uint64_t ColorMask(const SchedView& view, JobId job) {
+    (void)view;
+    (void)job;
+    return ~0ull;
+  }
 };
 
 }  // namespace affsched

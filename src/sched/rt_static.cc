@@ -1,0 +1,83 @@
+#include "src/sched/rt_static.h"
+
+namespace affsched {
+
+PolicyDecision RtStaticPolicy::Replan(const SchedView& view) {
+  std::vector<RtJobInfo> infos;
+  for (JobId id : view.ActiveJobs()) {
+    RtJobInfo info;
+    info.job = id;
+    info.max_parallelism = view.MaxParallelism(id);
+    info.working_set_blocks = view.WorkingSetBlocks(id);
+    info.shared_write_per_s = view.SharedWriteRate(id);
+    info.deadline_s = view.DeadlineSeconds(id);
+    infos.push_back(info);
+  }
+  plan_ = ComputeStaticAssignment(
+      infos, view.NumProcessors(), view.NumColors(), options_.isolate_colors,
+      [&view](size_t from, size_t to) { return view.DistanceTier(from, to); });
+  PolicyDecision decision;
+  decision.targets = plan_.share;
+  return decision;
+}
+
+PolicyDecision RtStaticPolicy::OnJobArrival(const SchedView& view, JobId /*job*/) {
+  return Replan(view);
+}
+
+PolicyDecision RtStaticPolicy::OnJobDeparture(const SchedView& view, JobId /*job*/) {
+  return Replan(view);
+}
+
+PolicyDecision RtStaticPolicy::OnProcessorAvailable(const SchedView& view, size_t proc) {
+  // A processor only ever goes to its planned span owner; if the owner has no
+  // use for it right now it stays where it is. This is the same waste /
+  // predictability trade Equipartition makes, applied to a fixed map.
+  if (proc >= plan_.proc_owner.size() || view.ReassignmentPending(proc)) {
+    return {};
+  }
+  const JobId owner = plan_.proc_owner[proc];
+  if (owner == kInvalidJobId || view.ProcessorJob(proc) == owner ||
+      view.PendingDemand(owner) == 0) {
+    return {};
+  }
+  PolicyDecision decision;
+  Assignment a;
+  a.proc = proc;
+  a.job = owner;
+  a.reason = view.ProcessorJob(proc) == kInvalidJobId ? DecisionReason::kFreeProcessor
+                                                      : DecisionReason::kRepartition;
+  decision.assignments.push_back(a);
+  return decision;
+}
+
+PolicyDecision RtStaticPolicy::OnRequest(const SchedView& view, JobId job) {
+  // Grant free processors inside the job's own span only.
+  for (size_t proc = 0; proc < plan_.proc_owner.size() && proc < view.NumProcessors();
+       ++proc) {
+    if (plan_.proc_owner[proc] != job || view.ReassignmentPending(proc)) {
+      continue;
+    }
+    if (view.ProcessorJob(proc) != kInvalidJobId) {
+      continue;
+    }
+    PolicyDecision decision;
+    Assignment a;
+    a.proc = proc;
+    a.job = job;
+    a.reason = DecisionReason::kFreeProcessor;
+    decision.assignments.push_back(a);
+    return decision;
+  }
+  return {};
+}
+
+uint64_t RtStaticPolicy::ColorMask(const SchedView& /*view*/, JobId job) {
+  if (!options_.isolate_colors) {
+    return ~0ull;
+  }
+  auto it = plan_.color_mask.find(job);
+  return it == plan_.color_mask.end() ? ~0ull : it->second;
+}
+
+}  // namespace affsched

@@ -1,0 +1,58 @@
+// Static affinity assignment for real-time workloads (rt-static-affinity and
+// rt-color-iso).
+//
+// Where the dynamic policies chase cache context at every decision point, the
+// rt policies plan once per arrival/departure from job profiles alone
+// (src/rt/static_assign.h): each job gets a fixed processor span, sized
+// equipartition-style and placed so communicating workers share an LLC, and —
+// in the color-isolating variant — a disjoint slice of the partitioned
+// cache's colors. Between plan changes processors are never redistributed, so
+// a job's worst-case reload transient is bounded by its own span churn rather
+// than by whatever the other jobs are doing.
+
+#ifndef SRC_SCHED_RT_STATIC_H_
+#define SRC_SCHED_RT_STATIC_H_
+
+#include "src/rt/static_assign.h"
+#include "src/sched/policy.h"
+
+namespace affsched {
+
+struct RtStaticOptions {
+  // Carve the partitioned cache's colors into disjoint per-job slices
+  // (rt-color-iso). Without it every job reserves all colors and isolation
+  // comes from the static spans alone (rt-static-affinity).
+  bool isolate_colors = false;
+};
+
+class RtStaticPolicy : public Policy {
+ public:
+  explicit RtStaticPolicy(RtStaticOptions options = {}) : options_(options) {}
+
+  std::string name() const override {
+    return options_.isolate_colors ? "RT-Color-Iso" : "RT-Static-Affinity";
+  }
+
+  PolicyDecision OnJobArrival(const SchedView& view, JobId job) override;
+  PolicyDecision OnJobDeparture(const SchedView& view, JobId job) override;
+  PolicyDecision OnProcessorAvailable(const SchedView& view, size_t proc) override;
+  PolicyDecision OnRequest(const SchedView& view, JobId job) override;
+
+  // Workers stay inside their job's fixed span.
+  bool UsesAffinity() const override { return true; }
+
+  uint64_t ColorMask(const SchedView& view, JobId job) override;
+
+  // The current static plan (unit tests inspect spans and color slices).
+  const RtAssignment& plan() const { return plan_; }
+
+ private:
+  PolicyDecision Replan(const SchedView& view);
+
+  RtStaticOptions options_;
+  RtAssignment plan_;
+};
+
+}  // namespace affsched
+
+#endif  // SRC_SCHED_RT_STATIC_H_

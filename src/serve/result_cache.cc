@@ -53,7 +53,10 @@ void AppendStats(const JobStats& stats, std::ostringstream& o) {
     << ",\"steal_cluster\":" << stats.steals_same_cluster
     << ",\"steal_node\":" << stats.steals_same_node
     << ",\"steal_cross\":" << stats.steals_cross_node
-    << ",\"balance_migrations\":" << stats.balance_migrations << "}";
+    << ",\"balance_migrations\":" << stats.balance_migrations
+    << ",\"deadline_misses\":" << stats.deadline_misses
+    << ",\"tardiness_s\":" << ExactDouble(stats.tardiness_s)
+    << ",\"worst_reload_s\":" << ExactDouble(stats.worst_reload_s) << "}";
 }
 
 // Reads one required numeric member; false when absent or non-numeric.
@@ -113,6 +116,12 @@ bool DecodeStats(const JsonValue& obj, JobStats* stats) {
   stats->steals_cross_node = v->AsUint64();
   if (!GetNum(obj, "balance_migrations", &v)) return false;
   stats->balance_migrations = v->AsUint64();
+  if (!GetNum(obj, "deadline_misses", &v)) return false;
+  stats->deadline_misses = v->AsUint64();
+  if (!GetNum(obj, "tardiness_s", &v)) return false;
+  stats->tardiness_s = v->AsDouble();
+  if (!GetNum(obj, "worst_reload_s", &v)) return false;
+  stats->worst_reload_s = v->AsDouble();
   return true;
 }
 
@@ -135,7 +144,7 @@ ResultCache::ResultCache(const ResultCacheOptions& options) : options_(options) 
 std::string ResultCache::EncodeEntry(const std::string& key, const CellEntryMeta& meta,
                                      const RunResult& result) {
   std::ostringstream o;
-  o << "{\"entry_schema\":1,\"key\":\"" << JsonEscape(key) << "\",\"policy\":\""
+  o << "{\"entry_schema\":2,\"key\":\"" << JsonEscape(key) << "\",\"policy\":\""
     << JsonEscape(meta.policy) << "\",\"mix\":" << meta.mix << ",\"rep\":" << meta.replication
     << ",\"seed\":" << SeedToDecimal(meta.seed) << ",\"makespan\":" << result.makespan
     << ",\"events\":" << result.events << ",\"jobs\":[";
@@ -155,7 +164,7 @@ bool ResultCache::DecodeEntry(const std::string& text, RunResult* out, CellEntry
     return false;
   }
   const JsonValue* schema = doc.Get("entry_schema");
-  if (schema == nullptr || schema->AsInt64(-1) != 1) {
+  if (schema == nullptr || schema->AsInt64(-1) != 2) {
     return false;
   }
   const JsonValue* makespan = nullptr;

@@ -38,7 +38,12 @@ void AppendMachineCanon(const SweepSpec& spec, std::ostringstream& o) {
     << ";cache=" << JsonNumber(spec.machine.cache_size_factor)
     << ";topology=" << (spec.machine.topology.IsFlat() ? std::string("flat")
                                                        : spec.machine.topology.ToSpecString())
-    << ";balance-ns=" << spec.engine.balance_interval;
+    << ";balance-ns=" << spec.engine.balance_interval
+    // The partitioned substrate and the deadline stamp both change every
+    // cell's simulated stats, so they are part of both key levels.
+    << ";colors="
+    << (spec.machine.cache_model == CacheModelKind::kPartitioned ? spec.machine.num_colors : 0)
+    << ";rt=" << (spec.rt ? 1 : 0) << ";deadline-mix=" << (spec.rt ? spec.deadline_mix : "none");
 }
 
 }  // namespace

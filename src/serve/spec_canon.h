@@ -37,7 +37,9 @@ namespace affsched {
 
 // Bump when the cache entry encoding changes incompatibly; part of every
 // cell key, so stale-format entries become unreachable instead of corrupt.
-inline constexpr int kCellEntrySchemaVersion = 1;
+// v2: JobStats gained the real-time fields (deadline_misses, tardiness_s,
+// worst_reload_s), which every entry now round-trips.
+inline constexpr int kCellEntrySchemaVersion = 2;
 
 // FNV-1a over `text`, with a caller-chosen basis so two independent 64-bit
 // digests can be concatenated into one 128-bit key.

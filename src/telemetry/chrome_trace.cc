@@ -288,6 +288,13 @@ std::string ChromeTraceWriter::ToJson(size_t num_procs,
                        "thread done " + emit.JobName(e.job), "thread");
         }
         break;
+      case TraceEventKind::kDeadlineMiss:
+        // On the job's own track, so the miss pairs with its lifecycle span.
+        if (e.job != kInvalidJobId) {
+          emit.Instant(kJobsPid, static_cast<int>(e.job), e.when,
+                       "deadline miss " + emit.JobName(e.job), "rt");
+        }
+        break;
     }
   }
 

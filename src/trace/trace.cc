@@ -30,6 +30,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "release";
     case TraceEventKind::kThreadComplete:
       return "thread_complete";
+    case TraceEventKind::kDeadlineMiss:
+      return "deadline_miss";
   }
   return "unknown";
 }

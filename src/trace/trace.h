@@ -31,6 +31,7 @@ enum class TraceEventKind : uint8_t {
   kYield,          // processor advertised willing-to-yield
   kRelease,        // processor leaves its holding job
   kThreadComplete,
+  kDeadlineMiss,   // rt job completed after its relative deadline
 };
 
 const char* TraceEventKindName(TraceEventKind kind);
@@ -41,7 +42,7 @@ bool TraceEventKindFromName(const std::string& name, TraceEventKind* kind);
 
 // Number of distinct TraceEventKind values (for iteration in tests).
 inline constexpr size_t kNumTraceEventKinds =
-    static_cast<size_t>(TraceEventKind::kThreadComplete) + 1;
+    static_cast<size_t>(TraceEventKind::kDeadlineMiss) + 1;
 
 struct TraceEvent {
   SimTime when = 0;

@@ -11,6 +11,7 @@
 
 #include "src/cache/footprint.h"
 #include "src/common/rng.h"
+#include "src/workload/rt_params.h"
 #include "src/workload/thread_graph.h"
 
 namespace affsched {
@@ -30,6 +31,14 @@ struct AppProfile {
   // Maximum number of processors the job can ever use (drives Equipartition's
   // allocation-number computation).
   size_t max_parallelism = 0;
+
+  // Expected total useful work (processor-seconds) of one job instance, the
+  // mean over the graph generator's jitter. The rt deadline mixes derive
+  // per-app deadlines and WCET estimates from it; 0 when uncalibrated.
+  double expected_work_s = 0.0;
+
+  // Real-time parameters; inactive (deadline_s == 0) for best-effort jobs.
+  RtParams rt;
 
   // Builds a fresh (randomised) thread dependence graph for one job instance.
   std::function<std::unique_ptr<ThreadGraph>(Rng&)> build_graph;

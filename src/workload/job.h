@@ -83,6 +83,16 @@ struct JobStats {
   uint64_t steals_cross_node = 0;
   uint64_t balance_migrations = 0;
 
+  // Real-time accounting (deadline-bearing profiles only; see RtParams).
+  // deadline_misses is 0 or 1 per run — a job misses its own deadline at most
+  // once — but aggregates to a miss *rate* across replications. tardiness_s
+  // is completion minus deadline when positive. worst_reload_s is the largest
+  // single-chunk reload stall the job ever observed: the quantity cache
+  // partitioning exists to bound.
+  uint64_t deadline_misses = 0;
+  double tardiness_s = 0.0;
+  double worst_reload_s = 0.0;
+
   uint64_t TotalMigrations() const {
     return migrations_same_core + migrations_same_cluster + migrations_same_node +
            migrations_cross_node;

@@ -1,0 +1,35 @@
+// Real-time parameters attached to an application profile: the classic
+// (period, relative deadline, WCET) triple of hard/soft real-time task
+// models. A profile with deadline_s == 0 is an ordinary best-effort job and
+// the whole rt layer stays inert for it — deadline accounting, the rt JSON
+// blocks and the rt policies all key off Active().
+
+#ifndef SRC_WORKLOAD_RT_PARAMS_H_
+#define SRC_WORKLOAD_RT_PARAMS_H_
+
+namespace affsched {
+
+struct RtParams {
+  // Activation period, seconds. Informational for the closed sweeps (every
+  // job arrives once); the open driver uses it as the nominal inter-arrival
+  // scale of the deadline mix.
+  double period_s = 0.0;
+
+  // Relative deadline, seconds after arrival. 0 disables the rt layer for
+  // this profile.
+  double deadline_s = 0.0;
+
+  // Worst-case execution time estimate, seconds of critical-path work on an
+  // interference-free machine. Static rt policies budget colors against it.
+  double wcet_s = 0.0;
+
+  // Hard deadlines are misses the sweep reports as failures; soft deadlines
+  // additionally accumulate tardiness.
+  bool hard = false;
+
+  bool Active() const { return deadline_s > 0.0; }
+};
+
+}  // namespace affsched
+
+#endif  // SRC_WORKLOAD_RT_PARAMS_H_

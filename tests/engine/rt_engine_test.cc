@@ -1,0 +1,181 @@
+// Deadline accounting end to end: the engine must reproduce a hand-computed
+// static schedule's tardiness, reconcile the engine.deadline_* metrics with
+// per-job stats, and emit the deadline_miss trace event.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/apps/apps.h"
+#include "src/engine/engine.h"
+#include "src/rt/deadline_mix.h"
+#include "src/sched/factory.h"
+#include "src/telemetry/metrics.h"
+#include "src/trace/trace.h"
+#include "src/workload/thread_graph.h"
+
+namespace affsched {
+namespace {
+
+class CollectingSink : public TraceSink {
+ public:
+  void Record(const TraceEvent& event) override { events.push_back(event); }
+  std::vector<TraceEvent> events;
+};
+
+// One serial thread of exactly `work_s` seconds, no cache footprint, no
+// jitter: its completion time is a static schedule computable by hand.
+AppProfile SerialProfile(double work_s, double deadline_s, bool hard = true) {
+  AppProfile profile;
+  profile.name = "serial";
+  profile.working_set =
+      WorkingSetParams{.blocks = 0.0, .buildup_tau_s = 0.01, .steady_miss_per_s = 0.0};
+  profile.thread_overlap = 1.0;
+  profile.max_parallelism = 1;
+  profile.expected_work_s = work_s;
+  profile.rt.deadline_s = deadline_s;
+  profile.rt.wcet_s = work_s;
+  profile.rt.period_s = deadline_s;
+  profile.rt.hard = hard;
+  profile.build_graph = [work_s](Rng&) {
+    auto graph = std::make_unique<ThreadGraph>();
+    graph->AddNode(Seconds(work_s));
+    return graph;
+  };
+  return profile;
+}
+
+MachineConfig OneProcessor() {
+  MachineConfig config;
+  config.num_processors = 1;
+  return config;
+}
+
+TEST(RtEngineTest, MissedDeadlineMatchesHandComputedTardiness) {
+  MetricsRegistry registry;
+  Engine engine(OneProcessor(), MakePolicy(PolicyKind::kEquipartition), 1);
+  engine.SetMetrics(&registry);
+  // 1 s of serial work against a 0.4 s deadline: the miss is structural.
+  const JobId id = engine.SubmitJob(SerialProfile(1.0, 0.4));
+  engine.Run();
+
+  const JobStats& st = engine.job_stats(id);
+  ASSERT_EQ(st.deadline_misses, 1u);
+  // The schedule is static: completion = arrival + work (+ the one dispatch
+  // switch), so tardiness is exactly response minus the relative deadline.
+  EXPECT_GE(st.ResponseSeconds(), 1.0);
+  EXPECT_NEAR(st.tardiness_s, st.ResponseSeconds() - 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(st.worst_reload_s, 0.0);  // no cache footprint, no reloads
+
+  EXPECT_DOUBLE_EQ(registry.FindOrCreateCounter("engine.deadline_misses")->value(), 1.0);
+  EXPECT_NEAR(registry.FindOrCreateCounter("engine.tardiness_ns")->value(),
+              st.tardiness_s * 1e9, 1.0);
+}
+
+TEST(RtEngineTest, MetDeadlineLeavesRtTermsZero) {
+  MetricsRegistry registry;
+  Engine engine(OneProcessor(), MakePolicy(PolicyKind::kEquipartition), 1);
+  engine.SetMetrics(&registry);
+  const JobId id = engine.SubmitJob(SerialProfile(1.0, 100.0, /*hard=*/false));
+  engine.Run();
+
+  const JobStats& st = engine.job_stats(id);
+  EXPECT_EQ(st.deadline_misses, 0u);
+  EXPECT_DOUBLE_EQ(st.tardiness_s, 0.0);
+  EXPECT_DOUBLE_EQ(registry.FindOrCreateCounter("engine.deadline_misses")->value(), 0.0);
+  EXPECT_DOUBLE_EQ(registry.FindOrCreateCounter("engine.tardiness_ns")->value(), 0.0);
+}
+
+TEST(RtEngineTest, BestEffortJobsNeverTouchRtAccounting) {
+  MetricsRegistry registry;
+  Engine engine(OneProcessor(), MakePolicy(PolicyKind::kEquipartition), 1);
+  engine.SetMetrics(&registry);
+  AppProfile profile = SerialProfile(1.0, 0.0);  // deadline 0 = inactive
+  ASSERT_FALSE(profile.rt.Active());
+  const JobId id = engine.SubmitJob(profile);
+  engine.Run();
+  EXPECT_EQ(engine.job_stats(id).deadline_misses, 0u);
+  EXPECT_DOUBLE_EQ(registry.FindOrCreateCounter("engine.deadline_misses")->value(), 0.0);
+}
+
+TEST(RtEngineTest, MissEmitsDeadlineMissTraceEvent) {
+  CollectingSink sink;
+  Engine engine(OneProcessor(), MakePolicy(PolicyKind::kEquipartition), 1);
+  engine.SetTraceSink(&sink);
+  const JobId id = engine.SubmitJob(SerialProfile(1.0, 0.4));
+  engine.Run();
+
+  size_t misses = 0;
+  for (const TraceEvent& event : sink.events) {
+    if (event.kind != TraceEventKind::kDeadlineMiss) {
+      continue;
+    }
+    ++misses;
+    EXPECT_EQ(event.job, id);
+    EXPECT_EQ(event.when, engine.job_stats(id).completion);
+  }
+  EXPECT_EQ(misses, 1u);
+
+  // A met deadline must not emit one.
+  CollectingSink quiet;
+  Engine ok(OneProcessor(), MakePolicy(PolicyKind::kEquipartition), 1);
+  ok.SetTraceSink(&quiet);
+  ok.SubmitJob(SerialProfile(1.0, 100.0));
+  ok.Run();
+  for (const TraceEvent& event : quiet.events) {
+    EXPECT_NE(event.kind, TraceEventKind::kDeadlineMiss);
+  }
+}
+
+// The tight mix is infeasible by construction (deadline = half the ideal
+// makespan), so under any policy every stamped job must miss, and the global
+// counters must reconcile with the per-job stats.
+TEST(RtEngineTest, TightMixMissesEverywhereAndCountersReconcile) {
+  std::vector<AppProfile> profiles = {MakeSmallMvaProfile(), MakeSmallMatrixProfile()};
+  MachineConfig machine;
+  machine.num_processors = 8;
+  ASSERT_TRUE(ApplyDeadlineMix("tight", machine.num_processors, &profiles));
+
+  MetricsRegistry registry;
+  Engine engine(machine, MakePolicy(PolicyKind::kRtStaticAffinity), 42);
+  engine.SetMetrics(&registry);
+  for (const AppProfile& profile : profiles) {
+    ASSERT_TRUE(profile.rt.Active());
+    engine.SubmitJob(profile);
+  }
+  engine.Run();
+
+  uint64_t misses = 0;
+  double tardiness = 0.0;
+  for (JobId id = 0; id < engine.job_count(); ++id) {
+    const JobStats& st = engine.job_stats(id);
+    EXPECT_EQ(st.deadline_misses, 1u) << engine.job_name(id);
+    EXPECT_GT(st.tardiness_s, 0.0);
+    misses += st.deadline_misses;
+    tardiness += st.tardiness_s;
+  }
+  EXPECT_DOUBLE_EQ(registry.FindOrCreateCounter("engine.deadline_misses")->value(),
+                   static_cast<double>(misses));
+  EXPECT_NEAR(registry.FindOrCreateCounter("engine.tardiness_ns")->value(), tardiness * 1e9,
+              misses * 1.0);
+}
+
+// Reload accounting feeds the rt layer's headline number: a job with a real
+// footprint observes a positive worst-case reload bounded by its total stall.
+TEST(RtEngineTest, WorstReloadIsObservedAndBounded) {
+  MachineConfig machine;
+  machine.num_processors = 4;
+  Engine engine(machine, MakePolicy(PolicyKind::kDynAff), 7);
+  const JobId a = engine.SubmitJob(MakeSmallGravityProfile());
+  const JobId b = engine.SubmitJob(MakeSmallMatrixProfile());
+  engine.Run();
+  for (JobId id : {a, b}) {
+    const JobStats& st = engine.job_stats(id);
+    EXPECT_GT(st.worst_reload_s, 0.0);
+    EXPECT_LE(st.worst_reload_s, st.reload_stall_s);
+  }
+}
+
+}  // namespace
+}  // namespace affsched

@@ -113,5 +113,23 @@ TEST(GoldenTrajectoryTest, MqSeed1000AtFiveWorkers) {
   ExpectBytesIdentical(result.ToJson() + "\n", ReadGolden("sweep_mq_seed1000.json"));
 }
 
+// The real-time preset: dyn-aff vs the static rt policies on the 8-color
+// partitioned machine with the soft deadline mix. Pins the partitioned
+// reload trajectory, the deadline/tardiness accounting and the schema-v3
+// "rt" block.
+TEST(GoldenTrajectoryTest, RtSeed1000) { RunGoldenCase("rt", "sweep_rt_seed1000.json"); }
+
+// Worker-count invariance for the rt preset: the color reservations and the
+// deadline stamp are derived from the spec, never from execution order.
+TEST(GoldenTrajectoryTest, RtSeed1000AtFiveWorkers) {
+  SweepSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseSweepSpec("rt", &spec, &error)) << error;
+  SweepRunnerOptions options;
+  options.jobs = 5;
+  const SweepResult result = SweepRunner(options).Run(spec);
+  ExpectBytesIdentical(result.ToJson() + "\n", ReadGolden("sweep_rt_seed1000.json"));
+}
+
 }  // namespace
 }  // namespace affsched

@@ -1,0 +1,111 @@
+#include "src/rt/deadline_mix.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace affsched {
+namespace {
+
+AppProfile TestProfile(const std::string& name, double work_s, size_t max_par) {
+  AppProfile profile;
+  profile.name = name;
+  profile.expected_work_s = work_s;
+  profile.max_parallelism = max_par;
+  return profile;
+}
+
+TEST(DeadlineMixTest, NamesRoundTrip) {
+  const std::vector<std::string> names = DeadlineMixNames();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "soft");
+  EXPECT_EQ(names[1], "hard");
+  EXPECT_EQ(names[2], "mixed");
+  EXPECT_EQ(names[3], "tight");
+  for (const std::string& name : names) {
+    EXPECT_TRUE(IsDeadlineMix(name)) << name;
+  }
+  EXPECT_FALSE(IsDeadlineMix("loose"));
+  EXPECT_FALSE(IsDeadlineMix(""));
+}
+
+TEST(DeadlineMixTest, UnknownMixReportsError) {
+  std::vector<AppProfile> profiles = {TestProfile("a", 1.0, 2)};
+  std::string error;
+  EXPECT_FALSE(ApplyDeadlineMix("bogus", 8, &profiles, &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+  EXPECT_NE(error.find("soft|hard|mixed|tight"), std::string::npos);
+  // The failed call must not have stamped anything.
+  EXPECT_FALSE(profiles[0].rt.Active());
+}
+
+// Hand-computed soft stamp: 20 processors over two jobs gives each a share of
+// 10, capped by parallelism 4, so the ideal makespan is 12/4 = 3 s and the
+// deadline 1.6 x 3 = 4.8 s.
+TEST(DeadlineMixTest, SoftMixMatchesHandComputation) {
+  std::vector<AppProfile> profiles = {TestProfile("a", 12.0, 4), TestProfile("b", 12.0, 4)};
+  ASSERT_TRUE(ApplyDeadlineMix("soft", 20, &profiles));
+  for (const AppProfile& profile : profiles) {
+    EXPECT_TRUE(profile.rt.Active());
+    EXPECT_DOUBLE_EQ(profile.rt.wcet_s, 3.0);
+    EXPECT_DOUBLE_EQ(profile.rt.deadline_s, 4.8);
+    EXPECT_DOUBLE_EQ(profile.rt.period_s, 4.8);
+    EXPECT_FALSE(profile.rt.hard);
+  }
+}
+
+// The equipartition share caps the width before parallelism does: four jobs
+// on four processors leaves each job one processor, so the ideal makespan is
+// the full serial work.
+TEST(DeadlineMixTest, ShareCapsWidth) {
+  std::vector<AppProfile> profiles = {
+      TestProfile("a", 6.0, 8), TestProfile("b", 6.0, 8),
+      TestProfile("c", 6.0, 8), TestProfile("d", 6.0, 8)};
+  ASSERT_TRUE(ApplyDeadlineMix("hard", 4, &profiles));
+  for (const AppProfile& profile : profiles) {
+    EXPECT_DOUBLE_EQ(profile.rt.wcet_s, 6.0);
+    EXPECT_DOUBLE_EQ(profile.rt.deadline_s, 1.25 * 6.0);
+    EXPECT_TRUE(profile.rt.hard);
+  }
+}
+
+TEST(DeadlineMixTest, MixedAlternatesByIndexParity) {
+  std::vector<AppProfile> profiles = {
+      TestProfile("a", 4.0, 1), TestProfile("b", 4.0, 1), TestProfile("c", 4.0, 1)};
+  ASSERT_TRUE(ApplyDeadlineMix("mixed", 3, &profiles));
+  // Even indices: hard with slack 1.25; odd indices: soft with slack 1.6.
+  EXPECT_TRUE(profiles[0].rt.hard);
+  EXPECT_DOUBLE_EQ(profiles[0].rt.deadline_s, 1.25 * 4.0);
+  EXPECT_FALSE(profiles[1].rt.hard);
+  EXPECT_DOUBLE_EQ(profiles[1].rt.deadline_s, 1.6 * 4.0);
+  EXPECT_TRUE(profiles[2].rt.hard);
+  EXPECT_DOUBLE_EQ(profiles[2].rt.deadline_s, 1.25 * 4.0);
+}
+
+// The guaranteed-miss fixture: tight stamps deadlines at half the ideal
+// makespan, which no schedule can meet.
+TEST(DeadlineMixTest, TightIsInfeasibleByConstruction) {
+  std::vector<AppProfile> profiles = {TestProfile("a", 10.0, 2)};
+  ASSERT_TRUE(ApplyDeadlineMix("tight", 2, &profiles));
+  EXPECT_DOUBLE_EQ(profiles[0].rt.wcet_s, 5.0);
+  EXPECT_DOUBLE_EQ(profiles[0].rt.deadline_s, 2.5);
+  EXPECT_LT(profiles[0].rt.deadline_s, profiles[0].rt.wcet_s);
+  EXPECT_TRUE(profiles[0].rt.hard);
+}
+
+TEST(DeadlineMixTest, UncalibratedProfileStaysBestEffort) {
+  std::vector<AppProfile> profiles = {TestProfile("a", 0.0, 4), TestProfile("b", 2.0, 4)};
+  ASSERT_TRUE(ApplyDeadlineMix("soft", 8, &profiles));
+  EXPECT_FALSE(profiles[0].rt.Active());
+  EXPECT_TRUE(profiles[1].rt.Active());
+}
+
+TEST(DeadlineMixTest, EmptyProfileListIsFine) {
+  std::vector<AppProfile> profiles;
+  EXPECT_TRUE(ApplyDeadlineMix("soft", 8, &profiles));
+  EXPECT_TRUE(ApplyDeadlineMix("soft", 8, nullptr));
+}
+
+}  // namespace
+}  // namespace affsched

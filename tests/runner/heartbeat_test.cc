@@ -53,6 +53,7 @@ TEST(HeartbeatWriterTest, EmitsOneValidJsonLinePerEvent) {
     stats.round_wall_s = 0.5;
     stats.total_wall_s = 0.5;
     stats.round_events = 20000;
+    stats.round_deadline_misses = 3;
     hb.OnRound(stats);
     hb.OnProgress(6, 8);
     hb.Finish(8, 1.25);
@@ -72,6 +73,7 @@ TEST(HeartbeatWriterTest, EmitsOneValidJsonLinePerEvent) {
   EXPECT_NE(lines[1].find("\"completed\":4"), std::string::npos);
   EXPECT_NE(lines[1].find("\"events_per_s\""), std::string::npos);
   EXPECT_NE(lines[1].find("\"eta_s\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"deadline_misses\":3"), std::string::npos);
   EXPECT_NE(lines[2].find("\"kind\":\"progress\""), std::string::npos);
   EXPECT_NE(lines[3].find("\"kind\":\"done\""), std::string::npos);
   EXPECT_NE(lines[3].find("\"completed\":8"), std::string::npos);
@@ -108,6 +110,8 @@ TEST(SweepRunnerRoundStatsTest, RoundStatsReportEveryCellAndRealWork) {
     }
     cells += rounds[i].round_cells;
     events += rounds[i].round_events;
+    // The tiny grid stamps no deadlines, so the rt counter must stay zero.
+    EXPECT_EQ(rounds[i].round_deadline_misses, 0u);
   }
   EXPECT_EQ(cells, 8u);  // 2 policies x 2 mixes x 2 reps, all reported
   EXPECT_EQ(rounds.back().completed, 8u);

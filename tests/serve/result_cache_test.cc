@@ -147,7 +147,7 @@ TEST(ResultCacheTest, DecodeRejectsTamperedEntries) {
   EXPECT_TRUE(ResultCache::DecodeEntry(good, &out));
   // Wrong schema version must be unreadable, not misread.
   std::string wrong_schema = good;
-  const size_t at = wrong_schema.find("\"entry_schema\":1");
+  const size_t at = wrong_schema.find("\"entry_schema\":2");
   ASSERT_NE(at, std::string::npos);
   wrong_schema.replace(at, 16, "\"entry_schema\":9");
   EXPECT_FALSE(ResultCache::DecodeEntry(wrong_schema, &out));

@@ -39,6 +39,13 @@ TEST(SpecCanonTest, DifferentGridsGetDifferentKeys) {
   EXPECT_NE(SweepKey(base), SweepKey(MustParse("smoke;observability=1")));
   EXPECT_NE(SweepKey(base), SweepKey(MustParse("smoke;balance-interval=10")));
   EXPECT_NE(SweepKey(base), SweepKey(MustParse("smoke;topology=cmp-2x10")));
+  // Real-time fields are identity: the deadline stamp and the partitioned
+  // substrate both change every cell's stats.
+  EXPECT_NE(SweepKey(base), SweepKey(MustParse("smoke;rt=1")));
+  EXPECT_NE(SweepKey(base), SweepKey(MustParse("smoke;colors=8")));
+  EXPECT_NE(SweepKey(MustParse("smoke;rt=1")),
+            SweepKey(MustParse("smoke;rt=1;deadline-mix=hard")));
+  EXPECT_NE(SweepKey(MustParse("smoke;colors=8")), SweepKey(MustParse("smoke;colors=4")));
 }
 
 TEST(SpecCanonTest, CellKeyIgnoresGridShape) {
@@ -66,6 +73,12 @@ TEST(SpecCanonTest, CellKeyCoversSimulationInputs) {
   EXPECT_NE(base, CellKeyWithRev(MustParse("smoke;procs=8"), PolicyKind::kEquipartition, 1, 0,
                                  seed, "rev"));
   EXPECT_NE(base, CellKeyWithRev(MustParse("smoke;cache=2"), PolicyKind::kEquipartition, 1, 0,
+                                 seed, "rev"));
+  // The rt stamp and the color budget feed the simulation, so they are cell
+  // identity (unlike grid shape).
+  EXPECT_NE(base, CellKeyWithRev(MustParse("smoke;rt=1"), PolicyKind::kEquipartition, 1, 0,
+                                 seed, "rev"));
+  EXPECT_NE(base, CellKeyWithRev(MustParse("smoke;colors=8"), PolicyKind::kEquipartition, 1, 0,
                                  seed, "rev"));
 }
 

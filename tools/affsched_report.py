@@ -9,9 +9,10 @@ summary: prints human-readable tables for any result document the toolchain
 writes — a closed sweep (schema_version 1 or 3, `simctl --sweep`), an open
 sweep (schema_version 2, `simctl --open`), or a run manifest
 (`simctl --manifest`). Schema-3 documents additionally get the
-affinity-efficiency table from their "observability" block. Statistics that
-are missing or NaN (e.g. percentiles of a cell that completed zero jobs)
-render as "n/a".
+affinity-efficiency table from their "observability" block and the
+deadline/tardiness table from their "rt" block (`simctl --sweep=rt`).
+Statistics that are missing or NaN (e.g. percentiles of a cell that
+completed zero jobs) render as "n/a".
 
 diff: compares two result documents of the same kind, prints per-metric
 deltas and a per-policy worst-drift table, and exits nonzero if — and only
@@ -117,6 +118,25 @@ def summarize_sweep(doc):
              "mig core", "mig cluster", "mig node", "mig cross"],
             rows))
 
+    rt = doc.get("rt", {})
+    if rt.get("experiments"):
+        print()
+        print(f"real-time ({rt.get('deadline_mix', '?')} deadline mix):")
+        rows = []
+        for entry in rt["experiments"]:
+            rows.append([
+                entry["mix"], entry["policy"], entry.get("completions", 0),
+                entry.get("deadline_misses", 0),
+                fmt(entry.get("deadline_miss_rate"), 3),
+                fmt(entry.get("mean_tardiness_s"), 4),
+                fmt(entry.get("p99_tardiness_s"), 4),
+                fmt(entry.get("worst_reload_s"), 6),
+            ])
+        print(render_table(
+            ["mix", "policy", "done", "misses", "miss rate",
+             "mean tardy (s)", "p99 tardy (s)", "worst reload (s)"],
+            rows))
+
 
 def summarize_open(doc):
     spec = doc["spec"]
@@ -193,6 +213,12 @@ def sweep_metrics(doc):
                 job.get("mean_response_s")
     for r in doc.get("relative_response", []):
         out[("vs_equi_ratio", r["mix"], r["policy"], r["job"])] = r["ratio"]
+    # Real-time documents gate the deadline terms too; the job slot is the
+    # literal "rt" because these aggregate over the experiment's jobs.
+    for entry in doc.get("rt", {}).get("experiments", []):
+        key = (entry["mix"], entry["policy"], "rt")
+        for field in ("deadline_miss_rate", "p99_tardiness_s", "worst_reload_s"):
+            out[(field,) + key] = entry.get(field)
     return out
 
 

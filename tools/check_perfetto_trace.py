@@ -3,7 +3,8 @@
 
 Usage:
   tools/check_perfetto_trace.py TRACE.json [--require-decisions] [--require-steals]
-  tools/check_perfetto_trace.py --run-simctl PATH/TO/simctl [--steals]
+                                           [--require-rt]
+  tools/check_perfetto_trace.py --run-simctl PATH/TO/simctl [--steals] [--rt]
 
 A minimal schema check for the files ChromeTraceWriter emits (simctl
 --chrome-trace): enough structure that chrome://tracing and Perfetto will
@@ -27,11 +28,19 @@ the "steal" reason code, each such slice carrying a "site" arg and paired
 with a flow start on the same (pid, tid, ts) — the arrow from the steal
 decision to the dispatch it caused.
 
+With --require-rt the trace must carry the real-time layer: at least one
+"deadline miss" instant (cat "rt"), every one of them on the pid-2 jobs
+process and on a track that also carried a job lifecycle span (the miss
+marker pairs with the span it annotates, even though it is emitted after
+the span closes).
+
 --run-simctl builds the fixture itself: it runs the given simctl binary in
 a temp directory with --chrome-trace/--decision-trace/--spans, then
 validates the result with --require-decisions. With --steals it runs the
 mq-numa steal policy on the hierarchical mq-preset machine instead and
-validates with --require-steals. This is what the tier-1 ctests use.
+validates with --require-steals. With --rt it runs the rt-static-affinity
+policy on an 8-color machine under the guaranteed-miss "tight" deadline
+mix and validates with --require-rt. This is what the tier-1 ctests use.
 Exit status: 0 valid, 1 invalid, 2 usage/IO error.
 
 Stdlib only; no third-party dependencies.
@@ -60,7 +69,7 @@ REQUIRED_KEYS = {
 }
 
 
-def validate(doc, require_decisions=False, require_steals=False):
+def validate(doc, require_decisions=False, require_steals=False, require_rt=False):
     """Returns a list of problem strings; empty means the trace is valid."""
     require_decisions = require_decisions or require_steals
     problems = []
@@ -75,6 +84,8 @@ def validate(doc, require_decisions=False, require_steals=False):
     flow_starts, flow_finishes = set(), set()
     flow_start_sites = set()     # (pid, tid, ts) of each flow start
     steal_slices = []            # (index, (pid, tid, ts)) of "steal" decisions
+    rt_instants = []             # (index, (pid, tid)) of "deadline miss" markers
+    span_tracks = set()          # (pid, tid) tracks that carried a "B" span
     pids = set()
     decision_slices = 0
 
@@ -101,6 +112,7 @@ def validate(doc, require_decisions=False, require_steals=False):
         track = (ev.get("pid"), ev.get("tid"))
         if ph == "B":
             depth[track] = depth.get(track, 0) + 1
+            span_tracks.add(track)
         elif ph == "E":
             depth[track] = depth.get(track, 0) - 1
             if depth[track] < 0:
@@ -125,6 +137,8 @@ def validate(doc, require_decisions=False, require_steals=False):
                         problems.append(
                             f'{where}: steal decision slice must carry a '
                             f'"site" string in args')
+        if ph == "i" and ev.get("cat") == "rt":
+            rt_instants.append((i, track))
         if ph == "f" and ev.get("bp") != "e":
             problems.append(f'{where}: flow finish must use "bp":"e", got {ev.get("bp")!r}')
         if ph == "s":
@@ -162,17 +176,30 @@ def validate(doc, require_decisions=False, require_steals=False):
                     f"traceEvents[{i}]: steal decision slice has no flow start "
                     f"on its (pid, tid, ts) {site}")
 
+    if require_rt:
+        if not rt_instants:
+            problems.append('rt layer required but no "rt" instant markers found')
+        for i, track in rt_instants:
+            if track[0] != 2:
+                problems.append(
+                    f"traceEvents[{i}]: rt instant must live on the pid-2 jobs "
+                    f"process, got pid {track[0]}")
+            elif track not in span_tracks:
+                problems.append(
+                    f"traceEvents[{i}]: rt instant on track {track} pairs with "
+                    f"no job lifecycle span")
+
     return problems
 
 
-def check_file(path, require_decisions, require_steals=False):
+def check_file(path, require_decisions, require_steals=False, require_rt=False):
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"{path}: {e}", file=sys.stderr)
         return 2
-    problems = validate(doc, require_decisions, require_steals)
+    problems = validate(doc, require_decisions, require_steals, require_rt)
     if problems:
         print(f"{path}: INVALID — {len(problems)} problem(s):", file=sys.stderr)
         for p in problems[:25]:
@@ -186,7 +213,7 @@ def check_file(path, require_decisions, require_steals=False):
     return 0
 
 
-def run_simctl(binary, steals=False):
+def run_simctl(binary, steals=False, rt=False):
     with tempfile.TemporaryDirectory(prefix="affsched-trace-") as tmp:
         tmp = Path(tmp)
         trace = tmp / "trace.json"
@@ -196,6 +223,13 @@ def run_simctl(binary, steals=False):
             scenario = [
                 "--mix=5", "--policy=mq-numa", "--procs=16", "--seed=42",
                 "--topology=numa-4x8,cores-per-cluster=4,clusters-per-node=2",
+            ]
+        elif rt:
+            # The rt-preset machine under the guaranteed-miss tight mix, so
+            # every deadline-bearing job contributes a miss marker.
+            scenario = [
+                "--mix=5", "--policy=rt-static-affinity", "--procs=16", "--seed=42",
+                "--rt", "--deadline-mix=tight", "--colors=8",
             ]
         else:
             scenario = ["--mix=5", "--policy=dyn-aff", "--procs=16", "--seed=42"]
@@ -214,7 +248,8 @@ def run_simctl(binary, steals=False):
             if not (tmp / side).stat().st_size:
                 print(f"{side}: empty sidecar output", file=sys.stderr)
                 return 1
-        return check_file(trace, require_decisions=True, require_steals=steals)
+        return check_file(trace, require_decisions=True, require_steals=steals,
+                          require_rt=rt)
 
 
 def main():
@@ -228,17 +263,25 @@ def main():
     parser.add_argument("--run-simctl", metavar="BINARY",
                         help="run this simctl binary to produce the trace, then "
                              "validate it with --require-decisions")
+    parser.add_argument("--require-rt", action="store_true",
+                        help="fail unless the trace carries 'deadline miss' "
+                             "instants paired with job lifecycle spans")
     parser.add_argument("--steals", action="store_true",
                         help="with --run-simctl: run the mq-numa steal policy "
                              "on the hierarchical machine and validate with "
                              "--require-steals")
+    parser.add_argument("--rt", action="store_true",
+                        help="with --run-simctl: run rt-static-affinity under "
+                             "the tight deadline mix on an 8-color machine and "
+                             "validate with --require-rt")
     args = parser.parse_args()
 
     if args.run_simctl:
-        return run_simctl(args.run_simctl, steals=args.steals)
+        return run_simctl(args.run_simctl, steals=args.steals, rt=args.rt)
     if not args.trace:
         parser.error("either TRACE.json or --run-simctl is required")
-    return check_file(args.trace, args.require_decisions, args.require_steals)
+    return check_file(args.trace, args.require_decisions, args.require_steals,
+                      args.require_rt)
 
 
 if __name__ == "__main__":
